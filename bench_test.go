@@ -1,0 +1,221 @@
+// Package repro's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (see DESIGN.md's per-experiment
+// index). Each benchmark regenerates its experiment on the simulated
+// M620 and reports headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Absolute wall-clock (ns/op) measures
+// the simulator, not the paper's machine; the custom metrics carry the
+// reproduced results.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+)
+
+func newLab() *experiments.Lab {
+	return experiments.NewLab()
+}
+
+// benchTable regenerates one of Tables I-III and reports the mean
+// deviations from the paper.
+func benchTable(b *testing.B, run func(*experiments.Lab) (experiments.TableResult, error)) {
+	b.Helper()
+	lab := newLab()
+	var meanTimeErr, meanPowerErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := run(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var te, pe float64
+		cells := 0
+		for _, row := range res.Rows {
+			for _, cell := range row.Cells {
+				if cell.Skipped {
+					continue
+				}
+				te += abs(cell.Meas.Seconds-cell.Paper.Seconds) / cell.Paper.Seconds
+				pe += abs(cell.Meas.Watts-cell.Paper.Watts) / cell.Paper.Watts
+				cells++
+			}
+		}
+		meanTimeErr = te / float64(cells) * 100
+		meanPowerErr = pe / float64(cells) * 100
+	}
+	b.ReportMetric(meanTimeErr, "time-err-%")
+	b.ReportMetric(meanPowerErr, "power-err-%")
+}
+
+func BenchmarkTableI(b *testing.B)   { benchTable(b, (*experiments.Lab).TableI) }
+func BenchmarkTableII(b *testing.B)  { benchTable(b, (*experiments.Lab).TableII) }
+func BenchmarkTableIII(b *testing.B) { benchTable(b, (*experiments.Lab).TableIII) }
+
+// benchFigure regenerates one of Figures 1-4 and reports the average
+// 16-thread speedup across its applications.
+func benchFigure(b *testing.B, run func(*experiments.Lab) (experiments.FigureResult, error)) {
+	b.Helper()
+	lab := newLab()
+	var meanSpeedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := run(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0.0
+		for _, s := range res.Series {
+			sp, _, _ := s.At(16)
+			total += sp
+		}
+		meanSpeedup = total / float64(len(res.Series))
+	}
+	b.ReportMetric(meanSpeedup, "mean-speedup@16")
+}
+
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, (*experiments.Lab).Figure1) }
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, (*experiments.Lab).Figure2) }
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, (*experiments.Lab).Figure3) }
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, (*experiments.Lab).Figure4) }
+
+// benchThrottle regenerates one of Tables IV-VII and reports the dynamic
+// configuration's energy saving and power drop versus fixed-16.
+func benchThrottle(b *testing.B, app string) {
+	b.Helper()
+	lab := newLab()
+	var savingPct, powerDrop float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.ThrottleTable(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dyn, _ := res.Row(experiments.Dynamic16)
+		f16, _ := res.Row(experiments.Fixed16)
+		savingPct = (f16.Meas.Joules - dyn.Meas.Joules) / f16.Meas.Joules * 100
+		powerDrop = f16.Meas.Watts - dyn.Meas.Watts
+	}
+	b.ReportMetric(savingPct, "energy-saving-%")
+	b.ReportMetric(powerDrop, "power-drop-W")
+}
+
+func BenchmarkTableIV(b *testing.B)  { benchThrottle(b, compiler.AppLULESH) }
+func BenchmarkTableV(b *testing.B)   { benchThrottle(b, compiler.AppDijkstra) }
+func BenchmarkTableVI(b *testing.B)  { benchThrottle(b, compiler.AppHealth) }
+func BenchmarkTableVII(b *testing.B) { benchThrottle(b, compiler.AppStrassen) }
+
+// BenchmarkColdStart reproduces §II-C footnote 2: the first run on a cold
+// machine uses a few percent less energy.
+func BenchmarkColdStart(b *testing.B) {
+	lab := newLab()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.ColdStart()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = res.SavingPct
+	}
+	b.ReportMetric(saving, "cold-saving-%")
+}
+
+// BenchmarkThrottleOverhead reproduces §IV-B: the daemon never throttles
+// well-scaling programs and costs at most fractions of a percent.
+func BenchmarkThrottleOverhead(b *testing.B) {
+	lab := newLab()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.ThrottleOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.Activations != 0 {
+				b.Fatalf("%s throttled on a well-scaling app", r.App)
+			}
+			if r.OverheadPct > worst {
+				worst = r.OverheadPct
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-overhead-%")
+}
+
+// BenchmarkDutyCycleSavings reproduces §IV: idling four threads via
+// duty-cycle modulation saves over 12 W.
+func BenchmarkDutyCycleSavings(b *testing.B) {
+	lab := newLab()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.DutyCycleSavings()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = float64(res.Saving)
+	}
+	b.ReportMetric(saving, "saving-W")
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BenchmarkPolicyAblation compares the dual-condition policy against
+// power-only gating (paper §IV-A): the reported metric is the energy
+// penalty power-only gating inflicts on the well-scaling sparselu.
+func BenchmarkPolicyAblation(b *testing.B) {
+	lab := newLab()
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.PolicyAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == compiler.AppSparseLUSingle {
+				penalty = r.PowerDeltaE
+			}
+		}
+	}
+	b.ReportMetric(penalty, "power-only-penalty-%")
+}
+
+// BenchmarkMechanismAblation compares duty-cycle throttling against
+// socket-wide DVFS (paper §IV), reporting DVFS's time cost on dijkstra.
+func BenchmarkMechanismAblation(b *testing.B) {
+	lab := newLab()
+	var dvfsSlowdown float64
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.MechanismAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == compiler.AppDijkstra {
+				dvfsSlowdown = (r.DVFS.Seconds/r.DutyCycle.Seconds - 1) * 100
+			}
+		}
+	}
+	b.ReportMetric(dvfsSlowdown, "dvfs-vs-duty-slowdown-%")
+}
+
+// BenchmarkPowerCap exercises the §V/§VI outlook: concurrency throttling
+// as the actuator of a 120 W node power cap.
+func BenchmarkPowerCap(b *testing.B) {
+	lab := newLab()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.PowerCapStudy(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = res.Capped.Watts
+	}
+	b.ReportMetric(avg, "capped-avg-W")
+}

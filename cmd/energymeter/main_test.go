@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("nqueens", "tcc", 2, 8, 1, false, false, "", ""); err == nil {
+		t.Error("unknown compiler accepted")
+	}
+	if err := run("nqueens", "gcc", 7, 8, 1, false, false, "", ""); err == nil {
+		t.Error("bad optimization level accepted")
+	}
+	if err := run("bogus-app", "gcc", 2, 8, 1, false, false, "", ""); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestRunSmallBenchmark(t *testing.T) {
+	if err := run("nqueens", "gcc", 2, 8, 0.2, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithThrottle(t *testing.T) {
+	if err := run("bots-health-cutoff", "gcc", 3, 16, 1, true, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesTraceAndHistory(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "trace.csv")
+	hi := filepath.Join(dir, "hist.csv")
+	if err := run("nqueens", "gcc", 2, 8, 0.2, false, false, tr, hi); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tr, hi} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 20 {
+			t.Errorf("%s suspiciously small (%d bytes)", p, len(data))
+		}
+	}
+}

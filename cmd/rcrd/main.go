@@ -1,0 +1,140 @@
+// Command rcrd is the standalone Resource Centric Reflection daemon: it
+// serves blackboard snapshots over a Unix socket — the IPC stand-in for
+// the real RCRdaemon's shared-memory region (paper §II-B) — while a
+// background load runs on the simulated machine. A client mode queries a
+// running daemon and prints the hierarchy.
+//
+// Usage:
+//
+//	rcrd -socket /tmp/rcrd.sock -load lulesh -duration 30s   # serve
+//	rcrd -socket /tmp/rcrd.sock -query                       # query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rcr"
+	"repro/internal/workloads"
+	"repro/internal/workloads/suite"
+)
+
+func main() {
+	var (
+		socket   = flag.String("socket", "/tmp/rcrd.sock", "unix socket path")
+		query    = flag.Bool("query", false, "query a running daemon instead of serving")
+		asJSON   = flag.Bool("json", false, "with -query, print the snapshot as JSON")
+		load     = flag.String("load", "lulesh", "benchmark to loop as background load while serving")
+		duration = flag.Duration("duration", 30*time.Second, "how long (host time) to serve before exiting")
+	)
+	flag.Parse()
+
+	if *query {
+		if err := runQuery(*socket, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "rcrd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*socket, *load, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, "rcrd:", err)
+		os.Exit(1)
+	}
+}
+
+func runQuery(socket string, asJSON bool) error {
+	snap, err := rcr.Query("unix", socket)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return snap.WriteJSON(os.Stdout)
+	}
+	fmt.Printf("snapshot at t=%v\n", snap.Now)
+	printMeters("system", snap.System)
+	for s, sock := range snap.Sockets {
+		printMeters(fmt.Sprintf("socket %d", s), sock.Meters)
+		for c, coreMeters := range sock.Cores {
+			if len(coreMeters) > 0 {
+				printMeters(fmt.Sprintf("  core %d", c), coreMeters)
+			}
+		}
+	}
+	return nil
+}
+
+func printMeters(label string, ms []rcr.MeterValue) {
+	if len(ms) == 0 {
+		return
+	}
+	fmt.Printf("%s:\n", label)
+	for _, m := range ms {
+		fmt.Printf("  %-10s %14.3f  (updated %v)\n", m.Name, m.Value, m.Updated)
+	}
+}
+
+func serve(socket, load string, duration time.Duration) error {
+	if err := os.Remove(socket); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	sys, err := core.New(core.Options{Warm: true})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		return err
+	}
+	srv := rcr.NewServer(sys.Blackboard(), sys.Machine(), ln)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	fmt.Printf("rcrd: serving %s for %v with background load %q\n", socket, duration, load)
+
+	// Loop the load until the serving window closes.
+	loadErr := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				loadErr <- nil
+				return
+			default:
+			}
+			wl, err := suite.New(load)
+			if err != nil {
+				loadErr <- err
+				return
+			}
+			if err := wl.Prepare(workloads.Params{MachineConfig: sys.Machine().Config()}); err != nil {
+				loadErr <- err
+				return
+			}
+			if _, err := sys.RunWorkload(wl); err != nil {
+				loadErr <- err
+				return
+			}
+		}
+	}()
+
+	var firstErr error
+	select {
+	case firstErr = <-loadErr:
+	case <-time.After(duration):
+		close(stop)
+		firstErr = <-loadErr // let the in-flight run finish cleanly
+	}
+	if err := srv.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := <-serveErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,72 @@
+// Real-host RAPL: the rapl.Reader interface works against the Linux
+// powercap interface on a real Intel machine as well as against the
+// simulated MSR file. This example tries the real sysfs backend first
+// (it needs an Intel host and read access to
+// /sys/class/powercap/intel-rapl*/energy_uj, typically root) and falls
+// back to measuring a burst on the simulated machine.
+//
+//	go run ./examples/realhost
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qthreads"
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+func main() {
+	if reader, err := rapl.NewSysfsReader(rapl.DefaultPowercapPath); err == nil {
+		measureRealHost(reader)
+		return
+	} else {
+		fmt.Printf("no readable RAPL powercap interface (%v); using the simulator\n", err)
+	}
+	measureSimulated()
+}
+
+// measureRealHost samples the machine you are actually running on.
+func measureRealHost(reader *rapl.SysfsReader) {
+	fmt.Printf("found %d RAPL package domains; sampling for 2 s...\n", reader.Domains())
+	start := make([]units.Joules, reader.Domains())
+	for d := range start {
+		e, err := reader.Energy(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start[d] = e
+	}
+	time.Sleep(2 * time.Second)
+	for d := range start {
+		e, err := reader.Energy(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		delta := e - start[d]
+		fmt.Printf("  %s: %v over 2 s = %v\n", reader.Name(d), delta, units.PowerOver(delta, 2*time.Second))
+	}
+}
+
+// measureSimulated runs a compute burst on the simulated node instead.
+func measureSimulated() {
+	sys, err := core.New(core.Options{Warm: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	rep, err := sys.Run("burst", func(tc *qthreads.TC) {
+		g := tc.NewGroup()
+		for i := 0; i < sys.Runtime().Workers(); i++ {
+			g.Spawn(tc, func(tc *qthreads.TC) { tc.Compute(2.7e9) }) // 1 s
+		}
+		g.Wait(tc)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+}

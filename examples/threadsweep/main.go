@@ -1,0 +1,41 @@
+// Thread sweep: reproduce one curve of the paper's Figures 1-4 for a
+// chosen benchmark — speedup and normalized energy versus thread count —
+// and print where the energy minimum falls (for poorly-scaling programs
+// it is below the maximum thread count; paper §II-C.4).
+//
+//	go run ./examples/threadsweep               # dijkstra
+//	go run ./examples/threadsweep -app lulesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+)
+
+func main() {
+	app := flag.String("app", compiler.AppDijkstra, "benchmark to sweep")
+	flag.Parse()
+
+	lab := experiments.NewLab()
+	series, err := lab.Sweep(*app, compiler.Baseline, []int{1, 2, 4, 8, 12, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (gcc -O2), simulated M620:\n", *app)
+	fmt.Printf("%8s %10s %10s %10s %10s %10s\n", "threads", "time[s]", "joules", "watts", "speedup", "E/E(1)")
+	for i, k := range series.Threads {
+		fmt.Printf("%8d %10.2f %10.0f %10.1f %10.2f %10.2f\n",
+			k, series.Seconds[i], series.Joules[i], series.Watts[i],
+			series.Speedup[i], series.NormEnergy[i])
+	}
+	fmt.Printf("\nminimum energy at %d threads", series.MinEnergyThreads())
+	if series.MinEnergyThreads() < 16 {
+		fmt.Printf(" — running below the hardware maximum saves energy, the effect MAESTRO exploits")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,185 @@
+// Package compiler models the code-generation side of the paper's study:
+// which compiler (GCC or ICC) and optimization level (O0–O3) a benchmark
+// was built with. We cannot run ICC from Go, but the runtime only ever
+// observes the *consequences* of compilation — how much work the
+// generated code does per unit of algorithmic progress and how dense its
+// instruction stream is. This package supplies those consequences as
+// CodeGen factors, calibrated against the paper's own Tables II and III
+// (the 16-thread measurements). The thread-scaling curves (Figures 1–4)
+// and all throttling results (Tables IV–VII) are *not* table-driven: they
+// emerge from the workload mechanisms and the machine model.
+package compiler
+
+import "fmt"
+
+// Compiler identifies the compiler family.
+type Compiler int
+
+// Compilers studied in the paper.
+const (
+	GCC Compiler = iota
+	ICC
+)
+
+// String returns the compiler name.
+func (c Compiler) String() string {
+	switch c {
+	case GCC:
+		return "gcc"
+	case ICC:
+		return "icc"
+	default:
+		return fmt.Sprintf("Compiler(%d)", int(c))
+	}
+}
+
+// OptLevel is a compiler optimization level. The zero value ODefault
+// means "the study's default, -O2", so that a zero-valued Target selects
+// the Table I configuration rather than an accidental -O0 build.
+type OptLevel int
+
+// Optimization levels studied in the paper.
+const (
+	ODefault OptLevel = iota // zero value: treated as -O2
+	O0
+	O1
+	O2
+	O3
+)
+
+// norm resolves ODefault to O2.
+func (o OptLevel) norm() OptLevel {
+	if o == ODefault {
+		return O2
+	}
+	return o
+}
+
+// index returns the [0..3] table row, or -1 for invalid levels.
+func (o OptLevel) index() int {
+	n := o.norm()
+	if n < O0 || n > O3 {
+		return -1
+	}
+	return int(n) - 1
+}
+
+// String returns the flag spelling.
+func (o OptLevel) String() string {
+	i := o.index()
+	if i < 0 {
+		return fmt.Sprintf("OptLevel(%d)", int(o))
+	}
+	return [...]string{"-O0", "-O1", "-O2", "-O3"}[i]
+}
+
+// Target is one compilation configuration.
+type Target struct {
+	Compiler Compiler
+	Opt      OptLevel
+}
+
+// String returns e.g. "gcc -O2".
+func (t Target) String() string { return t.Compiler.String() + " " + t.Opt.String() }
+
+// Baseline is the reference target all factors are relative to: the
+// paper's Table I uses -O2, and we anchor on GCC.
+var Baseline = Target{Compiler: GCC, Opt: O2}
+
+// Entry is one cell of the paper's Tables II/III: 16-thread execution
+// time, total energy and average power on the paper's machine.
+type Entry struct {
+	Seconds float64
+	Joules  float64
+	Watts   float64
+}
+
+// CodeGen is what a workload needs to know about its compilation: how the
+// generated code's work volume and power signature relate to the GCC -O2
+// baseline.
+type CodeGen struct {
+	Target Target
+	// TimeFactor is the 16-thread execution-time ratio versus the GCC
+	// -O2 build of the same application. Workloads scale their charged
+	// compute cycles with it (memory traffic is a property of the
+	// algorithm, not the compiler, and stays fixed).
+	TimeFactor float64
+	// TargetWatts is the paper's measured 16-thread average node power
+	// for this build; workloads solve their instruction-density
+	// (Activity) parameter against it.
+	TargetWatts float64
+}
+
+// Lookup returns the CodeGen for an application and target. Applications
+// present in the paper's tables get calibrated factors; unknown
+// applications fall back on Generic.
+func Lookup(app string, t Target) (CodeGen, error) {
+	if t.Opt.index() < 0 {
+		return CodeGen{}, fmt.Errorf("compiler: bad optimization level %d", int(t.Opt))
+	}
+	byCompiler, ok := paperTable[app]
+	if !ok {
+		return Generic(t), nil
+	}
+	rows, ok := byCompiler[t.Compiler]
+	if !ok {
+		return CodeGen{}, fmt.Errorf("compiler: %s has no %v build in the paper", app, t.Compiler)
+	}
+	// Anchor on GCC -O2 (Table I); applications the paper only measured
+	// with one compiler anchor on that compiler's -O2 instead.
+	baseRows, ok := byCompiler[Baseline.Compiler]
+	if !ok {
+		baseRows = rows
+	}
+	base := baseRows[Baseline.Opt.index()]
+	e := rows[t.Opt.index()]
+	return CodeGen{
+		Target:      t,
+		TimeFactor:  e.Seconds / base.Seconds,
+		TargetWatts: e.Watts,
+	}, nil
+}
+
+// PaperEntry returns the raw table cell for an application and target,
+// with ok=false when the paper did not measure that combination.
+func PaperEntry(app string, t Target) (Entry, bool) {
+	byCompiler, ok := paperTable[app]
+	if !ok {
+		return Entry{}, false
+	}
+	rows, ok := byCompiler[t.Compiler]
+	if !ok || t.Opt.index() < 0 {
+		return Entry{}, false
+	}
+	return rows[t.Opt.index()], true
+}
+
+// Supported reports whether the paper measured the application with the
+// given compiler.
+func Supported(app string, c Compiler) bool {
+	byCompiler, ok := paperTable[app]
+	if !ok {
+		return false
+	}
+	_, ok = byCompiler[c]
+	return ok
+}
+
+// Generic returns rule-of-thumb factors for applications outside the
+// paper's table, reflecting the broad pattern of Tables II/III: -O0 is
+// roughly 3x slower at somewhat higher power; -O1 is within ~15% of -O2;
+// -O3 is a wash.
+func Generic(t Target) CodeGen {
+	cg := CodeGen{Target: t, TimeFactor: 1, TargetWatts: 0}
+	switch t.Opt.norm() {
+	case O0:
+		cg.TimeFactor = 3.0
+	case O1:
+		cg.TimeFactor = 1.15
+	case O2:
+		cg.TimeFactor = 1.0
+	case O3:
+		cg.TimeFactor = 0.98
+	}
+	return cg
+}

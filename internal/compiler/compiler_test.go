@@ -1,0 +1,162 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	if GCC.String() != "gcc" || ICC.String() != "icc" {
+		t.Error("compiler names wrong")
+	}
+	if O0.String() != "-O0" || O3.String() != "-O3" {
+		t.Error("opt level names wrong")
+	}
+	if got := (Target{ICC, O2}).String(); got != "icc -O2" {
+		t.Errorf("Target.String() = %q", got)
+	}
+	if Compiler(9).String() == "" || OptLevel(9).String() == "" {
+		t.Error("unknown values need a representation")
+	}
+}
+
+func TestBaselineIsIdentity(t *testing.T) {
+	for _, app := range Apps() {
+		if !Supported(app, GCC) {
+			continue
+		}
+		cg, err := Lookup(app, Baseline)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if math.Abs(cg.TimeFactor-1) > 1e-9 {
+			t.Errorf("%s baseline TimeFactor = %g, want 1", app, cg.TimeFactor)
+		}
+		e, ok := PaperEntry(app, Baseline)
+		if !ok {
+			t.Fatalf("%s missing baseline entry", app)
+		}
+		if cg.TargetWatts != e.Watts {
+			t.Errorf("%s baseline watts = %g, want %g", app, cg.TargetWatts, e.Watts)
+		}
+	}
+}
+
+func TestLookupKnownRatios(t *testing.T) {
+	// nqueens GCC -O0 is 14.5s vs 5.5s at -O2.
+	cg, err := Lookup(AppNQueens, Target{GCC, O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cg.TimeFactor-14.5/5.5) > 1e-9 {
+		t.Errorf("nqueens O0 TimeFactor = %g, want %g", cg.TimeFactor, 14.5/5.5)
+	}
+	// LULESH ICC -O2 is 14.5s vs GCC 48.6s: ICC wins big.
+	cg, err = Lookup(AppLULESH, Target{ICC, O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cg.TimeFactor-14.5/48.6) > 1e-9 {
+		t.Errorf("lulesh ICC TimeFactor = %g, want %g", cg.TimeFactor, 14.5/48.6)
+	}
+	if cg.TargetWatts != 154.5 {
+		t.Errorf("lulesh ICC watts = %g, want 154.5", cg.TargetWatts)
+	}
+}
+
+func TestSparseLUForAnchorsOnICC(t *testing.T) {
+	// GCC never built sparselu-for; its factors anchor on ICC -O2.
+	if Supported(AppSparseLUFor, GCC) {
+		t.Fatal("sparselu-for should not have a GCC build")
+	}
+	cg, err := Lookup(AppSparseLUFor, Target{ICC, O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cg.TimeFactor-1) > 1e-9 {
+		t.Errorf("sparselu-for ICC O2 TimeFactor = %g, want 1 (self-anchored)", cg.TimeFactor)
+	}
+	if _, err := Lookup(AppSparseLUFor, Target{GCC, O2}); err == nil {
+		t.Error("Lookup(sparselu-for, GCC) succeeded")
+	}
+}
+
+func TestLookupUnknownAppUsesGeneric(t *testing.T) {
+	cg, err := Lookup("my-custom-kernel", Target{GCC, O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.TimeFactor != 3.0 {
+		t.Errorf("generic O0 TimeFactor = %g, want 3.0", cg.TimeFactor)
+	}
+	if cg.TargetWatts != 0 {
+		t.Errorf("generic TargetWatts = %g, want 0 (unknown)", cg.TargetWatts)
+	}
+}
+
+func TestLookupBadOptLevel(t *testing.T) {
+	if _, err := Lookup(AppNQueens, Target{GCC, OptLevel(7)}); err == nil {
+		t.Error("Lookup with bad opt level succeeded")
+	}
+}
+
+func TestGenericMonotonic(t *testing.T) {
+	o0 := Generic(Target{GCC, O0}).TimeFactor
+	o1 := Generic(Target{GCC, O1}).TimeFactor
+	o2 := Generic(Target{GCC, O2}).TimeFactor
+	o3 := Generic(Target{GCC, O3}).TimeFactor
+	if !(o0 > o1 && o1 > o2 && o2 >= o3) {
+		t.Errorf("generic factors not monotone: %g %g %g %g", o0, o1, o2, o3)
+	}
+}
+
+func TestTableConsistency(t *testing.T) {
+	// Every entry must be positive, and Joules ≈ Seconds × Watts within
+	// the paper's rounding (a sanity check on the transcription).
+	for app, byCompiler := range paperTable {
+		for c, rows := range byCompiler {
+			for o, e := range rows {
+				if e.Seconds <= 0 || e.Joules <= 0 || e.Watts <= 0 {
+					t.Errorf("%s/%v/O%d: non-positive entry %+v", app, c, o, e)
+				}
+				implied := e.Seconds * e.Watts
+				if math.Abs(implied-e.Joules)/e.Joules > 0.08 {
+					t.Errorf("%s/%v/-O%d: J=%g but s×W=%g (transcription error?)",
+						app, c, o, e.Joules, implied)
+				}
+			}
+		}
+	}
+}
+
+func TestAppsComplete(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 15 {
+		t.Fatalf("Apps() has %d entries, want 15", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a] {
+			t.Errorf("duplicate app %q", a)
+		}
+		seen[a] = true
+		if _, ok := paperTable[a]; !ok {
+			t.Errorf("app %q missing from paper table", a)
+		}
+	}
+	if len(paperTable) != 15 {
+		t.Errorf("paper table has %d apps, want 15", len(paperTable))
+	}
+}
+
+func TestPaperEntryMissing(t *testing.T) {
+	if _, ok := PaperEntry("nope", Baseline); ok {
+		t.Error("PaperEntry for unknown app reported ok")
+	}
+	if _, ok := PaperEntry(AppSparseLUFor, Target{GCC, O2}); ok {
+		t.Error("PaperEntry(sparselu-for, GCC) reported ok")
+	}
+	if _, ok := PaperEntry(AppNQueens, Target{GCC, OptLevel(-1)}); ok {
+		t.Error("PaperEntry with bad opt reported ok")
+	}
+}

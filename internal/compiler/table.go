@@ -1,0 +1,97 @@
+package compiler
+
+// Canonical application names shared by the workloads, experiments and
+// table data.
+const (
+	AppReduction       = "reduction"
+	AppNQueens         = "nqueens"
+	AppMergesort       = "mergesort"
+	AppFibonacci       = "fibonacci"
+	AppDijkstra        = "dijkstra"
+	AppAlignmentFor    = "bots-alignment-for"
+	AppAlignmentSingle = "bots-alignment-single"
+	AppFibCutoff       = "bots-fib-cutoff"
+	AppHealth          = "bots-health-cutoff"
+	AppNQueensCutoff   = "bots-nqueens-cutoff"
+	AppSortCutoff      = "bots-sort-cutoff"
+	AppSparseLUFor     = "bots-sparselu-for"
+	AppSparseLUSingle  = "bots-sparselu-single"
+	AppStrassen        = "bots-strassen-cutoff"
+	AppLULESH          = "lulesh"
+)
+
+// Apps lists every application of the paper's study, in table order.
+func Apps() []string {
+	return []string{
+		AppReduction, AppNQueens, AppMergesort, AppFibonacci, AppDijkstra,
+		AppAlignmentFor, AppAlignmentSingle, AppFibCutoff, AppHealth,
+		AppNQueensCutoff, AppSortCutoff, AppSparseLUFor, AppSparseLUSingle,
+		AppStrassen, AppLULESH,
+	}
+}
+
+// paperTable transcribes Tables II (GCC) and III (ICC): per application
+// and compiler, the [O0, O1, O2, O3] cells of (seconds, Joules, Watts) at
+// 16 threads. GCC was not measured for sparselu-for (Tables I/II list
+// only the -single variant).
+var paperTable = map[string]map[Compiler][4]Entry{
+	AppReduction: {
+		GCC: {{79.1, 10578, 133.7}, {77.1, 10360, 134.3}, {75.6, 10201, 134.9}, {76.6, 10302, 134.4}},
+		ICC: {{80.1, 10892, 135.9}, {77.1, 10337, 134.0}, {77.1, 10422, 135.1}, {77.6, 10512, 135.4}},
+	},
+	AppNQueens: {
+		GCC: {{14.5, 1962, 135.2}, {6.5, 800, 123.0}, {5.5, 649, 118.0}, {6.5, 846, 130.1}},
+		ICC: {{15.5, 2143, 138.1}, {6.0, 710, 118.3}, {6.0, 714, 119.0}, {6.0, 710, 118.3}},
+	},
+	AppMergesort: {
+		GCC: {{77.0, 4752, 61.7}, {23.0, 1390, 60.4}, {22.5, 1364, 60.6}, {22.5, 1359, 60.3}},
+		ICC: {{112.1, 6963, 62.1}, {20.5, 1234, 60.1}, {20.5, 1211, 59.0}, {21.5, 1239, 57.6}},
+	},
+	AppFibonacci: {
+		GCC: {{83.1, 8012, 96.4}, {83.6, 8031, 96.1}, {141.6, 13806, 97.5}, {77.1, 7115, 92.3}},
+		ICC: {{13.5, 1928, 142.7}, {13.5, 1933, 143.0}, {13.5, 1935, 143.2}, {13.5, 1938, 143.4}},
+	},
+	AppDijkstra: {
+		GCC: {{8.5, 1195, 140.5}, {5.0, 657, 131.3}, {4.5, 574, 127.6}, {4.5, 572, 127.2}},
+		ICC: {{7.5, 1054, 140.4}, {4.5, 595, 132.2}, {4.5, 589, 130.9}, {4.5, 589, 130.7}},
+	},
+	AppAlignmentFor: {
+		GCC: {{5.9, 895, 151.0}, {1.8, 244, 135.1}, {1.5, 187, 124.3}, {1.6, 207, 128.7}},
+		ICC: {{5.6, 859, 152.8}, {2.4, 322, 133.7}, {2.1, 276, 130.7}, {2.2, 290, 131.3}},
+	},
+	AppAlignmentSingle: {
+		GCC: {{5.7, 864, 150.9}, {1.8, 245, 135.7}, {1.5, 195, 129.4}, {1.5, 193, 128.1}},
+		ICC: {{5.5, 845, 153.0}, {2.3, 308, 133.4}, {2.0, 261, 130.1}, {2.1, 279, 132.2}},
+	},
+	AppFibCutoff: {
+		GCC: {{21.2, 2157, 101.8}, {14.2, 1416, 100.0}, {6.6, 639, 96.5}, {10.1, 1014, 99.9}},
+		ICC: {{10.5, 1612, 154.1}, {7.7, 1162, 150.3}, {5.7, 899, 157.0}, {5.7, 894, 156.2}},
+	},
+	AppHealth: {
+		GCC: {{1.6, 224, 139.0}, {1.6, 218, 135.4}, {1.6, 216, 134.5}, {1.6, 217, 134.6}},
+		ICC: {{1.6, 228, 141.9}, {1.5, 205, 135.8}, {1.5, 205, 135.8}, {1.5, 204, 135.0}},
+	},
+	AppNQueensCutoff: {
+		GCC: {{5.6, 835, 148.5}, {2.0, 252, 125.3}, {2.0, 249, 124.2}, {1.9, 238, 124.6}},
+		ICC: {{5.0, 773, 154.0}, {2.3, 295, 127.6}, {1.9, 242, 126.7}, {1.9, 231, 121.0}},
+	},
+	AppSortCutoff: {
+		GCC: {{2.8, 389, 138.2}, {1.5, 186, 123.1}, {1.5, 188, 124.9}, {1.5, 182, 121.0}},
+		ICC: {{2.0, 297, 147.5}, {1.3, 175, 134.0}, {1.4, 189, 134.1}, {1.3, 176, 134.3}},
+	},
+	AppSparseLUFor: {
+		ICC: {{30.4, 4829, 158.7}, {6.7, 999, 148.4}, {6.8, 1014, 148.4}, {6.6, 986, 148.6}},
+	},
+	AppSparseLUSingle: {
+		GCC: {{35.6, 5517, 154.8}, {18.3, 2577, 141.0}, {6.8, 996, 145.9}, {6.8, 1001, 146.5}},
+		ICC: {{30.2, 4788, 158.4}, {6.7, 997, 148.1}, {6.8, 1010, 147.7}, {6.6, 983, 148.0}},
+	},
+	AppStrassen: {
+		GCC: {{34.5, 5509, 159.6}, {24.3, 3702, 152.3}, {24.1, 3700, 153.7}, {24.1, 3679, 152.3}},
+		ICC: {{37.2, 5482, 147.3}, {25.8, 3761, 145.8}, {25.2, 3483, 138.3}, {24.8, 3498, 140.0}},
+	},
+	AppLULESH: {
+		GCC: {{79.6, 12134, 152.4}, {48.6, 7078, 145.7}, {48.6, 7064, 145.4}, {47.6, 6939, 145.8}},
+		ICC: {{52.1, 8132, 156.2}, {15.5, 2360, 152.1}, {14.5, 2242, 154.5}, {14.5, 2233, 153.8}},
+	},
+}

@@ -1,0 +1,232 @@
+// Package core is the library's public facade: it assembles the full
+// stack of the paper's system — simulated Sandybridge node (or any
+// machine.Config), RAPL energy counters, the RCR measurement daemon, the
+// Qthreads-style task runtime, and optionally the MAESTRO adaptive
+// concurrency-throttling daemon — behind one System type.
+//
+// Typical use:
+//
+//	sys, err := core.New(core.Options{AdaptiveThrottling: true})
+//	defer sys.Close()
+//	report, err := sys.Run("my-kernel", func(tc *qthreads.TC) {
+//	    tc.ParallelFor(n, 0, func(tc *qthreads.TC, lo, hi int) { ... })
+//	})
+//	fmt.Println(report) // elapsed, Joules, Watts, per-socket temps
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/maestro"
+	"repro/internal/qthreads"
+	"repro/internal/rapl"
+	"repro/internal/rcr"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Options configure a System. The zero value is a 16-worker M620 with
+// measurement only (no throttling).
+type Options struct {
+	// Machine is the simulated node; zero value selects the paper's
+	// M620 preset.
+	Machine machine.Config
+	// Workers is the task-runtime worker count; zero means all cores.
+	Workers int
+	// Qthreads tunes the runtime beyond the worker count; zero values
+	// take the runtime defaults. Workers above overrides Qthreads.Workers.
+	Qthreads qthreads.Config
+	// SamplePeriod is the RCR blackboard refresh interval; zero selects
+	// the default (10 ms of virtual time).
+	SamplePeriod time.Duration
+	// AdaptiveThrottling starts the MAESTRO daemon (paper §IV).
+	AdaptiveThrottling bool
+	// Maestro tunes the daemon when AdaptiveThrottling is set.
+	Maestro maestro.Config
+	// PowerCap, when positive, starts a power-capping controller holding
+	// node power at or below the bound (the §V/§VI outlook: concurrency
+	// throttling under a power budget). Mutually exclusive with
+	// AdaptiveThrottling — both would fight over the throttle limit.
+	PowerCap units.Watts
+	// RecordHistory keeps a time series of power / memory-concurrency /
+	// temperature samples, readable via History.
+	RecordHistory bool
+	// Warm pre-heats the machine to the paper's warm-system operating
+	// point. Experiments that care about the cold-start effect leave it
+	// false and manage temperature explicitly.
+	Warm bool
+}
+
+// System is a ready-to-run instance of the paper's full stack.
+type System struct {
+	m       *machine.Machine
+	reader  *rapl.MSRReader
+	bb      *rcr.Blackboard
+	sampler *rcr.Sampler
+	rt      *qthreads.Runtime
+	daemon  *maestro.Daemon
+	cap     *maestro.PowerCap
+	history *rcr.History
+	closed  bool
+}
+
+// New builds and starts a System.
+func New(opts Options) (*System, error) {
+	mcfg := opts.Machine
+	if mcfg.Sockets == 0 {
+		mcfg = machine.M620()
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{m: m}
+	fail := func(err error) (*System, error) {
+		sys.Close()
+		return nil, err
+	}
+	if opts.Warm {
+		m.WarmAll(workloads.WarmTemp)
+	}
+	if sys.reader, err = rapl.NewMSRReader(m.MSR()); err != nil {
+		return fail(err)
+	}
+	if sys.bb, err = rcr.NewBlackboard(mcfg.Sockets, mcfg.CoresPerSocket); err != nil {
+		return fail(err)
+	}
+	if sys.sampler, err = rcr.StartSampler(m, sys.reader, sys.bb, opts.SamplePeriod); err != nil {
+		return fail(err)
+	}
+	qcfg := opts.Qthreads
+	if qcfg.SpawnCost == 0 && qcfg.DequeueCost == 0 && qcfg.StealCost == 0 {
+		base := qthreads.DefaultConfig()
+		base.Workers = qcfg.Workers
+		base.SpinOnlyIdle = qcfg.SpinOnlyIdle
+		base.Pinning = qcfg.Pinning
+		qcfg = base
+	}
+	if opts.Workers != 0 {
+		qcfg.Workers = opts.Workers
+	}
+	if sys.rt, err = qthreads.New(m, qcfg); err != nil {
+		return fail(err)
+	}
+	if opts.AdaptiveThrottling && opts.PowerCap > 0 {
+		return fail(errors.New("core: AdaptiveThrottling and PowerCap are mutually exclusive"))
+	}
+	if opts.AdaptiveThrottling {
+		if sys.daemon, err = maestro.Start(sys.rt, sys.bb, opts.Maestro); err != nil {
+			return fail(err)
+		}
+	}
+	if opts.PowerCap > 0 {
+		if sys.cap, err = maestro.StartPowerCap(sys.rt, sys.bb, opts.PowerCap, 0); err != nil {
+			return fail(err)
+		}
+	}
+	if opts.RecordHistory {
+		if sys.history, err = rcr.StartHistory(m, sys.bb, opts.SamplePeriod, 0); err != nil {
+			return fail(err)
+		}
+	}
+	return sys, nil
+}
+
+// Machine returns the underlying simulated node.
+func (s *System) Machine() *machine.Machine { return s.m }
+
+// Runtime returns the task runtime.
+func (s *System) Runtime() *qthreads.Runtime { return s.rt }
+
+// Blackboard returns the RCR measurement blackboard.
+func (s *System) Blackboard() *rcr.Blackboard { return s.bb }
+
+// Reader returns the RAPL energy reader.
+func (s *System) Reader() rapl.Reader { return s.reader }
+
+// Throttling reports whether adaptive throttling is installed and its
+// statistics so far.
+func (s *System) Throttling() (maestro.Stats, bool) {
+	if s.daemon == nil {
+		return maestro.Stats{}, false
+	}
+	return s.daemon.Stats(), true
+}
+
+// Capping reports whether a power cap is installed and its statistics so
+// far.
+func (s *System) Capping() (maestro.CapStats, bool) {
+	if s.cap == nil {
+		return maestro.CapStats{}, false
+	}
+	return s.cap.Stats(), true
+}
+
+// History returns the recorded measurement time series, or nil when
+// RecordHistory was not set.
+func (s *System) History() *rcr.History { return s.history }
+
+// Run executes task as a root task on the runtime, measured as an RCR
+// region.
+func (s *System) Run(name string, task qthreads.Task) (rcr.RegionReport, error) {
+	if s.closed {
+		return rcr.RegionReport{}, errors.New("core: system is closed")
+	}
+	region, err := rcr.StartRegion(name, s.m, s.reader, s.bb)
+	if err != nil {
+		return rcr.RegionReport{}, err
+	}
+	if err := s.rt.Run(task); err != nil {
+		return rcr.RegionReport{}, fmt.Errorf("core: running %q: %w", name, err)
+	}
+	return region.End()
+}
+
+// RunWorkload prepares nothing — the workload must already be Prepared —
+// and runs it measured and validated.
+func (s *System) RunWorkload(wl workloads.Workload) (rcr.RegionReport, error) {
+	if s.closed {
+		return rcr.RegionReport{}, errors.New("core: system is closed")
+	}
+	return workloads.RunOnRuntime(s.rt, s.reader, s.bb, wl)
+}
+
+// Power returns the most recently sampled node power.
+func (s *System) Power() units.Watts {
+	total := 0.0
+	for d := 0; d < s.bb.Sockets(); d++ {
+		if m, ok := s.bb.Socket(d, rcr.MeterPower); ok {
+			total += m.Value
+		}
+	}
+	return units.Watts(total)
+}
+
+// Close tears the stack down in dependency order. It is idempotent.
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.history != nil {
+		s.history.Stop()
+	}
+	if s.cap != nil {
+		s.cap.Stop()
+	}
+	if s.daemon != nil {
+		s.daemon.Stop()
+	}
+	if s.rt != nil {
+		s.rt.Shutdown()
+	}
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	if s.m != nil {
+		s.m.Stop()
+	}
+}

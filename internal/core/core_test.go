@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/workloads"
+	"repro/internal/workloads/micro"
+)
+
+func newSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	if opts.Machine.Sockets == 0 {
+		opts.Machine = machine.M620()
+		opts.Machine.VirtualTimeLimit = 30 * time.Minute
+	}
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestRunMeasuredRegion(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true})
+	rep, err := sys.Run("kernel", func(tc *qthreads.TC) {
+		tc.ParallelFor(1600, 100, func(tc *qthreads.TC, lo, hi int) {
+			tc.Compute(float64(hi-lo) * 1e6) // 100 ms of work node-wide
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "kernel" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+	// 1.6e9 cycles over 16 workers at 2.7 GHz ≈ 37 ms.
+	if rep.Elapsed < 30*time.Millisecond || rep.Elapsed > 60*time.Millisecond {
+		t.Errorf("elapsed = %v, want ~37 ms", rep.Elapsed)
+	}
+	if rep.Energy <= 0 {
+		t.Error("no energy recorded")
+	}
+	if !strings.Contains(rep.String(), "kernel") {
+		t.Errorf("report string %q missing region name", rep.String())
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true})
+	wl := micro.NewDijkstra()
+	if err := wl.Prepare(workloads.Params{Scale: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed <= 0 || rep.Energy <= 0 {
+		t.Errorf("empty report: %+v", rep)
+	}
+}
+
+func TestWorkersOption(t *testing.T) {
+	sys := newSystem(t, Options{Workers: 4})
+	if got := sys.Runtime().Workers(); got != 4 {
+		t.Errorf("Workers = %d, want 4", got)
+	}
+}
+
+func TestThrottlingOption(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true, AdaptiveThrottling: true})
+	if _, ok := sys.Throttling(); !ok {
+		t.Fatal("throttling not installed")
+	}
+	// Run something; the daemon must at least be sampling.
+	if _, err := sys.Run("warm", func(tc *qthreads.TC) { tc.Compute(2.7e9) }); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := sys.Throttling()
+	if stats.Samples == 0 {
+		t.Error("daemon took no samples during a 1 s run")
+	}
+	// No throttling expected on a compute-only kernel.
+	if stats.Activations != 0 {
+		t.Errorf("daemon activated %d times on compute-only work", stats.Activations)
+	}
+}
+
+func TestThrottlingAbsent(t *testing.T) {
+	sys := newSystem(t, Options{})
+	if _, ok := sys.Throttling(); ok {
+		t.Error("Throttling reports installed without the option")
+	}
+}
+
+func TestPowerMeter(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true})
+	var midRun float64
+	if _, err := sys.Run("burn", func(tc *qthreads.TC) {
+		g := tc.NewGroup()
+		for i := 0; i < 16; i++ {
+			g.Spawn(tc, func(tc *qthreads.TC) { tc.Compute(2.7e8) })
+		}
+		// Let the burners establish steady state, then read the meter
+		// from inside the region (the root's charge keeps time moving).
+		tc.Compute(1.35e8) // 50 ms
+		midRun = float64(sys.Power())
+		g.Wait(tc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-run: 15-16 active cores plus the sampling lag — near the
+	// compute-bound figure.
+	want := float64(sys.Machine().Config().Power.PredictSocketPower(8, 1, 0, 0, 0, 0, 0)) * 2
+	if math.Abs(midRun-want)/want > 0.15 {
+		t.Errorf("mid-run Power() = %.1f W, want ~%.1f W", midRun, want)
+	}
+	// After the run the workers are parked and the meter reflects idle.
+	idle := float64(sys.Power())
+	if idle >= midRun {
+		t.Errorf("post-run Power() = %.1f W, want below mid-run %.1f W", idle, midRun)
+	}
+}
+
+func TestRunAfterClose(t *testing.T) {
+	sys := newSystem(t, Options{})
+	sys.Close()
+	if _, err := sys.Run("x", func(tc *qthreads.TC) {}); err == nil {
+		t.Error("Run succeeded on a closed system")
+	}
+	sys.Close() // idempotent
+}
+
+func TestCustomMachineConfig(t *testing.T) {
+	cfg := machine.M620()
+	cfg.Sockets = 1
+	cfg.CoresPerSocket = 4
+	sys := newSystem(t, Options{Machine: cfg})
+	if sys.Runtime().Workers() != 4 {
+		t.Errorf("Workers = %d, want 4 (all cores of custom machine)", sys.Runtime().Workers())
+	}
+	if sys.Blackboard().Sockets() != 1 {
+		t.Errorf("blackboard sockets = %d", sys.Blackboard().Sockets())
+	}
+}
+
+func TestWarmOption(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true})
+	if got := sys.Machine().Temperature(0); math.Abs(float64(got-workloads.WarmTemp)) > 1 {
+		t.Errorf("temperature = %v, want warm (%v)", got, workloads.WarmTemp)
+	}
+	cold := newSystem(t, Options{})
+	if got := cold.Machine().Temperature(0); got >= workloads.WarmTemp {
+		t.Errorf("unwarmed machine already at %v", got)
+	}
+}
+
+func TestPowerCapOption(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true, PowerCap: 110})
+	if _, ok := sys.Capping(); !ok {
+		t.Fatal("power cap not installed")
+	}
+	// A sustained full-node burn must be held near the cap. The
+	// controller adjusts once per 100 ms: give it a settle phase, then
+	// measure the steady state.
+	burn := func(tasks int) {
+		t.Helper()
+		if _, err := sys.Run("burn", func(tc *qthreads.TC) {
+			g := tc.NewGroup()
+			for i := 0; i < tasks; i++ {
+				g.Spawn(tc, func(tc *qthreads.TC) { tc.Compute(2e7) })
+			}
+			g.Wait(tc)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burn(2400) // settle: > 1 s even at full speed
+	start := sys.Machine().Now()
+	startE := sys.Machine().TotalEnergy()
+	burn(2400)
+	elapsed := sys.Machine().Now() - start
+	avg := float64(sys.Machine().TotalEnergy()-startE) / elapsed.Seconds()
+	stats, _ := sys.Capping()
+	if stats.Tightenings == 0 {
+		t.Error("cap controller never tightened")
+	}
+	if avg > 110*1.08 {
+		t.Errorf("steady-state power %.1f W above the 110 W cap", avg)
+	}
+}
+
+func TestPowerCapExclusiveWithThrottling(t *testing.T) {
+	_, err := New(Options{AdaptiveThrottling: true, PowerCap: 100})
+	if err == nil {
+		t.Fatal("conflicting options accepted")
+	}
+}
+
+func TestHistoryOption(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true, RecordHistory: true})
+	if sys.History() == nil {
+		t.Fatal("history not installed")
+	}
+	if _, err := sys.Run("burn", func(tc *qthreads.TC) { tc.Compute(2.7e8) }); err != nil {
+		t.Fatal(err)
+	}
+	if sys.History().Len() < 5 {
+		t.Errorf("history recorded only %d points over a 100 ms run", sys.History().Len())
+	}
+	cold := newSystem(t, Options{})
+	if cold.History() != nil {
+		t.Error("history present without the option")
+	}
+}

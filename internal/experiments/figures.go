@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+)
+
+// Series is one application's thread sweep: the data behind one curve of
+// Figures 1–4 (speedup and normalized energy versus thread count).
+type Series struct {
+	App        string
+	Target     compiler.Target
+	Threads    []int
+	Seconds    []float64
+	Joules     []float64
+	Watts      []float64
+	Speedup    []float64 // T(1)/T(k)
+	NormEnergy []float64 // E(k)/E(1)
+}
+
+// FigureResult is one regenerated figure.
+type FigureResult struct {
+	Title  string
+	Series []Series
+}
+
+// SimpleApps are the "SIMPLE/LULESH" programs of Figures 1 and 2: the
+// micro-benchmarks plus the LULESH mini-app.
+func SimpleApps() []string {
+	return []string{
+		compiler.AppReduction, compiler.AppNQueens, compiler.AppMergesort,
+		compiler.AppFibonacci, compiler.AppDijkstra, compiler.AppLULESH,
+	}
+}
+
+// BOTSApps are the programs of Figures 3 and 4.
+func BOTSApps() []string {
+	return []string{
+		compiler.AppAlignmentFor, compiler.AppAlignmentSingle,
+		compiler.AppFibCutoff, compiler.AppHealth, compiler.AppNQueensCutoff,
+		compiler.AppSortCutoff, compiler.AppSparseLUFor,
+		compiler.AppSparseLUSingle, compiler.AppStrassen,
+	}
+}
+
+// Figure1 regenerates Figure 1 (micro + LULESH, GCC).
+func (lab *Lab) Figure1() (FigureResult, error) {
+	return lab.figure("Figure 1: SIMPLE/LULESH GCC speedup and normalized energy", SimpleApps(), compiler.GCC)
+}
+
+// Figure2 regenerates Figure 2 (micro + LULESH, ICC).
+func (lab *Lab) Figure2() (FigureResult, error) {
+	return lab.figure("Figure 2: SIMPLE/LULESH ICC speedup and normalized energy", SimpleApps(), compiler.ICC)
+}
+
+// Figure3 regenerates Figure 3 (BOTS, GCC).
+func (lab *Lab) Figure3() (FigureResult, error) {
+	return lab.figure("Figure 3: BOTS GCC speedup and normalized energy", BOTSApps(), compiler.GCC)
+}
+
+// Figure4 regenerates Figure 4 (BOTS, ICC).
+func (lab *Lab) Figure4() (FigureResult, error) {
+	return lab.figure("Figure 4: BOTS ICC speedup and normalized energy", BOTSApps(), compiler.ICC)
+}
+
+// figure sweeps thread counts for each app at -O2 with the given
+// compiler. Apps the paper did not build with that compiler are skipped
+// (e.g. sparselu-for under GCC).
+func (lab *Lab) figure(title string, apps []string, c compiler.Compiler) (FigureResult, error) {
+	res := FigureResult{Title: title}
+	target := compiler.Target{Compiler: c, Opt: compiler.O2}
+	for _, app := range apps {
+		if !compiler.Supported(app, c) {
+			continue
+		}
+		s, err := lab.Sweep(app, target, sweepThreads)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Sweep measures one application across thread counts and derives the
+// figure quantities.
+func (lab *Lab) Sweep(app string, target compiler.Target, threads []int) (Series, error) {
+	s := Series{App: app, Target: target}
+	for _, k := range threads {
+		meas, err := lab.Measure(RunSpec{App: app, Target: target, Workers: k})
+		if err != nil {
+			return Series{}, fmt.Errorf("experiments: sweep %s %v @%d: %w", app, target, k, err)
+		}
+		s.Threads = append(s.Threads, k)
+		s.Seconds = append(s.Seconds, meas.Seconds)
+		s.Joules = append(s.Joules, meas.Joules)
+		s.Watts = append(s.Watts, meas.Watts)
+	}
+	if len(s.Seconds) > 0 && s.Seconds[0] > 0 && s.Joules[0] > 0 {
+		for i := range s.Seconds {
+			s.Speedup = append(s.Speedup, s.Seconds[0]/s.Seconds[i])
+			s.NormEnergy = append(s.NormEnergy, s.Joules[i]/s.Joules[0])
+		}
+	}
+	return s, nil
+}
+
+// At returns the series values at a thread count.
+func (s Series) At(threads int) (speedup, normEnergy float64, ok bool) {
+	for i, k := range s.Threads {
+		if k == threads {
+			return s.Speedup[i], s.NormEnergy[i], true
+		}
+	}
+	return 0, 0, false
+}
+
+// MinEnergyThreads returns the thread count with the lowest total energy
+// — the quantity the paper's Figures highlight: for poorly-scaling
+// programs it is below the maximum thread count.
+func (s Series) MinEnergyThreads() int {
+	best, bestIdx := 0.0, -1
+	for i, j := range s.Joules {
+		if bestIdx == -1 || j < best {
+			best, bestIdx = j, i
+		}
+	}
+	if bestIdx < 0 {
+		return 0
+	}
+	return s.Threads[bestIdx]
+}

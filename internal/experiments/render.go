@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Render writes the table as fixed-width text, with the paper's value in
+// parentheses beside each measurement.
+func (t TableResult) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-24s", "application")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " | %-34s", c+"  time[s] / J / W  (paper)")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-24s", row.App)
+		for _, cell := range row.Cells {
+			if cell.Skipped {
+				fmt.Fprintf(&b, " | %-34s", "—")
+				continue
+			}
+			fmt.Fprintf(&b, " | %6.1f/%6.0f/%5.1f (%5.1f/%5.0f/%5.1f)",
+				cell.Meas.Seconds, cell.Meas.Joules, cell.Meas.Watts,
+				cell.Paper.Seconds, cell.Paper.Joules, cell.Paper.Watts)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the table as CSV with paired measured/paper columns.
+func (t TableResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app"}
+	for _, c := range t.Columns {
+		header = append(header,
+			c+" s", c+" J", c+" W",
+			c+" paper s", c+" paper J", c+" paper W")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := []string{row.App}
+		for _, cell := range row.Cells {
+			if cell.Skipped {
+				rec = append(rec, "", "", "", "", "", "")
+				continue
+			}
+			rec = append(rec,
+				ftoa(cell.Meas.Seconds), ftoa(cell.Meas.Joules), ftoa(cell.Meas.Watts),
+				ftoa(cell.Paper.Seconds), ftoa(cell.Paper.Joules), ftoa(cell.Paper.Watts))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render writes a throttling table as text.
+func (t ThrottleResult) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-24s | %-22s | %-22s | %-10s\n", "configuration", "measured  s / J / W", "paper  s / J / W", "EDP [J·s]")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-24s | %6.2f/%7.1f/%6.1f | %6.2f/%7.1f/%6.1f | %10.0f\n",
+			row.Config,
+			row.Meas.Seconds, row.Meas.Joules, row.Meas.Watts,
+			row.Paper.Seconds, row.Paper.Joules, row.Paper.Watts,
+			row.Meas.EDP())
+	}
+	if dyn, ok := t.Row(Dynamic16); ok && dyn.Meas.Daemon.Samples > 0 {
+		fmt.Fprintf(&b, "daemon: %d samples, %d activations, %d deactivations, %.2fs throttled\n",
+			dyn.Meas.Daemon.Samples, dyn.Meas.Daemon.Activations,
+			dyn.Meas.Daemon.Deactivations, dyn.Meas.Daemon.ThrottledTime.Seconds())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render writes a figure's series as text, one block per application.
+func (f FigureResult) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-24s threads:", s.App)
+		for _, k := range s.Threads {
+			fmt.Fprintf(&b, "%7d", k)
+		}
+		fmt.Fprintf(&b, "\n%-24s speedup:", "")
+		for _, v := range s.Speedup {
+			fmt.Fprintf(&b, "%7.2f", v)
+		}
+		fmt.Fprintf(&b, "\n%-24s energy: ", "")
+		for _, v := range s.NormEnergy {
+			fmt.Fprintf(&b, "%7.2f", v)
+		}
+		fmt.Fprintf(&b, "   (min energy @%d threads)\n", s.MinEnergyThreads())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the figure's series as long-form CSV.
+func (f FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "target", "threads", "seconds", "joules", "watts", "speedup", "norm_energy"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.Threads {
+			rec := []string{
+				s.App, s.Target.String(), strconv.Itoa(s.Threads[i]),
+				ftoa(s.Seconds[i]), ftoa(s.Joules[i]), ftoa(s.Watts[i]),
+				ftoa(s.Speedup[i]), ftoa(s.NormEnergy[i]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

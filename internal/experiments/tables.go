@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+)
+
+// TableCell pairs one measurement with the paper's value for the same
+// configuration.
+type TableCell struct {
+	Label string // column label, e.g. "gcc -O2"
+	Meas  Measurement
+	Paper compiler.Entry
+	// Skipped marks configurations the paper did not measure (e.g.
+	// sparselu-for with GCC).
+	Skipped bool
+}
+
+// TableRow is one application's row.
+type TableRow struct {
+	App   string
+	Cells []TableCell
+}
+
+// TableResult is a regenerated paper table.
+type TableResult struct {
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableI regenerates Table I: every application compiled with GCC and ICC
+// at -O2 (with -ipo modeled inside the sparselu factors), 16 threads.
+func (lab *Lab) TableI() (TableResult, error) {
+	targets := []compiler.Target{
+		{Compiler: compiler.GCC, Opt: compiler.O2},
+		{Compiler: compiler.ICC, Opt: compiler.O2},
+	}
+	return lab.compilerTable("Table I: execution time and energy usage (16 threads, -O2)", targets)
+}
+
+// TableII regenerates Table II: GCC at O0–O3, 16 threads.
+func (lab *Lab) TableII() (TableResult, error) {
+	return lab.optTable("Table II: optimization level (GNU GCC, 16 threads)", compiler.GCC)
+}
+
+// TableIII regenerates Table III: ICC at O0–O3, 16 threads.
+func (lab *Lab) TableIII() (TableResult, error) {
+	return lab.optTable("Table III: optimization level (Intel ICC, 16 threads)", compiler.ICC)
+}
+
+func (lab *Lab) optTable(title string, c compiler.Compiler) (TableResult, error) {
+	targets := make([]compiler.Target, 0, 4)
+	for _, o := range []compiler.OptLevel{compiler.O0, compiler.O1, compiler.O2, compiler.O3} {
+		targets = append(targets, compiler.Target{Compiler: c, Opt: o})
+	}
+	return lab.compilerTable(title, targets)
+}
+
+// compilerTable measures every suite application under each target.
+func (lab *Lab) compilerTable(title string, targets []compiler.Target) (TableResult, error) {
+	res := TableResult{Title: title}
+	for _, t := range targets {
+		res.Columns = append(res.Columns, t.String())
+	}
+	for _, app := range compiler.Apps() {
+		row := TableRow{App: app}
+		for _, t := range targets {
+			cell := TableCell{Label: t.String()}
+			paper, ok := compiler.PaperEntry(app, t)
+			if !ok {
+				cell.Skipped = true
+				row.Cells = append(row.Cells, cell)
+				continue
+			}
+			cell.Paper = paper
+			meas, err := lab.Measure(RunSpec{App: app, Target: t, Workers: FullThreads})
+			if err != nil {
+				return TableResult{}, fmt.Errorf("experiments: %s %v: %w", app, t, err)
+			}
+			cell.Meas = meas
+			row.Cells = append(row.Cells, cell)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+// Package gomax applies the paper's adaptive concurrency throttling to
+// real Go programs on a real host — the GOMAXPROCS-style analog of the
+// simulated MAESTRO runtime. A Pool runs ordinary Go functions on a
+// fixed set of workers with a dynamically adjustable active-worker
+// limit, enforced at the same place the paper hooks Qthreads: the moment
+// a worker looks for new work. A Throttler samples a rapl.Reader in
+// wall-clock time (the Linux powercap or /dev/cpu/N/msr backends on an
+// Intel host), classifies power — and optionally a caller-supplied
+// memory-pressure metric — against the paper's High/Medium/Low
+// thresholds, and toggles the pool's limit.
+//
+// This is the piece a downstream user adopts directly: wrap an
+// embarrassingly parallel loop in a Pool, start a Throttler against the
+// host's RAPL counters, and surplus workers stand down whenever power
+// and memory pressure are both High.
+package gomax
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a fixed set of worker goroutines with a dynamic active limit.
+type Pool struct {
+	tasks  chan func()
+	wg     sync.WaitGroup // workers
+	inWg   sync.WaitGroup // submitted tasks
+	closed atomic.Bool
+
+	workers int
+	limit   atomic.Int32
+	active  atomic.Int32
+
+	// gateWait is how long an over-limit worker sleeps between limit
+	// checks; the real-host stand-in for the duty-cycle-throttled spin.
+	gateWait time.Duration
+}
+
+// NewPool starts workers goroutines. The limit starts at workers.
+func NewPool(workers int) (*Pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("gomax: workers = %d, must be positive", workers)
+	}
+	p := &Pool{
+		tasks:    make(chan func(), 4*workers),
+		workers:  workers,
+		gateWait: 200 * time.Microsecond,
+	}
+	p.limit.Store(int32(workers))
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Limit returns the current active-worker limit.
+func (p *Pool) Limit() int { return int(p.limit.Load()) }
+
+// SetLimit changes the active-worker limit (clamped to [1, Workers]).
+// Safe to call concurrently; over-limit workers stand down before their
+// next task.
+func (p *Pool) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.workers {
+		n = p.workers
+	}
+	p.limit.Store(int32(n))
+}
+
+// Active returns the number of workers currently executing tasks.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
+// Submit queues fn for execution. It returns an error after Close.
+func (p *Pool) Submit(fn func()) error {
+	if p.closed.Load() {
+		return errors.New("gomax: pool is closed")
+	}
+	p.inWg.Add(1)
+	p.tasks <- fn
+	return nil
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() { p.inWg.Wait() }
+
+// Close drains outstanding tasks and stops the workers.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.inWg.Wait()
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// worker is the run loop: take a task, acquire an active slot at the
+// gate (the thread-initiation point), run it, release. Idle workers
+// block on the channel without holding slots.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		// The throttle gate: claim a slot under the current limit.
+		for {
+			cur := p.active.Load()
+			if cur < p.limit.Load() && p.active.CompareAndSwap(cur, cur+1) {
+				break
+			}
+			time.Sleep(p.gateWait) // standing down: the low-power wait
+		}
+		fn()
+		p.active.Add(-1)
+		p.inWg.Done()
+	}
+}

@@ -1,0 +1,238 @@
+package gomax
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var n atomic.Int64
+	for i := 0; i < 500; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	if n.Load() != 500 {
+		t.Errorf("ran %d tasks, want 500", n.Load())
+	}
+}
+
+func TestPoolRespectsLimit(t *testing.T) {
+	p, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLimit(3)
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	bump := func() {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > max.Load() {
+			max.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+	}
+	for i := 0; i < 60; i++ {
+		if err := p.Submit(bump); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	if got := max.Load(); got > 3 {
+		t.Errorf("observed %d concurrent tasks under limit 3", got)
+	}
+}
+
+func TestPoolLimitRestores(t *testing.T) {
+	p, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLimit(1)
+	p.SetLimit(8)
+	var cur, max atomic.Int32
+	for i := 0; i < 64; i++ {
+		if err := p.Submit(func() {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(3 * time.Millisecond)
+			cur.Add(-1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	if got := max.Load(); got < 4 {
+		t.Errorf("only %d concurrent after restoring the limit", got)
+	}
+}
+
+func TestPoolSetLimitClamps(t *testing.T) {
+	p, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLimit(-3)
+	if p.Limit() != 1 {
+		t.Errorf("limit = %d, want clamp to 1", p.Limit())
+	}
+	p.SetLimit(99)
+	if p.Limit() != 4 {
+		t.Errorf("limit = %d, want clamp to 4", p.Limit())
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Submit(func() {}); err == nil {
+		t.Error("Submit after Close succeeded")
+	}
+	p.Close() // idempotent
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0); err == nil {
+		t.Error("NewPool(0) succeeded")
+	}
+}
+
+func TestThrottlerEngagesOnHighPower(t *testing.T) {
+	p, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	fake := rapl.NewFake(2)
+	th, err := StartThrottler(p, fake, ThrottlerConfig{
+		Period:    20 * time.Millisecond,
+		HighPower: 100,
+		LowPower:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Stop()
+
+	// Feed energy much finer than the sampling window so every window
+	// sees a stable average power.
+	feed := func(wPerDomain float64, d time.Duration) {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			fake.Add(0, units.Joules(wPerDomain*0.001))
+			fake.Add(1, units.Joules(wPerDomain*0.001))
+			time.Sleep(time.Millisecond)
+		}
+	}
+	feed(75, 200*time.Millisecond)
+	if !th.Stats().Engaged {
+		t.Fatalf("throttler not engaged at ~150 W: %+v", th.Stats())
+	}
+	if p.Limit() != 6 {
+		t.Errorf("limit = %d, want default 3/4 of 8", p.Limit())
+	}
+	// Drop to ~40 W: released.
+	feed(20, 250*time.Millisecond)
+	if th.Stats().Engaged {
+		t.Fatalf("throttler still engaged at ~40 W: %+v", th.Stats())
+	}
+	if p.Limit() != 8 {
+		t.Errorf("limit = %d after release, want 8", p.Limit())
+	}
+	st := th.Stats()
+	if st.Activations == 0 || st.Deactivations == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestThrottlerDualConditionWithPressure(t *testing.T) {
+	p, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	fake := rapl.NewFake(1)
+	var pressure atomic.Uint64 // float bits
+	setPressure := func(v float64) { pressure.Store(uint64(v * 1000)) }
+	setPressure(0.1)
+	th, err := StartThrottler(p, fake, ThrottlerConfig{
+		Period:       20 * time.Millisecond,
+		HighPower:    100,
+		LowPower:     50,
+		Pressure:     func() float64 { return float64(pressure.Load()) / 1000 },
+		HighPressure: 0.75,
+		LowPressure:  0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Stop()
+
+	feed := func(w float64, d time.Duration) {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			fake.Add(0, units.Joules(w*0.001))
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// High power but low pressure: the dual condition holds off.
+	feed(150, 200*time.Millisecond)
+	if th.Stats().Engaged {
+		t.Fatal("engaged on power alone despite a pressure metric")
+	}
+	// Pressure rises too: engage.
+	setPressure(0.9)
+	feed(150, 200*time.Millisecond)
+	if !th.Stats().Engaged {
+		t.Fatal("not engaged with both conditions High")
+	}
+}
+
+func TestStartThrottlerValidation(t *testing.T) {
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	fake := rapl.NewFake(1)
+	if _, err := StartThrottler(nil, fake, ThrottlerConfig{HighPower: 2, LowPower: 1}); err == nil {
+		t.Error("nil pool accepted")
+	}
+	if _, err := StartThrottler(p, nil, ThrottlerConfig{HighPower: 2, LowPower: 1}); err == nil {
+		t.Error("nil reader accepted")
+	}
+	if _, err := StartThrottler(p, fake, ThrottlerConfig{HighPower: 1, LowPower: 2}); err == nil {
+		t.Error("inverted power thresholds accepted")
+	}
+	if _, err := StartThrottler(p, fake, ThrottlerConfig{
+		HighPower: 2, LowPower: 1,
+		Pressure: func() float64 { return 0 }, HighPressure: 0.1, LowPressure: 0.5,
+	}); err == nil {
+		t.Error("inverted pressure thresholds accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package gomax
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/maestro"
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+// ThrottlerConfig tunes the real-host throttling daemon.
+type ThrottlerConfig struct {
+	// Period is the wall-clock sampling interval; the paper uses 0.1 s.
+	// Zero selects 100 ms.
+	Period time.Duration
+	// HighPower / LowPower classify the *node* power (summed across the
+	// reader's domains). Both are required.
+	HighPower, LowPower units.Watts
+	// Pressure, when non-nil, supplies the second gating metric in
+	// [0, 1] — memory-bandwidth pressure from perf counters, queue
+	// depth, or any proxy the caller trusts. The dual condition then
+	// requires Pressure >= HighPressure to engage and
+	// Pressure <= LowPressure to release. A nil Pressure gates on power
+	// alone (the paper warns this over-throttles efficient programs;
+	// supply a pressure metric when you can).
+	Pressure                  func() float64
+	HighPressure, LowPressure float64
+	// ThrottledLimit is the pool limit while engaged; zero selects 3/4
+	// of the pool.
+	ThrottledLimit int
+}
+
+// Throttler samples RAPL counters in wall-clock time and throttles a
+// Pool, mirroring the MAESTRO daemon on a real host.
+type Throttler struct {
+	pool   *Pool
+	reader rapl.Reader
+	cfg    ThrottlerConfig
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	engaged       atomic.Bool
+	samples       atomic.Uint64
+	activations   atomic.Uint64
+	deactivations atomic.Uint64
+
+	lastEnergy units.Joules
+	lastTime   time.Time
+}
+
+// StartThrottler launches the daemon against a pool.
+func StartThrottler(p *Pool, reader rapl.Reader, cfg ThrottlerConfig) (*Throttler, error) {
+	if p == nil || reader == nil {
+		return nil, errors.New("gomax: pool and reader are required")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 100 * time.Millisecond
+	}
+	if cfg.LowPower <= 0 || cfg.HighPower <= cfg.LowPower {
+		return nil, fmt.Errorf("gomax: power thresholds %v/%v must satisfy 0 < low < high", cfg.LowPower, cfg.HighPower)
+	}
+	if cfg.Pressure != nil && cfg.HighPressure <= cfg.LowPressure {
+		return nil, fmt.Errorf("gomax: pressure thresholds %g/%g must satisfy low < high", cfg.LowPressure, cfg.HighPressure)
+	}
+	if cfg.ThrottledLimit <= 0 {
+		cfg.ThrottledLimit = p.Workers() * 3 / 4
+		if cfg.ThrottledLimit < 1 {
+			cfg.ThrottledLimit = 1
+		}
+	}
+	e, err := rapl.Total(reader)
+	if err != nil {
+		return nil, fmt.Errorf("gomax: initial energy read: %w", err)
+	}
+	t := &Throttler{
+		pool:       p,
+		reader:     reader,
+		cfg:        cfg,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		lastEnergy: e,
+		lastTime:   time.Now(),
+	}
+	go t.loop()
+	return t, nil
+}
+
+// Stats describe the daemon's activity.
+type Stats struct {
+	Samples       uint64
+	Activations   uint64
+	Deactivations uint64
+	Engaged       bool
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Throttler) Stats() Stats {
+	return Stats{
+		Samples:       t.samples.Load(),
+		Activations:   t.activations.Load(),
+		Deactivations: t.deactivations.Load(),
+		Engaged:       t.engaged.Load(),
+	}
+}
+
+// Stop halts the daemon and restores the pool's full limit.
+func (t *Throttler) Stop() {
+	t.once.Do(func() {
+		close(t.stop)
+		<-t.done
+		t.pool.SetLimit(t.pool.Workers())
+	})
+}
+
+// loop is the wall-clock daemon.
+func (t *Throttler) loop() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.sample()
+		}
+	}
+}
+
+// sample reads the counters, computes windowed power, classifies, and
+// toggles the pool limit.
+func (t *Throttler) sample() {
+	t.samples.Add(1)
+	e, err := rapl.Total(t.reader)
+	if err != nil {
+		return // transient read failure: hold
+	}
+	now := time.Now()
+	dt := now.Sub(t.lastTime)
+	if dt <= 0 {
+		return
+	}
+	power := units.PowerOver(e-t.lastEnergy, dt)
+	t.lastEnergy, t.lastTime = e, now
+
+	pLevel := maestro.Classify(float64(power), float64(t.cfg.LowPower), float64(t.cfg.HighPower))
+	prLevel := maestro.High // power-only gating when no pressure metric
+	if t.cfg.Pressure != nil {
+		prLevel = maestro.Classify(t.cfg.Pressure(), t.cfg.LowPressure, t.cfg.HighPressure)
+	}
+	switch {
+	case pLevel == maestro.High && prLevel == maestro.High:
+		if !t.engaged.Swap(true) {
+			t.activations.Add(1)
+			t.pool.SetLimit(t.cfg.ThrottledLimit)
+		}
+	case pLevel == maestro.Low && (t.cfg.Pressure == nil || prLevel == maestro.Low):
+		if t.engaged.Swap(false) {
+			t.deactivations.Add(1)
+			t.pool.SetLimit(t.pool.Workers())
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// never is a sentinel "no deadline" duration.
+const never = time.Duration(math.MaxInt64)
+
+// defaultIdlePace is the host sleep per ticker-only engine step (see
+// Config.IdlePace).
+const defaultIdlePace = 200 * time.Microsecond
+
+// engine is the single goroutine that advances virtual time. It runs until
+// the machine is stopped. See the package comment for the execution model.
+func (m *Machine) engine() {
+	defer close(m.engineDone)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.stopped {
+			return
+		}
+		if m.running > 0 {
+			// Some owner is executing host code; virtual time is frozen.
+			m.engCond.Wait()
+			continue
+		}
+		// Every enrolled core is blocked in a charging call. First wake
+		// any waiter whose condition is already satisfied.
+		if m.wakeReadyLocked() {
+			continue
+		}
+		m.applyFrequencyRequestsLocked()
+		dt, tickerOnly, ok := m.planStepLocked()
+		if !ok {
+			// Only condition waits remain (no demand, no deadlines, no
+			// tickers): time cannot meaningfully advance. Sleep until a
+			// host-side Kick or a state change.
+			if m.kicked {
+				m.kicked = false
+				continue // re-poll conditions once after a kick
+			}
+			m.engCond.Wait()
+			continue
+		}
+		if tickerOnly {
+			// Only a periodic ticker is driving time: pace the advance in
+			// host time so virtual time cannot race unboundedly ahead of
+			// host-side actions (see Config.IdlePace).
+			pace := m.cfg.IdlePace
+			if pace == 0 {
+				pace = defaultIdlePace
+			}
+			if pace > 0 {
+				m.mu.Unlock()
+				time.Sleep(pace)
+				m.mu.Lock()
+				// State may have changed during the sleep; recompute.
+				if m.running > 0 || m.stopped || m.kicked {
+					continue
+				}
+			}
+		}
+		m.kicked = false
+		m.advanceLocked(dt)
+		m.fireTickersLocked()
+		m.wakeReadyLocked()
+		if m.cfg.VirtualTimeLimit > 0 && m.now > m.cfg.VirtualTimeLimit {
+			m.abortLocked(fmt.Errorf("machine: virtual time %v exceeded watchdog limit %v", m.now, m.cfg.VirtualTimeLimit))
+		}
+	}
+}
+
+// wakeReadyLocked wakes every waiting core whose condition is true or
+// whose deadline has been reached. It reports whether any core was woken.
+func (m *Machine) wakeReadyLocked() bool {
+	woke := false
+	for _, c := range m.cores {
+		if c.state != coreSpinWait && c.state != coreIdleWait {
+			continue
+		}
+		if c.cond != nil && c.cond() {
+			m.wakeLocked(c, wakeMsg{condMet: true})
+			woke = true
+			continue
+		}
+		if c.deadline > 0 && m.now >= c.deadline {
+			m.wakeLocked(c, wakeMsg{})
+			woke = true
+		}
+	}
+	return woke
+}
+
+// wakeLocked transitions a blocked core back to host execution.
+func (m *Machine) wakeLocked(c *core, msg wakeMsg) {
+	c.state = coreRunning
+	c.cond = nil
+	c.deadline = 0
+	m.running++
+	c.wake <- msg
+}
+
+// planStepLocked computes per-core progress rates for the next step and
+// the step length: the time to the earliest work completion, ticker
+// deadline or wait deadline, capped by MaxStep while demand exists. It
+// returns ok=false when nothing can advance time (pure condition waits);
+// tickerOnly=true when the step exists solely to reach a ticker deadline.
+func (m *Machine) planStepLocked() (dt time.Duration, tickerOnly, ok bool) {
+	earliest := never
+	hasDemand := false
+	hasDeadline := false
+
+	// Per-socket Turbo boost from current occupancy (busy + atomic
+	// cores); constant across the step because occupancy only changes at
+	// completions, which bound the step.
+	for sock := 0; sock < m.cfg.Sockets; sock++ {
+		occupied := 0
+		for _, c := range m.cores {
+			if c.socket == sock && (c.state == coreBusy || c.state == coreAtomic) {
+				occupied++
+			}
+		}
+		m.stepBoost[sock] = m.cfg.Turbo.boostFor(occupied, m.cfg.CoresPerSocket)
+	}
+
+	// Memory-contended busy cores, socket by socket.
+	for sock := 0; sock < m.cfg.Sockets; sock++ {
+		var busy []*core
+		var demands []float64
+		for _, c := range m.cores {
+			if c.socket == sock && c.state == coreBusy {
+				busy = append(busy, c)
+				demands = append(demands, c.bwDemand(m.cfg, m.freqScale[sock]*m.stepBoost[sock]))
+			}
+		}
+		grants, refs, util := m.cfg.Mem.allocate(demands)
+		m.stepRefs[sock] = refs
+		m.stepUtil[sock] = util
+		for i, c := range busy {
+			hasDemand = true
+			cycleRate := float64(m.cfg.BaseFreq) * c.duty * m.freqScale[sock] * m.stepBoost[sock]
+			var opsRate, bytesRate float64
+			switch {
+			case c.work.Ops > 0 && c.work.Bytes > 0:
+				bytesPerOp := c.work.Bytes / c.work.Ops
+				opsRate = cycleRate
+				if g := grants[i] / bytesPerOp; g < opsRate {
+					opsRate = g
+				}
+				bytesRate = opsRate * bytesPerOp
+			case c.work.Ops > 0:
+				opsRate = cycleRate
+			default:
+				bytesRate = grants[i]
+			}
+			c.stepOpsRate, c.stepBytesRate = opsRate, bytesRate
+			if cycleRate > 0 {
+				c.stepActiveFrac = opsRate / cycleRate
+			} else {
+				c.stepActiveFrac = 0
+			}
+			t := never
+			if c.remOps > 0 && opsRate > 0 {
+				t = secondsToDuration(c.remOps / opsRate)
+			} else if c.remBytes > 0 && bytesRate > 0 {
+				t = secondsToDuration(c.remBytes / bytesRate)
+			}
+			if t == never {
+				// A busy core that can make no progress is a model bug
+				// (capacity is validated positive).
+				m.abortLocked(fmt.Errorf("machine: core %d stalled with no progress possible", c.id))
+				return 0, false, false
+			}
+			if t < earliest {
+				earliest = t
+			}
+		}
+	}
+
+	// Atomic (contended cache line) cores, grouped by line. Service is
+	// serialized across the group and each operation's cost grows with
+	// the number of contenders (coherence ping-pong).
+	groups := make(map[*Line][]*core)
+	for _, c := range m.cores {
+		if c.state == coreAtomic {
+			groups[c.line] = append(groups[c.line], c)
+		}
+	}
+	for line, g := range groups {
+		k := float64(len(g))
+		mult := 1 + line.pingpong*(k-1)
+		for _, c := range g {
+			hasDemand = true
+			rate := float64(m.cfg.BaseFreq) * c.duty * m.freqScale[c.socket] * m.stepBoost[c.socket] / (line.costCycles * mult * k)
+			c.stepOpsRate = rate
+			if rate <= 0 {
+				m.abortLocked(fmt.Errorf("machine: core %d atomic rate is zero", c.id))
+				return 0, false, false
+			}
+			if t := secondsToDuration(c.remAtomics / rate); t < earliest {
+				earliest = t
+			}
+		}
+	}
+
+	// Ticker and wait deadlines.
+	for _, tk := range m.tickers {
+		if d := tk.next - m.now; d < earliest {
+			earliest = d
+		}
+	}
+	for _, c := range m.cores {
+		if (c.state == coreSpinWait || c.state == coreIdleWait) && c.deadline > 0 {
+			hasDeadline = true
+			if d := c.deadline - m.now; d < earliest {
+				earliest = d
+			}
+		}
+	}
+
+	if earliest == never {
+		return 0, false, false
+	}
+	if hasDemand && earliest > m.cfg.MaxStep {
+		earliest = m.cfg.MaxStep
+	}
+	// Never jump past the watchdog limit: land just beyond it so the
+	// post-step check fires before any deadline at or after the limit.
+	if m.cfg.VirtualTimeLimit > 0 {
+		if rem := m.cfg.VirtualTimeLimit - m.now + time.Nanosecond; rem < earliest {
+			earliest = rem
+		}
+	}
+	if earliest < time.Nanosecond {
+		earliest = time.Nanosecond
+	}
+	return earliest, !hasDemand && !hasDeadline, true
+}
+
+// advanceLocked moves virtual time forward by dt: integrates energy and
+// temperature with the rates computed by planStepLocked, progresses work,
+// and wakes cores whose work completed.
+func (m *Machine) advanceLocked(dt time.Duration) {
+	secs := dt.Seconds()
+
+	// Energy and thermal integration per socket, using pre-progress
+	// states (rates are constant across the step by construction).
+	for sock := 0; sock < m.cfg.Sockets; sock++ {
+		p := m.cfg.Power.UncoreBase
+		for _, c := range m.cores {
+			if c.socket != sock {
+				continue
+			}
+			p += m.cfg.Power.corePower(c.state, c.duty, m.freqScale[sock]*m.stepBoost[sock], c.effActiveFrac())
+		}
+		p += m.cfg.Power.BandwidthMax * units.Watts(m.stepUtil[sock])
+		p = units.Watts(float64(p) * m.cfg.Thermal.leakageFactor(m.temp[sock]))
+		e := float64(p) * secs
+		m.energy[sock] += e
+		if err := m.msrFile.AddPackageEnergy(sock, units.Joules(e)); err != nil {
+			panic(err) // socket indices are internally consistent
+		}
+		m.temp[sock] = m.cfg.Thermal.step(m.temp[sock], p, dt)
+		m.stepPower[sock] = p
+	}
+	// Mirror temperatures into IA32_THERM_STATUS once cumulative drift
+	// since the last flush exceeds the register's useful resolution.
+	for sock := range m.temp {
+		if math.Abs(float64(m.temp[sock]-m.flushedTemp[sock])) > 0.25 {
+			m.flushThermLocked()
+			break
+		}
+	}
+
+	// Progress work and cycle counters; wake completed cores.
+	for _, c := range m.cores {
+		switch c.state {
+		case coreBusy:
+			c.remOps -= c.stepOpsRate * secs
+			c.remBytes -= c.stepBytesRate * secs
+			c.cycles += float64(m.cfg.BaseFreq) * c.duty * m.freqScale[c.socket] * m.stepBoost[c.socket] * secs
+			if c.remOps <= 0.5 && c.remBytes <= 0.5 {
+				m.completeLocked(c)
+			}
+		case coreAtomic:
+			c.remAtomics -= c.stepOpsRate * secs
+			c.cycles += float64(m.cfg.BaseFreq) * c.duty * m.freqScale[c.socket] * m.stepBoost[c.socket] * secs
+			if c.remAtomics <= 1e-6 {
+				m.completeLocked(c)
+			}
+		case coreSpinWait:
+			c.cycles += float64(m.cfg.BaseFreq) * c.duty * m.freqScale[c.socket] * secs
+		}
+	}
+
+	m.now += dt
+	m.updateSnapLocked()
+}
+
+// completeLocked finishes a core's current work item and resumes its
+// owner.
+func (m *Machine) completeLocked(c *core) {
+	c.remOps, c.remBytes, c.remAtomics = 0, 0, 0
+	c.line = nil
+	if err := m.msrFile.AddCoreCycles(c.id, c.cycles); err != nil {
+		panic(err) // core ids are internally consistent
+	}
+	c.cycles = 0
+	m.wakeLocked(c, wakeMsg{})
+}
+
+// fireTickersLocked runs every ticker whose deadline has arrived, passing
+// each the same post-step snapshot.
+func (m *Machine) fireTickersLocked() {
+	var snap *Snapshot
+	for _, tk := range m.tickers {
+		for tk.next <= m.now {
+			if snap == nil {
+				s := m.cloneSnapLocked()
+				snap = &s
+			}
+			tk.fn(m.now, snap)
+			tk.next += tk.period
+		}
+	}
+}
+
+// updateSnapLocked refreshes the cached instantaneous snapshot from the
+// values computed in the current step.
+func (m *Machine) updateSnapLocked() {
+	if len(m.lastSnap.Sockets) != m.cfg.Sockets {
+		m.lastSnap.Sockets = make([]SocketSnapshot, m.cfg.Sockets)
+	}
+	m.lastSnap.Now = m.now
+	for sock := 0; sock < m.cfg.Sockets; sock++ {
+		grantTotal := 0.0
+		for _, c := range m.cores {
+			if c.socket == sock && c.state == coreBusy {
+				grantTotal += c.stepBytesRate
+			}
+		}
+		m.lastSnap.Sockets[sock] = SocketSnapshot{
+			Power:                m.stepPower[sock],
+			Energy:               units.Joules(m.energy[sock]),
+			Temperature:          m.temp[sock],
+			OutstandingRefs:      m.stepRefs[sock],
+			Bandwidth:            units.BytesPerSecond(grantTotal),
+			BandwidthUtilization: m.stepUtil[sock],
+		}
+	}
+}
+
+// secondsToDuration converts seconds to a duration, saturating at never.
+func secondsToDuration(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	if s >= float64(never)/float64(time.Second) {
+		return never
+	}
+	return time.Duration(s * float64(time.Second))
+}

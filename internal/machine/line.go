@@ -1,0 +1,36 @@
+package machine
+
+import "fmt"
+
+// Line models one contended cache line (a shared counter, a lock word, a
+// work-queue head). Atomic operations on a line are serialized across all
+// cores currently operating on it, and each operation's cost grows with
+// the number of contenders: cost = costCycles × (1 + pingpong × (k−1)).
+//
+// This is what makes naively parallelized reductions slower at high
+// thread counts than serially (paper §II-C.4: 16-thread reduction took
+// 3.2× the serial time).
+type Line struct {
+	costCycles float64
+	pingpong   float64
+	activity   float64
+}
+
+// NewLine creates a contended-line model. costCycles is the uncontended
+// cost of one atomic operation in cycles; pingpong is the fractional cost
+// growth per additional contender; activity is the power-relevant
+// instruction density while a core operates on the line (coherence
+// ping-pong on a hot counter keeps the pipeline busy, ~0.85, while
+// latency-bound lock/allocator traffic idles it, ~0.35).
+func (m *Machine) NewLine(costCycles, pingpong, activity float64) *Line {
+	if costCycles <= 0 {
+		panic(fmt.Sprintf("machine: NewLine costCycles = %g, must be positive", costCycles))
+	}
+	if pingpong < 0 {
+		panic(fmt.Sprintf("machine: NewLine pingpong = %g, must be non-negative", pingpong))
+	}
+	if activity < 0 || activity > 1 {
+		panic(fmt.Sprintf("machine: NewLine activity = %g, must be in [0,1]", activity))
+	}
+	return &Line{costCycles: costCycles, pingpong: pingpong, activity: activity}
+}

@@ -1,0 +1,455 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/msr"
+	"repro/internal/units"
+)
+
+// coreState is the machine-visible state of a simulated core.
+type coreState int
+
+const (
+	coreUnowned  coreState = iota // no worker enrolled; deep C-state
+	coreRunning                   // owner executing host code (zero virtual time)
+	coreBusy                      // executing a Work item
+	coreAtomic                    // serialized atomic operations on a Line
+	coreSpinWait                  // spinning on a condition at current duty
+	coreIdleWait                  // parked (mwait) on a condition
+)
+
+// Work is one charged unit of execution: Ops compute cycles and Bytes of
+// memory traffic consumed proportionally.
+//
+// Two fields shape power draw without affecting timing:
+//   - Activity is the power-relevant instruction density while the core
+//     is making progress (an IPC proxy): 1 for dense arithmetic, lower
+//     for branchy or latency-stalled code. Zero means 1.
+//   - Overlap credits power for compute/memory overlap during
+//     bandwidth-limited stalls (0 = stalls are idle, 1 = stalls draw full
+//     active power, as in aggressively prefetched codes; paper §II-C.2
+//     notes such algorithms need more peak power).
+type Work struct {
+	Ops      float64
+	Bytes    float64
+	Overlap  float64
+	Activity float64
+}
+
+// activity returns the Activity field with the zero-value defaulting to 1.
+func (w Work) activity() float64 {
+	if w.Activity <= 0 {
+		return 1
+	}
+	if w.Activity > 1 {
+		return 1
+	}
+	return w.Activity
+}
+
+// Abort is the panic value raised out of blocking CoreCtx calls when the
+// machine is stopped or hits its virtual-time watchdog while workers are
+// still enrolled. Worker loops recover it and unwind.
+type Abort struct{ Err error }
+
+func (a Abort) Error() string { return fmt.Sprintf("machine: aborted: %v", a.Err) }
+
+// ErrStopped is the abort cause when Stop is called with workers enrolled.
+var ErrStopped = errors.New("machine stopped")
+
+// core is the engine-side record of one simulated core.
+type core struct {
+	id     int
+	socket int
+	state  coreState
+
+	duty float64 // cached from IA32_CLOCK_MODULATION (write-through via CoreCtx)
+
+	// Busy state.
+	work             Work
+	remOps, remBytes float64
+	stepOpsRate      float64 // cycles/s granted this step
+	stepBytesRate    float64 // bytes/s granted this step
+	stepActiveFrac   float64 // compute fraction for power this step
+	stepDemand       float64 // bytes/s demanded this step
+	// Atomic state.
+	line       *Line
+	remAtomics float64
+	// Wait state. A wait ends when cond returns true or, if deadline is
+	// non-zero, when virtual time reaches it.
+	cond     func() bool
+	deadline time.Duration
+	// Wakeup channel; buffered so the engine never blocks sending.
+	wake chan wakeMsg
+
+	cycles float64 // accumulated TSC cycles not yet flushed to the MSR file
+}
+
+type wakeMsg struct {
+	abort   error
+	condMet bool // the wait's condition was true (vs deadline expiry)
+}
+
+// ticker is a registered periodic callback in virtual time.
+type ticker struct {
+	period time.Duration
+	next   time.Duration
+	fn     TickerFunc
+}
+
+// TickerFunc is called by the engine at each ticker deadline with the
+// current virtual time and a metrics snapshot. It runs on the engine
+// goroutine with the machine lock held: it must be fast and must not call
+// any Machine or CoreCtx method (reading the MSR file is allowed).
+type TickerFunc func(now time.Duration, s *Snapshot)
+
+// SocketSnapshot is the instantaneous state of one socket.
+type SocketSnapshot struct {
+	Power                units.Watts
+	Energy               units.Joules // exact cumulative energy (unquantized)
+	Temperature          units.Celsius
+	OutstandingRefs      float64
+	Bandwidth            units.BytesPerSecond
+	BandwidthUtilization float64 // fraction of plateau bandwidth in use
+}
+
+// Snapshot is the instantaneous state of the node as of the last engine
+// step.
+type Snapshot struct {
+	Now     time.Duration
+	Sockets []SocketSnapshot
+}
+
+// Machine is a simulated node. Create with New, release with Stop.
+type Machine struct {
+	cfg     Config
+	msrFile *msr.File
+
+	mu      sync.Mutex
+	engCond *sync.Cond // engine waits here; workers/Kick signal
+	cores   []*core
+	running int // cores in coreRunning: engine may not advance while > 0
+	now     time.Duration
+	stopped bool
+	err     error
+
+	tickers      map[int]*ticker
+	nextTickerID int
+	kicked       bool
+
+	energy      []float64 // exact joules per socket
+	temp        []units.Celsius
+	flushedTemp []units.Celsius // last temperature mirrored to the MSR file
+	lastSnap    Snapshot
+
+	// Per-socket values computed by the most recent engine step; reused
+	// across steps to avoid allocation.
+	stepRefs  []float64
+	stepUtil  []float64
+	stepPower []units.Watts
+
+	// Per-socket DVFS state: the applied scale (engine-owned) and the
+	// lock-free request slots (see dvfs.go).
+	freqScale    []float64
+	freqScaleReq []atomic.Uint64
+	// Per-socket Turbo boost computed by the most recent step.
+	stepBoost []float64
+
+	engineDone chan struct{}
+}
+
+// New builds and starts a simulated machine. The caller must Stop it.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:         cfg,
+		msrFile:     msr.NewFile(cfg.Sockets, cfg.CoresPerSocket),
+		tickers:     make(map[int]*ticker),
+		energy:      make([]float64, cfg.Sockets),
+		temp:        make([]units.Celsius, cfg.Sockets),
+		flushedTemp: make([]units.Celsius, cfg.Sockets),
+		stepRefs:    make([]float64, cfg.Sockets),
+		stepUtil:    make([]float64, cfg.Sockets),
+		stepPower:   make([]units.Watts, cfg.Sockets),
+		stepBoost:   make([]float64, cfg.Sockets),
+		engineDone:  make(chan struct{}),
+	}
+	for s := range m.stepBoost {
+		m.stepBoost[s] = 1
+	}
+	m.engCond = sync.NewCond(&m.mu)
+	m.initDVFS()
+	m.cores = make([]*core, cfg.Cores())
+	for i := range m.cores {
+		m.cores[i] = &core{
+			id:     i,
+			socket: cfg.SocketOf(i),
+			state:  coreUnowned,
+			duty:   1,
+			wake:   make(chan wakeMsg, 1),
+		}
+	}
+	for s := range m.temp {
+		m.temp[s] = cfg.Thermal.Ambient + 15 // powered on but cool
+	}
+	// Seed the step power with the all-idle figure so snapshots taken
+	// before the first step are sensible.
+	idle := cfg.Power.UncoreBase + units.Watts(cfg.CoresPerSocket)*cfg.Power.CoreUnowned
+	for s := range m.stepPower {
+		m.stepPower[s] = units.Watts(float64(idle) * cfg.Thermal.leakageFactor(m.temp[s]))
+	}
+	m.flushThermLocked()
+	m.updateSnapLocked()
+	go m.engine()
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// MSR returns the node's register file.
+func (m *Machine) MSR() *msr.File { return m.msrFile }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Err returns the fatal simulation error, if any (watchdog expiry).
+func (m *Machine) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// TotalEnergy returns the exact cumulative energy of all sockets. Unlike
+// the RAPL counters this is neither quantized nor wrapping; it exists for
+// cross-checks. Measurements should flow through the rapl/rcr path.
+func (m *Machine) TotalEnergy() units.Joules {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := 0.0
+	for _, e := range m.energy {
+		t += e
+	}
+	return units.Joules(t)
+}
+
+// SocketEnergy returns the exact cumulative energy of one socket.
+func (m *Machine) SocketEnergy(socket int) units.Joules {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if socket < 0 || socket >= len(m.energy) {
+		return 0
+	}
+	return units.Joules(m.energy[socket])
+}
+
+// Snapshot returns the node state as of the last engine step.
+func (m *Machine) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cloneSnapLocked()
+}
+
+func (m *Machine) cloneSnapLocked() Snapshot {
+	s := Snapshot{Now: m.lastSnap.Now, Sockets: make([]SocketSnapshot, len(m.lastSnap.Sockets))}
+	copy(s.Sockets, m.lastSnap.Sockets)
+	return s
+}
+
+// SetTemperature forces a socket's die temperature, e.g. to start an
+// experiment from a warm (or cold) machine without simulating the
+// preceding minutes.
+func (m *Machine) SetTemperature(socket int, t units.Celsius) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if socket < 0 || socket >= len(m.temp) {
+		return fmt.Errorf("machine: socket %d out of range", socket)
+	}
+	m.temp[socket] = t
+	m.flushThermLocked()
+	m.updateSnapLocked()
+	return nil
+}
+
+// WarmAll sets every socket to the given temperature.
+func (m *Machine) WarmAll(t units.Celsius) {
+	for s := 0; s < m.cfg.Sockets; s++ {
+		if err := m.SetTemperature(s, t); err != nil {
+			panic(err) // socket indices come from our own config
+		}
+	}
+}
+
+// Temperature returns a socket's current die temperature.
+func (m *Machine) Temperature(socket int) units.Celsius {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if socket < 0 || socket >= len(m.temp) {
+		return 0
+	}
+	return m.temp[socket]
+}
+
+// AddTicker registers fn to run every period of virtual time, first firing
+// one period from now. It returns an id for RemoveTicker.
+func (m *Machine) AddTicker(period time.Duration, fn TickerFunc) (int, error) {
+	if period <= 0 {
+		return 0, fmt.Errorf("machine: ticker period %v must be positive", period)
+	}
+	if fn == nil {
+		return 0, errors.New("machine: ticker func must not be nil")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextTickerID
+	m.nextTickerID++
+	m.tickers[id] = &ticker{period: period, next: m.now + period, fn: fn}
+	m.engCond.Signal()
+	return id, nil
+}
+
+// RemoveTicker unregisters a ticker. Removing an unknown id is a no-op.
+func (m *Machine) RemoveTicker(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.tickers, id)
+}
+
+// Kick asks the engine to re-evaluate wait conditions. Call it after a
+// host-side action (such as enqueueing work) that may satisfy a condition
+// some core is spinning or parked on.
+func (m *Machine) Kick() {
+	m.mu.Lock()
+	m.kicked = true
+	m.engCond.Signal()
+	m.mu.Unlock()
+}
+
+// Stop shuts the engine down. Cores still blocked in charging calls are
+// aborted (their calls panic with Abort); cores in host code are left to
+// discover the stop at their next charging call. Stop is idempotent.
+func (m *Machine) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		<-m.engineDone
+		return
+	}
+	m.abortLocked(ErrStopped)
+	m.mu.Unlock()
+	<-m.engineDone
+}
+
+// abortLocked marks the machine stopped and wakes every blocked core with
+// the given cause.
+func (m *Machine) abortLocked(cause error) {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	if m.err == nil && !errors.Is(cause, ErrStopped) {
+		m.err = cause
+	}
+	for _, c := range m.cores {
+		switch c.state {
+		case coreBusy, coreAtomic, coreSpinWait, coreIdleWait:
+			c.state = coreRunning
+			m.running++
+			c.wake <- wakeMsg{abort: cause}
+		}
+	}
+	m.engCond.Signal()
+}
+
+// Enroll claims a core for the calling goroutine and returns its context.
+// The caller owns the core until Release and must promptly keep it inside
+// blocking CoreCtx calls: host-side execution between calls stalls virtual
+// time for the whole machine.
+func (m *Machine) Enroll(coreID int) (*CoreCtx, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, ErrStopped
+	}
+	if coreID < 0 || coreID >= len(m.cores) {
+		return nil, fmt.Errorf("machine: core %d out of range [0,%d)", coreID, len(m.cores))
+	}
+	c := m.cores[coreID]
+	if c.state != coreUnowned {
+		return nil, fmt.Errorf("machine: core %d already enrolled", coreID)
+	}
+	c.state = coreRunning
+	c.duty = 1
+	if err := m.msrFile.SetCoreDuty(coreID, false, 0); err != nil {
+		panic(err) // core id validated above
+	}
+	m.running++
+	return &CoreCtx{m: m, c: c}, nil
+}
+
+// EnrolledCount returns the number of currently enrolled cores.
+func (m *Machine) EnrolledCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.cores {
+		if c.state != coreUnowned {
+			n++
+		}
+	}
+	return n
+}
+
+// flushThermLocked mirrors socket temperatures into each core's
+// IA32_THERM_STATUS register.
+func (m *Machine) flushThermLocked() {
+	for _, c := range m.cores {
+		if err := m.msrFile.SetCoreTemperature(c.id, m.temp[c.socket]); err != nil {
+			panic(err) // core ids are internally consistent
+		}
+	}
+	copy(m.flushedTemp, m.temp)
+}
+
+// effActiveFrac returns the power-relevant activity fraction of a core:
+// the compute fraction (scaled by the work's instruction density) plus
+// the overlap credit for stalled cycles.
+func (c *core) effActiveFrac() float64 {
+	if c.state == coreAtomic {
+		if c.line != nil {
+			return c.line.activity
+		}
+		return 0.85
+	}
+	if c.state != coreBusy {
+		return 0
+	}
+	af := c.stepActiveFrac
+	return c.work.activity()*af + (1-af)*c.work.Overlap
+}
+
+// bwDemand returns the bandwidth (bytes/s) this busy core wants at its
+// current duty cycle.
+func (c *core) bwDemand(cfg Config, fs float64) float64 {
+	if c.state != coreBusy || c.remBytes <= 0 {
+		return 0
+	}
+	rate := float64(cfg.BaseFreq) * c.duty * fs
+	if c.work.Ops <= 0 {
+		// Pure memory stream: limited only by the per-core cap.
+		return float64(cfg.Mem.MaxCoreBandwidth())
+	}
+	bytesPerOp := c.work.Bytes / c.work.Ops
+	return bytesPerOp * rate
+}

@@ -1,0 +1,388 @@
+// Package maestro implements the paper's automatic dynamic concurrency
+// throttling (§IV): a user-level daemon wakes every 0.1 s of (virtual)
+// time, reads socket power and memory concurrency from the RCR
+// blackboard, classifies each as High, Medium or Low against calibrated
+// thresholds, and toggles the runtime's throttle flag:
+//
+//   - both metrics High on some socket  → activate throttling
+//   - both metrics Low on every socket  → deactivate throttling
+//   - anything in the Medium band       → hold (hysteresis guard)
+//
+// When throttling is active, the qthreads scheduler parks workers beyond
+// a shepherd-local limit in a duty-cycle-throttled spin loop; see
+// package qthreads.
+package maestro
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/rcr"
+	"repro/internal/units"
+)
+
+// Level is a classified metric reading.
+type Level int
+
+// Classification levels.
+const (
+	Low Level = iota
+	Medium
+	High
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Classify buckets a value against a low and high threshold. Values at or
+// above high are High; at or below low are Low; otherwise Medium. The
+// Medium band is the hysteresis guard of §IV-A: it neither engages nor
+// releases throttling, avoiding oscillation when a metric hovers near a
+// threshold.
+func Classify(v, low, high float64) Level {
+	switch {
+	case v >= high:
+		return High
+	case v <= low:
+		return Low
+	default:
+		return Medium
+	}
+}
+
+// Thresholds hold the per-socket classification boundaries.
+type Thresholds struct {
+	// Power boundaries per socket. The paper picks 75 W per socket as
+	// High (few applications exceed 150 W node-wide for their entire
+	// execution) and 50 W as Low (almost all applications exceed 100 W
+	// node-wide while running). Our power model's socket figures run
+	// about 10 W below the paper's machine at equivalent load, so the
+	// calibrated defaults are 65/45 — chosen, like the paper's, so that
+	// exactly the poorly-scaling high-power programs (lulesh, dijkstra,
+	// health, strassen) classify High and the well-scaling ones do not.
+	HighPower, LowPower units.Watts
+	// Memory-concurrency boundaries in outstanding references. The paper
+	// sets High at 75% and Low at 25% of the socket's effective maximum
+	// (the knee of Mandel et al.'s model).
+	HighConcurrency, LowConcurrency float64
+}
+
+// DefaultThresholds derives the paper-equivalent thresholds for a machine
+// configuration.
+func DefaultThresholds(mem machine.MemParams) Thresholds {
+	knee := float64(mem.KneeRefs)
+	return Thresholds{
+		HighPower:       65,
+		LowPower:        45,
+		HighConcurrency: 0.75 * knee,
+		LowConcurrency:  0.25 * knee,
+	}
+}
+
+// Validate reports the first problem with the thresholds.
+func (th Thresholds) Validate() error {
+	if th.LowPower <= 0 || th.HighPower <= th.LowPower {
+		return fmt.Errorf("maestro: power thresholds %v/%v must satisfy 0 < low < high", th.LowPower, th.HighPower)
+	}
+	if th.LowConcurrency < 0 || th.HighConcurrency <= th.LowConcurrency {
+		return fmt.Errorf("maestro: concurrency thresholds %g/%g must satisfy 0 <= low < high", th.LowConcurrency, th.HighConcurrency)
+	}
+	return nil
+}
+
+// Decision is the daemon's per-sample output.
+type Decision int
+
+// Decisions.
+const (
+	Hold Decision = iota
+	Enable
+	Disable
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Hold:
+		return "Hold"
+	case Enable:
+		return "Enable"
+	case Disable:
+		return "Disable"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Decide applies the dual-condition policy to per-socket readings: Enable
+// if any socket has both power and concurrency High; Disable if every
+// socket has both Low; Hold otherwise.
+func (th Thresholds) Decide(power []units.Watts, conc []float64) Decision {
+	if len(power) == 0 || len(power) != len(conc) {
+		return Hold
+	}
+	allLow := true
+	for i := range power {
+		p := Classify(float64(power[i]), float64(th.LowPower), float64(th.HighPower))
+		c := Classify(conc[i], th.LowConcurrency, th.HighConcurrency)
+		if p == High && c == High {
+			return Enable
+		}
+		if p != Low || c != Low {
+			allLow = false
+		}
+	}
+	if allLow {
+		return Disable
+	}
+	return Hold
+}
+
+// Mechanism selects how the daemon reduces power when its policy says
+// High.
+type Mechanism int
+
+// Mechanisms.
+const (
+	// ThrottleConcurrency parks surplus workers in duty-cycle-throttled
+	// spin loops — the paper's mechanism: per-core and fast.
+	ThrottleConcurrency Mechanism = iota
+	// ScaleFrequency lowers the whole socket's clock instead (DVFS), the
+	// mechanism most prior work uses. The paper argues against it (§IV:
+	// it affects all cores and transitions are slow); it is implemented
+	// here so the two can be compared (experiments.MechanismAblation).
+	ScaleFrequency
+)
+
+// String returns the mechanism name.
+func (mech Mechanism) String() string {
+	switch mech {
+	case ThrottleConcurrency:
+		return "throttle-concurrency"
+	case ScaleFrequency:
+		return "scale-frequency"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(mech))
+	}
+}
+
+// Policy selects which metrics gate the mechanism.
+type Policy int
+
+// Policies.
+const (
+	// DualCondition requires both power and memory concurrency High —
+	// the paper's policy (§IV-A).
+	DualCondition Policy = iota
+	// PowerOnly gates on power alone. The paper rejects it: "it often
+	// limits thread count for programs running at high efficiency and
+	// increased overall energy consumption". Kept for the ablation.
+	PowerOnly
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case DualCondition:
+		return "dual-condition"
+	case PowerOnly:
+		return "power-only"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config tunes the daemon.
+type Config struct {
+	// Period between polls; the paper uses 0.1 s, chosen to let energy
+	// counter fluctuations dissipate, and notes it is adjustable to trade
+	// overhead against responsiveness.
+	Period time.Duration
+	// Thresholds for classification. Zero value selects
+	// DefaultThresholds for the runtime's machine.
+	Thresholds Thresholds
+	// ThrottleLimit is the shepherd-local active-worker limit applied
+	// while throttled. Zero selects 3/4 of the cores per socket (12 of
+	// 16 on the paper's machine, matching its 12-thread comparisons).
+	ThrottleLimit int
+	// Mechanism selects concurrency throttling (default, the paper's
+	// choice) or socket-wide frequency scaling.
+	Mechanism Mechanism
+	// Policy selects the gating condition (default: the paper's dual
+	// condition).
+	Policy Policy
+	// FrequencyGear is the DVFS scale applied while ScaleFrequency is
+	// engaged; zero selects 0.6.
+	FrequencyGear float64
+}
+
+// DefaultPeriod is the paper's daemon wake interval.
+const DefaultPeriod = 100 * time.Millisecond
+
+// Daemon is a running throttling controller. Create with Start; it polls
+// until Stop.
+type Daemon struct {
+	rt       *qthreads.Runtime
+	bb       *rcr.Blackboard
+	cfg      Config
+	tickerID int
+
+	// engaged tracks whether the mechanism is currently applied; only
+	// the poll callback (engine goroutine) touches it.
+	engaged bool
+
+	activations   atomic.Uint64
+	deactivations atomic.Uint64
+	samples       atomic.Uint64
+	throttledTime atomic.Int64 // ns spent with throttling active
+	lastSample    atomic.Int64 // ns timestamp of previous sample
+}
+
+// Start launches the daemon on the runtime's machine.
+func Start(rt *qthreads.Runtime, bb *rcr.Blackboard, cfg Config) (*Daemon, error) {
+	if rt == nil || bb == nil {
+		return nil, errors.New("maestro: runtime and blackboard are required")
+	}
+	mcfg := rt.Machine().Config()
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultPeriod
+	}
+	if (cfg.Thresholds == Thresholds{}) {
+		cfg.Thresholds = DefaultThresholds(mcfg.Mem)
+	}
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ThrottleLimit <= 0 {
+		cfg.ThrottleLimit = mcfg.CoresPerSocket * 3 / 4
+		if cfg.ThrottleLimit < 1 {
+			cfg.ThrottleLimit = 1
+		}
+	}
+	if cfg.FrequencyGear <= 0 || cfg.FrequencyGear > 1 {
+		cfg.FrequencyGear = 0.6
+	}
+	d := &Daemon{rt: rt, bb: bb, cfg: cfg}
+	id, err := rt.Machine().AddTicker(cfg.Period, d.poll)
+	if err != nil {
+		return nil, err
+	}
+	d.tickerID = id
+	return d, nil
+}
+
+// Stop halts the daemon and releases any active throttle or frequency
+// reduction.
+func (d *Daemon) Stop() {
+	d.rt.Machine().RemoveTicker(d.tickerID)
+	d.rt.SetThrottle(false, d.cfg.ThrottleLimit)
+	if d.cfg.Mechanism == ScaleFrequency {
+		d.setFrequency(1)
+	}
+}
+
+// Config returns the daemon configuration (with defaults applied).
+func (d *Daemon) Config() Config { return d.cfg }
+
+// Stats describe the daemon's activity so far.
+type Stats struct {
+	Samples       uint64
+	Activations   uint64
+	Deactivations uint64
+	ThrottledTime time.Duration
+}
+
+// Stats returns a snapshot of the daemon counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Samples:       d.samples.Load(),
+		Activations:   d.activations.Load(),
+		Deactivations: d.deactivations.Load(),
+		ThrottledTime: time.Duration(d.throttledTime.Load()),
+	}
+}
+
+// poll runs on the machine's engine goroutine every Period. It reads the
+// blackboard (never the machine) and flips the runtime's throttle flag
+// through atomics only.
+func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
+	d.samples.Add(1)
+	if prev := d.lastSample.Swap(int64(now)); prev != 0 && d.engaged {
+		d.throttledTime.Add(int64(now) - prev)
+	}
+	nSock := d.bb.Sockets()
+	power := make([]units.Watts, 0, nSock)
+	conc := make([]float64, 0, nSock)
+	for s := 0; s < nSock; s++ {
+		p, okP := d.bb.Socket(s, rcr.MeterPower)
+		c, okC := d.bb.Socket(s, rcr.MeterMemConcurrency)
+		if !okP || !okC {
+			return // not enough data yet; hold
+		}
+		power = append(power, units.Watts(p.Value))
+		if d.cfg.Policy == PowerOnly {
+			// Power-only ablation: pretend concurrency is always High so
+			// only the power classification gates the decision.
+			conc = append(conc, d.cfg.Thresholds.HighConcurrency)
+		} else {
+			conc = append(conc, c.Value)
+		}
+	}
+	switch d.cfg.Thresholds.Decide(power, conc) {
+	case Enable:
+		if !d.engaged {
+			d.engaged = true
+			d.activations.Add(1)
+			d.engage(true)
+		}
+	case Disable:
+		if d.engaged {
+			d.engaged = false
+			d.deactivations.Add(1)
+			d.engage(false)
+		}
+	case Hold:
+		// Hysteresis band: leave the mechanism as-is.
+	}
+}
+
+// engage applies or releases the configured mechanism.
+func (d *Daemon) engage(on bool) {
+	switch d.cfg.Mechanism {
+	case ScaleFrequency:
+		if on {
+			d.setFrequency(d.cfg.FrequencyGear)
+		} else {
+			d.setFrequency(1)
+		}
+	default:
+		d.rt.SetThrottle(on, d.cfg.ThrottleLimit)
+	}
+}
+
+// setFrequency requests the gear on every socket.
+func (d *Daemon) setFrequency(scale float64) {
+	m := d.rt.Machine()
+	for s := 0; s < m.Config().Sockets; s++ {
+		if err := m.RequestFrequencyScale(s, scale); err != nil {
+			// Socket indices come from the machine's own config; a
+			// failure here is a programming error.
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package maestro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/rapl"
+	"repro/internal/rcr"
+	"repro/internal/units"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want Level
+	}{
+		{10, Low}, {25, Low}, {26, Medium}, {50, Medium}, {74, Medium}, {75, High}, {100, High},
+	}
+	for _, c := range cases {
+		if got := Classify(c.v, 25, 75); got != c.want {
+			t.Errorf("Classify(%g) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLevelDecisionStrings(t *testing.T) {
+	if Low.String() != "Low" || Medium.String() != "Medium" || High.String() != "High" {
+		t.Error("level names wrong")
+	}
+	if Hold.String() != "Hold" || Enable.String() != "Enable" || Disable.String() != "Disable" {
+		t.Error("decision names wrong")
+	}
+	if Level(9).String() == "" || Decision(9).String() == "" {
+		t.Error("unknown values need a representation")
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds(machine.M620().Mem)
+	if th.HighPower != 65 || th.LowPower != 45 {
+		t.Errorf("power thresholds = %v/%v, want 65/45 (paper's 75/50 rescaled to our power model)", th.HighPower, th.LowPower)
+	}
+	knee := float64(machine.M620().Mem.KneeRefs)
+	if th.HighConcurrency != 0.75*knee || th.LowConcurrency != 0.25*knee {
+		t.Errorf("concurrency thresholds = %g/%g, want 75%%/25%% of knee", th.HighConcurrency, th.LowConcurrency)
+	}
+	if err := th.Validate(); err != nil {
+		t.Errorf("default thresholds invalid: %v", err)
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	bad := []Thresholds{
+		{HighPower: 50, LowPower: 75, HighConcurrency: 10, LowConcurrency: 1},
+		{HighPower: 75, LowPower: 0, HighConcurrency: 10, LowConcurrency: 1},
+		{HighPower: 75, LowPower: 50, HighConcurrency: 1, LowConcurrency: 10},
+		{HighPower: 75, LowPower: 50, HighConcurrency: 5, LowConcurrency: -1},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, th)
+		}
+	}
+}
+
+func TestDecideDualCondition(t *testing.T) {
+	th := Thresholds{HighPower: 75, LowPower: 50, HighConcurrency: 21, LowConcurrency: 7}
+	cases := []struct {
+		name  string
+		power []units.Watts
+		conc  []float64
+		want  Decision
+	}{
+		{"both high one socket", []units.Watts{80, 30}, []float64{25, 1}, Enable},
+		{"both high other socket", []units.Watts{30, 80}, []float64{1, 25}, Enable},
+		{"power high only", []units.Watts{80, 80}, []float64{10, 10}, Hold},
+		{"conc high only", []units.Watts{60, 60}, []float64{25, 25}, Hold},
+		{"high power low conc", []units.Watts{80, 80}, []float64{1, 1}, Hold},
+		{"all low", []units.Watts{30, 40}, []float64{2, 3}, Disable},
+		{"medium band holds", []units.Watts{60, 40}, []float64{3, 3}, Hold},
+		{"one low one medium", []units.Watts{30, 60}, []float64{2, 2}, Hold},
+		{"empty", nil, nil, Hold},
+		{"mismatched", []units.Watts{80}, []float64{25, 25}, Hold},
+	}
+	for _, c := range cases {
+		if got := th.Decide(c.power, c.conc); got != c.want {
+			t.Errorf("%s: Decide = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// stackOn builds sampler + blackboard + runtime on an existing machine.
+func stackOn(t *testing.T, m *machine.Machine, workers int) (*rcr.Blackboard, *qthreads.Runtime) {
+	t.Helper()
+	mcfg := m.Config()
+	reader, err := rapl.NewMSRReader(m.MSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := rcr.NewBlackboard(mcfg.Sockets, mcfg.CoresPerSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := rcr.StartSampler(m, reader, bb, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sampler.Stop)
+	qcfg := qthreads.DefaultConfig()
+	qcfg.Workers = workers
+	rt, err := qthreads.New(m, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return bb, rt
+}
+
+// fullStack builds machine + sampler + runtime + daemon.
+func fullStack(t *testing.T, workers int, dcfg Config) (*machine.Machine, *qthreads.Runtime, *Daemon) {
+	t.Helper()
+	mcfg := machine.M620()
+	mcfg.VirtualTimeLimit = 10 * time.Minute
+	m, err := machine.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	m.WarmAll(65)
+	bb, rt := stackOn(t, m, workers)
+	d, err := Start(rt, bb, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return m, rt, d
+}
+
+// hotMemoryLoad drives all workers with mixed compute + heavy memory
+// traffic for roughly the given virtual duration: power and concurrency
+// both go High.
+func hotMemoryLoad(rt *qthreads.Runtime, d time.Duration) error {
+	cycles := float64(rt.Machine().Config().BaseFreq) * d.Seconds()
+	perCoreBW := float64(rt.Machine().Config().Mem.MaxCoreBandwidth())
+	return rt.Run(func(tc *qthreads.TC) {
+		g := tc.NewGroup()
+		for i := 0; i < rt.Workers(); i++ {
+			g.Spawn(tc, func(tc *qthreads.TC) {
+				for k := 0; k < 10; k++ {
+					tc.Execute(machine.Work{
+						Ops:     cycles / 10,
+						Bytes:   perCoreBW * d.Seconds() / 10,
+						Overlap: 0.85,
+					})
+				}
+			})
+		}
+		g.Wait(tc)
+	})
+}
+
+func TestDaemonActivatesOnHotMemoryLoad(t *testing.T) {
+	_, rt, d := fullStack(t, 16, Config{})
+	if err := hotMemoryLoad(rt, 1200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Activations == 0 {
+		t.Errorf("daemon never activated throttling: %+v", st)
+	}
+	if st.ThrottledTime == 0 {
+		t.Error("no throttled time accumulated")
+	}
+	stops := uint64(0)
+	for _, s := range rt.Stats() {
+		stops += s.ThrottleStops
+	}
+	if stops == 0 {
+		t.Error("no worker ever hit the throttle gate")
+	}
+}
+
+func TestDaemonStaysOffForComputeOnly(t *testing.T) {
+	// Compute-bound load: power goes High but memory concurrency stays
+	// Low: dual condition must keep throttling off (paper §IV-A: power
+	// alone would throttle efficient programs and waste energy).
+	_, rt, d := fullStack(t, 16, Config{})
+	cycles := 2.7e9 * 0.8 // 800 ms
+	err := rt.Run(func(tc *qthreads.TC) {
+		g := tc.NewGroup()
+		for i := 0; i < 16; i++ {
+			g.Spawn(tc, func(tc *qthreads.TC) { tc.Compute(cycles) })
+		}
+		g.Wait(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Activations != 0 {
+		t.Errorf("daemon activated on compute-only load: %+v", st)
+	}
+	if rt.Throttled() {
+		t.Error("throttle left on")
+	}
+}
+
+func TestDaemonDeactivatesWhenLoadDrops(t *testing.T) {
+	m, rt, d := fullStack(t, 16, Config{})
+	if err := hotMemoryLoad(rt, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Activations == 0 {
+		t.Skip("throttle never engaged; nothing to deactivate")
+	}
+	// With the load gone, both metrics fall to Low; the engine advances
+	// (host-paced) through sampler and daemon ticks while everyone is
+	// parked. Give the daemon host time to observe the idle and release.
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Throttled() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rt.Throttled() {
+		t.Error("throttle still on after load dropped")
+	}
+	if d.Stats().Deactivations == 0 {
+		t.Errorf("no deactivations recorded: %+v", d.Stats())
+	}
+	_ = m
+}
+
+func TestDaemonDefaultConfig(t *testing.T) {
+	_, _, d := fullStack(t, 16, Config{})
+	cfg := d.Config()
+	if cfg.Period != DefaultPeriod {
+		t.Errorf("Period = %v, want %v", cfg.Period, DefaultPeriod)
+	}
+	if cfg.ThrottleLimit != 6 {
+		t.Errorf("ThrottleLimit = %d, want 6 (3/4 of 8)", cfg.ThrottleLimit)
+	}
+	if cfg.Thresholds.HighPower != 65 {
+		t.Errorf("thresholds not defaulted: %+v", cfg.Thresholds)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	mcfg := machine.M620()
+	m, err := machine.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	rt, err := qthreads.New(m, qthreads.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	bb, _ := rcr.NewBlackboard(2, 8)
+	if _, err := Start(nil, bb, Config{}); err == nil {
+		t.Error("Start(nil runtime) succeeded")
+	}
+	if _, err := Start(rt, nil, Config{}); err == nil {
+		t.Error("Start(nil blackboard) succeeded")
+	}
+	if _, err := Start(rt, bb, Config{Thresholds: Thresholds{HighPower: 1, LowPower: 2, HighConcurrency: 2, LowConcurrency: 1}}); err == nil {
+		t.Error("Start with invalid thresholds succeeded")
+	}
+}
+
+func TestStopReleasesThrottle(t *testing.T) {
+	_, rt, d := fullStack(t, 16, Config{})
+	rt.SetThrottle(true, 6)
+	d.Stop()
+	if rt.Throttled() {
+		t.Error("Stop left throttle on")
+	}
+}

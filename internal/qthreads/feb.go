@@ -1,0 +1,89 @@
+package qthreads
+
+import "sync/atomic"
+
+// FEB is a full/empty-bit synchronized word, the Qthreads primitive for
+// producer/consumer synchronization (paper §III: "potentially blocking
+// full/empty bit (FEB) operations"). A cell is created empty; writers fill
+// it, readers drain it, and blocked parties spin on the simulated core
+// (costing spin power, as on the real runtime).
+type FEB struct {
+	// state: 0 = empty, 1 = full, 2 = transient (owner mutating value).
+	state atomic.Int32
+	value atomic.Uint64
+}
+
+const (
+	febEmpty int32 = iota
+	febFull
+	febBusy
+)
+
+// NewFEB returns an empty cell.
+func NewFEB() *FEB { return &FEB{} }
+
+// Full reports whether the cell currently holds a value.
+func (f *FEB) Full() bool { return f.state.Load() == febFull }
+
+// WriteEF waits for the cell to be empty, then writes v and marks it
+// full ("write empty→full").
+func (f *FEB) WriteEF(tc *TC, v uint64) {
+	for {
+		if f.state.CompareAndSwap(febEmpty, febBusy) {
+			f.value.Store(v)
+			f.state.Store(febFull)
+			return
+		}
+		tc.w.ctx.SpinUntil(func() bool { return f.state.Load() == febEmpty || tc.w.rt.shutdown.Load() })
+		if tc.w.rt.shutdown.Load() {
+			return
+		}
+	}
+}
+
+// WriteF writes v and marks the cell full regardless of its prior state,
+// waiting only for a concurrent transient operation to finish.
+func (f *FEB) WriteF(tc *TC, v uint64) {
+	for {
+		s := f.state.Load()
+		if s != febBusy && f.state.CompareAndSwap(s, febBusy) {
+			f.value.Store(v)
+			f.state.Store(febFull)
+			return
+		}
+		tc.w.ctx.SpinUntil(func() bool { return f.state.Load() != febBusy || tc.w.rt.shutdown.Load() })
+		if tc.w.rt.shutdown.Load() {
+			return
+		}
+	}
+}
+
+// ReadFE waits for the cell to be full, then takes the value and marks it
+// empty ("read full→empty").
+func (f *FEB) ReadFE(tc *TC) uint64 {
+	for {
+		if f.state.CompareAndSwap(febFull, febBusy) {
+			v := f.value.Load()
+			f.state.Store(febEmpty)
+			return v
+		}
+		tc.w.ctx.SpinUntil(func() bool { return f.state.Load() == febFull || tc.w.rt.shutdown.Load() })
+		if tc.w.rt.shutdown.Load() {
+			return 0
+		}
+	}
+}
+
+// ReadFF waits for the cell to be full and reads it without emptying
+// ("read full→full").
+func (f *FEB) ReadFF(tc *TC) uint64 {
+	for {
+		if f.state.Load() == febFull {
+			return f.value.Load()
+		}
+		tc.w.ctx.SpinUntil(func() bool { return f.state.Load() == febFull || tc.w.rt.shutdown.Load() })
+		if tc.w.rt.shutdown.Load() {
+			return 0
+		}
+	}
+}

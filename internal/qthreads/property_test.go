@@ -1,0 +1,247 @@
+package qthreads
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// TestRandomTaskDAGsComputeCorrectSums spawns randomized task trees and
+// checks that joins always see every child's contribution — the core
+// correctness property of spawn/sync under stealing.
+func TestRandomTaskDAGsComputeCorrectSums(t *testing.T) {
+	cfg := machine.M620()
+	cfg.VirtualTimeLimit = 30 * time.Minute
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	rt, err := New(m, Config{Workers: 16, SpawnCost: 50, DequeueCost: 20, StealCost: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 2 + rng.Intn(4)
+		fanout := 1 + rng.Intn(4)
+		// The expected sum is the number of nodes in the full tree.
+		want := int64(0)
+		nodes := int64(1)
+		for d := 0; d <= depth; d++ {
+			want += nodes
+			nodes *= int64(fanout)
+		}
+		var got atomic.Int64
+		var build func(tc *TC, d int)
+		build = func(tc *TC, d int) {
+			got.Add(1)
+			tc.Compute(float64(1 + rng.Intn(5000)))
+			if d == depth {
+				return
+			}
+			for c := 0; c < fanout; c++ {
+				tc.Spawn(func(tc *TC) { build(tc, d+1) })
+			}
+			tc.Sync()
+		}
+		if err := rt.Run(func(tc *TC) { build(tc, 0) }); err != nil {
+			t.Log(err)
+			return false
+		}
+		if got.Load() != want {
+			t.Logf("seed %d: visited %d nodes, want %d", seed, got.Load(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelForRandomShapes checks exact coverage for randomized range
+// and chunk sizes, including chunk > n and chunk 1.
+func TestParallelForRandomShapes(t *testing.T) {
+	cfg := machine.M620()
+	cfg.VirtualTimeLimit = 30 * time.Minute
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	rt, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	f := func(nRaw uint16, chunkRaw uint8) bool {
+		n := int(nRaw%3000) + 1
+		chunk := int(chunkRaw) % (n + 10) // may exceed n; 0 means auto
+		var sum atomic.Int64
+		err := rt.Run(func(tc *TC) {
+			tc.ParallelFor(n, chunk, func(tc *TC, lo, hi int) {
+				tc.Compute(float64(hi-lo) * 10)
+				for i := lo; i < hi; i++ {
+					sum.Add(int64(i))
+				}
+			})
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := int64(n) * int64(n-1) / 2
+		if sum.Load() != want {
+			t.Logf("n=%d chunk=%d: sum %d, want %d", n, chunk, sum.Load(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFEBMultiProducerConsumer stresses the cell with several producers
+// and consumers; the multiset of consumed values must equal the produced
+// one.
+func TestFEBMultiProducerConsumer(t *testing.T) {
+	cfg := machine.M620()
+	cfg.VirtualTimeLimit = 30 * time.Minute
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	rt, err := New(m, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	const producers = 3
+	const perProducer = 15
+	cell := NewFEB()
+	var consumed [producers * perProducer]atomic.Int32
+	err = rt.Run(func(tc *TC) {
+		for p := 0; p < producers; p++ {
+			p := p
+			tc.Spawn(func(tc *TC) {
+				for i := 0; i < perProducer; i++ {
+					tc.Compute(1000)
+					cell.WriteEF(tc, uint64(p*perProducer+i))
+				}
+			})
+		}
+		for c := 0; c < producers; c++ {
+			tc.Spawn(func(tc *TC) {
+				for i := 0; i < perProducer; i++ {
+					v := cell.ReadFE(tc)
+					consumed[v].Add(1)
+				}
+			})
+		}
+		tc.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range consumed {
+		if got := consumed[v].Load(); got != 1 {
+			t.Errorf("value %d consumed %d times", v, got)
+		}
+	}
+	if cell.Full() {
+		t.Error("cell left full after balanced produce/consume")
+	}
+}
+
+// TestStatsAccounting checks that every executed task is attributed to
+// exactly one worker.
+func TestStatsAccounting(t *testing.T) {
+	cfg := machine.M620()
+	cfg.VirtualTimeLimit = 30 * time.Minute
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	rt, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	const tasks = 500
+	err = rt.Run(func(tc *TC) {
+		g := tc.NewGroup()
+		for i := 0; i < tasks; i++ {
+			g.Spawn(tc, func(tc *TC) { tc.Compute(1e5) })
+		}
+		g.Wait(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed, popsPlusSteals uint64
+	for _, s := range rt.Stats() {
+		executed += s.TasksExecuted
+		popsPlusSteals += s.LocalPops + s.Steals
+	}
+	// tasks + the root itself.
+	if executed != tasks+1 {
+		t.Errorf("executed = %d, want %d", executed, tasks+1)
+	}
+	if popsPlusSteals != executed {
+		t.Errorf("pops+steals = %d, executed = %d: a task was run without being dequeued", popsPlusSteals, executed)
+	}
+}
+
+// TestEpochWakesThrottledSpinners verifies the paper's "parallel phase
+// termination" wake condition: spinners blocked by the throttle gate
+// resume when an epoch boundary passes even if the throttle stays on.
+func TestEpochWakesThrottledSpinners(t *testing.T) {
+	cfg := machine.M620()
+	cfg.VirtualTimeLimit = 30 * time.Minute
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	rt, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	rt.SetThrottle(true, 2) // 4 of 16 workers active
+	err = rt.Run(func(tc *TC) {
+		// Two phases; each bumps the epoch at its group Wait.
+		for phase := 0; phase < 2; phase++ {
+			g := tc.NewGroup()
+			for i := 0; i < 64; i++ {
+				g.Spawn(tc, func(tc *TC) { tc.Compute(1e6) })
+			}
+			g.Wait(tc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := uint64(0)
+	for _, s := range rt.Stats() {
+		stops += s.ThrottleStops
+	}
+	if stops == 0 {
+		t.Error("no throttle stops despite limit 2")
+	}
+	rt.SetThrottle(false, 8)
+}

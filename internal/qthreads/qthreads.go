@@ -1,0 +1,292 @@
+// Package qthreads is a lightweight task runtime modeled on the Qthreads
+// library with the Sherwood hierarchical scheduler and the MAESTRO
+// extensions (paper §III): worker threads pinned to simulated cores are
+// grouped into shepherds (one per socket / last-level cache); tasks and
+// parallel-loop chunks go into a shepherd-local LIFO queue (constructive
+// cache sharing) with work stealing between shepherds for load balancing.
+//
+// The MAESTRO hook (§III-A, §IV): at every thread-initiation point — a
+// worker looking for a new task or loop chunk — the worker checks the
+// runtime's throttle state. If throttling is active and the shepherd
+// already has its limit of active workers, the worker parks in a
+// duty-cycle-throttled spin loop until throttling deactivates, the
+// current parallel phase terminates, or the runtime shuts down.
+//
+// Workloads charge their execution costs through the TC (task context)
+// onto the simulated core they run on, so scheduling, contention and
+// throttling effects on time and energy all emerge from the machine
+// model.
+package qthreads
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// Workers is the number of worker threads; worker i is pinned to
+	// machine core i. Defaults to all cores.
+	Workers int
+	// SpawnCost is the cycles charged to the spawning core per task
+	// enqueue (allocation, queue push).
+	SpawnCost float64
+	// DequeueCost is the cycles charged per successful local pop.
+	DequeueCost float64
+	// StealCost is the cycles charged per steal attempt (hit or miss).
+	StealCost float64
+	// IdleSpinPeriod is how long an idle worker spins before parking
+	// (spin-then-park, like OMP_WAIT_POLICY / GOMP_SPINCOUNT).
+	IdleSpinPeriod time.Duration
+	// Pinning selects how workers map to cores when fewer workers than
+	// cores are requested.
+	Pinning Pinning
+	// SpinOnlyIdle keeps idle and waiting workers spinning instead of
+	// parking after IdleSpinPeriod. The paper's Qthreads/MAESTRO runtime
+	// behaves this way — its fixed-16 runs draw ~10 W more than the same
+	// binaries under a parking OpenMP runtime (compare Table IV's
+	// 155.9 W against Table II's 145.8 W for LULESH) — so the
+	// throttling experiments enable it.
+	SpinOnlyIdle bool
+	// ThrottleDutyLevel is the clock-modulation level (of 32) used for
+	// throttled spin loops. The paper uses the minimum, 1/32.
+	ThrottleDutyLevel int
+	// Tracer, when non-nil, observes scheduler events (see trace.go).
+	Tracer Tracer
+}
+
+// DefaultConfig returns the runtime defaults used throughout the
+// experiments. Spawn/dequeue/steal costs are in the hundreds-of-cycles
+// range measured for lightweight tasking runtimes.
+func DefaultConfig() Config {
+	return Config{
+		SpawnCost:         220,
+		DequeueCost:       120,
+		StealCost:         550,
+		IdleSpinPeriod:    100 * time.Microsecond,
+		ThrottleDutyLevel: 1,
+	}
+}
+
+// Pinning is a worker→core placement policy.
+type Pinning int
+
+// Placement policies. Scatter (the default) round-robins workers across
+// sockets, matching how the Linux scheduler spreads unbound OpenMP
+// threads on a multi-socket node — with 8 of 16 threads, each socket runs
+// 4. Compact fills socket 0 first.
+const (
+	Scatter Pinning = iota
+	Compact
+)
+
+// Task is a unit of schedulable work. The TC gives it access to spawning,
+// synchronization and cost charging on its executing core.
+type Task func(tc *TC)
+
+// WorkerStats counts one worker's scheduler activity.
+type WorkerStats struct {
+	TasksExecuted uint64
+	LocalPops     uint64
+	Steals        uint64
+	StealMisses   uint64
+	ThrottleStops uint64
+}
+
+// Runtime is one instantiation of the task runtime over a machine. Create
+// with New, run root tasks with Run, tear down with Shutdown.
+type Runtime struct {
+	m   *machine.Machine
+	cfg Config
+
+	shepherds []*shepherd
+	workers   []*worker
+	wg        sync.WaitGroup
+
+	queued   atomic.Int64  // tasks currently sitting in queues
+	pending  atomic.Int64  // spawned tasks not yet completed
+	epoch    atomic.Uint64 // bumped at parallel-phase boundaries
+	shutdown atomic.Bool
+	aborted  atomic.Bool
+
+	throttleOn    atomic.Bool
+	throttleLimit atomic.Int32 // active workers allowed per shepherd
+
+	runMu sync.Mutex // serializes Run calls
+}
+
+// New builds a runtime, enrolls its workers on machine cores 0..Workers-1
+// and starts them (idle). The caller must Shutdown the runtime before
+// stopping the machine.
+func New(m *machine.Machine, cfg Config) (*Runtime, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = m.Config().Cores()
+	}
+	if cfg.Workers < 1 || cfg.Workers > m.Config().Cores() {
+		return nil, fmt.Errorf("qthreads: Workers = %d, must be in [1, %d]", cfg.Workers, m.Config().Cores())
+	}
+	if cfg.SpawnCost < 0 || cfg.DequeueCost < 0 || cfg.StealCost < 0 {
+		return nil, errors.New("qthreads: scheduler costs must be non-negative")
+	}
+	if cfg.IdleSpinPeriod <= 0 {
+		cfg.IdleSpinPeriod = DefaultConfig().IdleSpinPeriod
+	}
+	if cfg.ThrottleDutyLevel < 1 || cfg.ThrottleDutyLevel > 32 {
+		cfg.ThrottleDutyLevel = 1
+	}
+	rt := &Runtime{m: m, cfg: cfg}
+	rt.throttleLimit.Store(int32(m.Config().CoresPerSocket))
+
+	nShep := m.Config().Sockets
+	rt.shepherds = make([]*shepherd, nShep)
+	for i := range rt.shepherds {
+		rt.shepherds[i] = &shepherd{id: i}
+	}
+	rt.workers = make([]*worker, cfg.Workers)
+	for i := range rt.workers {
+		ctx, err := m.Enroll(coreFor(i, cfg.Pinning, m.Config()))
+		if err != nil {
+			// Unwind the workers already started.
+			rt.Shutdown()
+			return nil, fmt.Errorf("qthreads: enrolling worker %d: %w", i, err)
+		}
+		w := &worker{
+			id:       i,
+			rt:       rt,
+			ctx:      ctx,
+			shepherd: rt.shepherds[ctx.Socket()],
+		}
+		rt.workers[i] = w
+		rt.wg.Add(1)
+		go w.run()
+	}
+	return rt, nil
+}
+
+// Machine returns the machine the runtime schedules onto.
+func (rt *Runtime) Machine() *machine.Machine { return rt.m }
+
+// Config returns the runtime configuration (with defaults applied).
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Workers returns the number of worker threads.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// Shepherds returns the number of shepherds (one per socket).
+func (rt *Runtime) Shepherds() int { return len(rt.shepherds) }
+
+// ErrAborted is returned by Run when the machine aborted (stopped or hit
+// its watchdog) while the root task was in flight.
+var ErrAborted = errors.New("qthreads: machine aborted during run")
+
+// Run executes fn as the root task and blocks until it and all tasks it
+// transitively spawned have completed. Calls are serialized; each Run is
+// one "application" execution, and its completion is a parallel-phase
+// boundary for throttled workers.
+func (rt *Runtime) Run(fn Task) error {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	if rt.shutdown.Load() {
+		return errors.New("qthreads: runtime is shut down")
+	}
+	var done atomic.Bool
+	root := &taskItem{fn: func(tc *TC) {
+		fn(tc)
+		// Implicit join: the root does not return to the scheduler until
+		// everything it transitively spawned has finished.
+		tc.waitAllSpawned()
+		done.Store(true) // not reached if the machine aborts the task
+	}}
+	rt.shepherds[0].push(root)
+	rt.queued.Add(1)
+	rt.m.Kick() // host-side enqueue: wake parked workers
+	// Wait host-side for completion; the machine engine drives progress.
+	for !done.Load() {
+		if rt.aborted.Load() {
+			return ErrAborted
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	rt.epoch.Add(1) // application completion is a phase boundary
+	if rt.aborted.Load() {
+		return ErrAborted
+	}
+	return nil
+}
+
+// SetThrottle enables or disables concurrency throttling with the given
+// per-shepherd active-worker limit. It is safe to call from a machine
+// ticker (it only touches atomics), which is exactly how the MAESTRO
+// daemon uses it.
+func (rt *Runtime) SetThrottle(enabled bool, perShepherdLimit int) {
+	if perShepherdLimit < 1 {
+		perShepherdLimit = 1
+	}
+	rt.throttleLimit.Store(int32(perShepherdLimit))
+	rt.throttleOn.Store(enabled)
+}
+
+// Throttled reports whether concurrency throttling is currently active.
+func (rt *Runtime) Throttled() bool { return rt.throttleOn.Load() }
+
+// ThrottleLimit returns the per-shepherd active-worker limit.
+func (rt *Runtime) ThrottleLimit() int { return int(rt.throttleLimit.Load()) }
+
+// BumpEpoch marks a parallel-phase boundary, releasing throttled spinners
+// so they can re-evaluate. ParallelFor and Group.Wait call it internally.
+func (rt *Runtime) BumpEpoch() { rt.epoch.Add(1) }
+
+// Stats returns a copy of each worker's scheduler counters.
+func (rt *Runtime) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(rt.workers))
+	for i, w := range rt.workers {
+		out[i] = WorkerStats{
+			TasksExecuted: w.tasksExecuted.Load(),
+			LocalPops:     w.localPops.Load(),
+			Steals:        w.steals.Load(),
+			StealMisses:   w.stealMisses.Load(),
+			ThrottleStops: w.throttleStops.Load(),
+		}
+	}
+	return out
+}
+
+// ActiveWorkers returns the number of workers currently executing tasks
+// in each shepherd.
+func (rt *Runtime) ActiveWorkers() []int {
+	out := make([]int, len(rt.shepherds))
+	for i, sh := range rt.shepherds {
+		out[i] = int(sh.active.Load())
+	}
+	return out
+}
+
+// Shutdown stops all workers and releases their cores. It must be called
+// before machine.Stop for a clean teardown; calling it twice is safe.
+func (rt *Runtime) Shutdown() {
+	if rt.shutdown.Swap(true) {
+		rt.wg.Wait()
+		return
+	}
+	rt.m.Kick()
+	rt.wg.Wait()
+}
+
+// workAvailable is the idle-worker wake condition.
+func (rt *Runtime) workAvailable() bool {
+	return rt.queued.Load() > 0 || rt.shutdown.Load()
+}
+
+// coreFor maps a worker index to a machine core under a placement policy.
+func coreFor(i int, p Pinning, mc machine.Config) int {
+	if p == Compact {
+		return i
+	}
+	socket := i % mc.Sockets
+	return socket*mc.CoresPerSocket + i/mc.Sockets
+}

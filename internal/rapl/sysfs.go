@@ -1,0 +1,140 @@
+package rapl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// DefaultPowercapPath is where Linux exposes the RAPL powercap interface.
+const DefaultPowercapPath = "/sys/class/powercap"
+
+// SysfsReader reads package energy from the Linux powercap interface on a
+// real Intel host. Each top-level "intel-rapl:N" directory is one domain;
+// energy_uj holds cumulative microjoules which wrap at
+// max_energy_range_uj.
+type SysfsReader struct {
+	domains []sysfsDomain
+
+	mu   sync.Mutex
+	last []uint64
+	acc  []float64
+}
+
+type sysfsDomain struct {
+	name     string
+	path     string // directory containing energy_uj
+	maxRange uint64 // wrap modulus in µJ
+}
+
+// NewSysfsReader scans root (typically DefaultPowercapPath) for
+// package-level RAPL domains. It returns an error when none are found or
+// they are unreadable (e.g. not an Intel host, or insufficient
+// privileges).
+func NewSysfsReader(root string) (*SysfsReader, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("rapl: reading powercap root: %w", err)
+	}
+	var domains []sysfsDomain
+	for _, e := range entries {
+		// Top-level package domains are "intel-rapl:N" (no sub-zone
+		// suffix such as "intel-rapl:0:1").
+		if !strings.HasPrefix(e.Name(), "intel-rapl:") || strings.Count(e.Name(), ":") != 1 {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		name, err := readTrimmed(filepath.Join(dir, "name"))
+		if err != nil {
+			continue
+		}
+		if !strings.HasPrefix(name, "package") {
+			continue
+		}
+		maxRange, err := readUint(filepath.Join(dir, "max_energy_range_uj"))
+		if err != nil || maxRange == 0 {
+			continue
+		}
+		if _, err := readUint(filepath.Join(dir, "energy_uj")); err != nil {
+			// Commonly EACCES without root.
+			return nil, fmt.Errorf("rapl: %s unreadable (need root?): %w", dir, err)
+		}
+		domains = append(domains, sysfsDomain{name: name, path: dir, maxRange: maxRange})
+	}
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("rapl: no package domains under %s", root)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i].path < domains[j].path })
+	r := &SysfsReader{
+		domains: domains,
+		last:    make([]uint64, len(domains)),
+		acc:     make([]float64, len(domains)),
+	}
+	for i, d := range domains {
+		v, err := readUint(filepath.Join(d.path, "energy_uj"))
+		if err != nil {
+			return nil, err
+		}
+		r.last[i] = v
+	}
+	return r, nil
+}
+
+// Domains returns the number of package domains found.
+func (r *SysfsReader) Domains() int { return len(r.domains) }
+
+// Name returns the kernel-reported domain name.
+func (r *SysfsReader) Name(domain int) string {
+	if domain < 0 || domain >= len(r.domains) {
+		return ""
+	}
+	return r.domains[domain].name
+}
+
+// Energy returns the wrap-corrected cumulative energy of a domain since
+// the reader was created.
+func (r *SysfsReader) Energy(domain int) (units.Joules, error) {
+	if domain < 0 || domain >= len(r.domains) {
+		return 0, domainError(domain, len(r.domains))
+	}
+	d := r.domains[domain]
+	cur, err := readUint(filepath.Join(d.path, "energy_uj"))
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delta := cur - r.last[domain]
+	if cur < r.last[domain] {
+		delta = d.maxRange - r.last[domain] + cur
+	}
+	r.last[domain] = cur
+	r.acc[domain] += float64(delta) * 1e-6
+	return units.Joules(r.acc[domain]), nil
+}
+
+func readTrimmed(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+func readUint(path string) (uint64, error) {
+	s, err := readTrimmed(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rapl: parsing %s: %w", path, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,182 @@
+// Package rcr implements the Resource Centric Reflection daemon of the
+// paper (§II-B): a sampler that periodically reads hardware counters
+// (RAPL energy, memory concurrency, temperature) into a self-describing
+// hierarchical blackboard, a region-measurement API that reports elapsed
+// time, Joules, average Watts and chip temperatures for a bracketed code
+// region, a compact binary snapshot encoding, and a Unix-socket server so
+// external clients can query the blackboard like the real RCRdaemon's
+// shared-memory region.
+package rcr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Standard meter names written by the sampler. Clients address meters by
+// these names; the blackboard itself is schema-free.
+const (
+	MeterEnergy         = "energy"  // cumulative Joules
+	MeterPower          = "power"   // average Watts over the last sample window
+	MeterMemBandwidth   = "membw"   // bytes/second
+	MeterMemConcurrency = "memconc" // outstanding memory references
+	MeterTemperature    = "temp"    // °C
+	MeterDutyCycle      = "duty"    // effective clock fraction (core scope)
+)
+
+// Meter is one measured value with its last-update timestamp (virtual
+// time).
+type Meter struct {
+	Value   float64
+	Updated time.Duration
+}
+
+// Clock supplies the current (virtual or wall) time for timestamps and
+// regions. *machine.Machine satisfies it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Blackboard is the shared measurement store: system-level meters, one
+// domain per socket, one per core. A single writer (the sampler) and many
+// readers are the intended pattern; all methods are safe for concurrent
+// use.
+type Blackboard struct {
+	mu      sync.RWMutex
+	system  map[string]Meter
+	sockets []map[string]Meter
+	cores   []map[string]Meter // node-wide core index
+	perSock int
+}
+
+// NewBlackboard creates a blackboard for a node topology.
+func NewBlackboard(sockets, coresPerSocket int) (*Blackboard, error) {
+	if sockets <= 0 || coresPerSocket <= 0 {
+		return nil, fmt.Errorf("rcr: invalid topology %d sockets × %d cores", sockets, coresPerSocket)
+	}
+	bb := &Blackboard{
+		system:  make(map[string]Meter),
+		sockets: make([]map[string]Meter, sockets),
+		cores:   make([]map[string]Meter, sockets*coresPerSocket),
+		perSock: coresPerSocket,
+	}
+	for i := range bb.sockets {
+		bb.sockets[i] = make(map[string]Meter)
+	}
+	for i := range bb.cores {
+		bb.cores[i] = make(map[string]Meter)
+	}
+	return bb, nil
+}
+
+// Sockets returns the number of socket domains.
+func (bb *Blackboard) Sockets() int { return len(bb.sockets) }
+
+// Cores returns the total number of core domains.
+func (bb *Blackboard) Cores() int { return len(bb.cores) }
+
+// SetSystem writes a system-level meter.
+func (bb *Blackboard) SetSystem(name string, v float64, now time.Duration) {
+	bb.mu.Lock()
+	bb.system[name] = Meter{Value: v, Updated: now}
+	bb.mu.Unlock()
+}
+
+// SetSocket writes a socket-level meter. Out-of-range sockets are a
+// programming error and panic.
+func (bb *Blackboard) SetSocket(socket int, name string, v float64, now time.Duration) {
+	bb.mu.Lock()
+	bb.sockets[socket][name] = Meter{Value: v, Updated: now}
+	bb.mu.Unlock()
+}
+
+// SetCore writes a core-level meter.
+func (bb *Blackboard) SetCore(core int, name string, v float64, now time.Duration) {
+	bb.mu.Lock()
+	bb.cores[core][name] = Meter{Value: v, Updated: now}
+	bb.mu.Unlock()
+}
+
+// System reads a system-level meter.
+func (bb *Blackboard) System(name string) (Meter, bool) {
+	bb.mu.RLock()
+	defer bb.mu.RUnlock()
+	m, ok := bb.system[name]
+	return m, ok
+}
+
+// Socket reads a socket-level meter.
+func (bb *Blackboard) Socket(socket int, name string) (Meter, bool) {
+	bb.mu.RLock()
+	defer bb.mu.RUnlock()
+	if socket < 0 || socket >= len(bb.sockets) {
+		return Meter{}, false
+	}
+	m, ok := bb.sockets[socket][name]
+	return m, ok
+}
+
+// Core reads a core-level meter.
+func (bb *Blackboard) Core(core int, name string) (Meter, bool) {
+	bb.mu.RLock()
+	defer bb.mu.RUnlock()
+	if core < 0 || core >= len(bb.cores) {
+		return Meter{}, false
+	}
+	m, ok := bb.cores[core][name]
+	return m, ok
+}
+
+// MeterValue is one named meter inside a snapshot.
+type MeterValue struct {
+	Name    string
+	Value   float64
+	Updated time.Duration
+}
+
+// DomainSnap is the snapshot of one socket domain and its cores.
+type DomainSnap struct {
+	Meters []MeterValue
+	Cores  [][]MeterValue
+}
+
+// Snapshot is a deep, immutable copy of the blackboard, with meters in
+// deterministic (name-sorted) order, suitable for encoding.
+type Snapshot struct {
+	Now     time.Duration
+	System  []MeterValue
+	Sockets []DomainSnap
+}
+
+// Snapshot copies the blackboard.
+func (bb *Blackboard) Snapshot(now time.Duration) Snapshot {
+	bb.mu.RLock()
+	defer bb.mu.RUnlock()
+	s := Snapshot{
+		Now:     now,
+		System:  sortedMeters(bb.system),
+		Sockets: make([]DomainSnap, len(bb.sockets)),
+	}
+	for i := range bb.sockets {
+		ds := DomainSnap{
+			Meters: sortedMeters(bb.sockets[i]),
+			Cores:  make([][]MeterValue, bb.perSock),
+		}
+		for c := 0; c < bb.perSock; c++ {
+			ds.Cores[c] = sortedMeters(bb.cores[i*bb.perSock+c])
+		}
+		s.Sockets[i] = ds
+	}
+	return s
+}
+
+func sortedMeters(m map[string]Meter) []MeterValue {
+	out := make([]MeterValue, 0, len(m))
+	for name, v := range m {
+		out = append(out, MeterValue{Name: name, Value: v.Value, Updated: v.Updated})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

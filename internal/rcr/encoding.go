@@ -1,0 +1,189 @@
+package rcr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Binary snapshot encoding. The format is self-describing (meter names
+// travel with values), mirroring the real RCRdaemon's self-describing
+// shared-memory structure:
+//
+//	magic   [4]byte "RCR1"
+//	now     int64 (ns)
+//	system  meterList
+//	nSock   uint16
+//	per socket: meterList, nCore uint16, per core: meterList
+//
+//	meterList: uint16 count, then per meter:
+//	  uint16 name length, name bytes, float64 value, int64 updated (ns)
+//
+// All integers are little-endian.
+
+var snapshotMagic = [4]byte{'R', 'C', 'R', '1'}
+
+// maxMeters bounds decoded list sizes to keep a corrupt or hostile stream
+// from causing huge allocations.
+const maxMeters = 1 << 12
+
+// EncodeSnapshot serializes a snapshot.
+func EncodeSnapshot(s Snapshot) []byte {
+	var b bytes.Buffer
+	b.Write(snapshotMagic[:])
+	writeInt64(&b, int64(s.Now))
+	writeMeters(&b, s.System)
+	writeUint16(&b, uint16(len(s.Sockets)))
+	for _, sock := range s.Sockets {
+		writeMeters(&b, sock.Meters)
+		writeUint16(&b, uint16(len(sock.Cores)))
+		for _, core := range sock.Cores {
+			writeMeters(&b, core)
+		}
+	}
+	return b.Bytes()
+}
+
+// DecodeSnapshot parses a snapshot previously produced by EncodeSnapshot.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Snapshot{}, fmt.Errorf("rcr: decoding magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return Snapshot{}, fmt.Errorf("rcr: bad magic %q", magic[:])
+	}
+	now, err := readInt64(r)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s := Snapshot{Now: time.Duration(now)}
+	if s.System, err = readMeters(r); err != nil {
+		return Snapshot{}, err
+	}
+	nSock, err := readUint16(r)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if nSock > maxMeters {
+		return Snapshot{}, fmt.Errorf("rcr: implausible socket count %d", nSock)
+	}
+	s.Sockets = make([]DomainSnap, nSock)
+	for i := range s.Sockets {
+		if s.Sockets[i].Meters, err = readMeters(r); err != nil {
+			return Snapshot{}, err
+		}
+		nCore, err := readUint16(r)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if nCore > maxMeters {
+			return Snapshot{}, fmt.Errorf("rcr: implausible core count %d", nCore)
+		}
+		s.Sockets[i].Cores = make([][]MeterValue, nCore)
+		for c := range s.Sockets[i].Cores {
+			if s.Sockets[i].Cores[c], err = readMeters(r); err != nil {
+				return Snapshot{}, err
+			}
+		}
+	}
+	if r.Len() != 0 {
+		return Snapshot{}, fmt.Errorf("rcr: %d trailing bytes after snapshot", r.Len())
+	}
+	return s, nil
+}
+
+func writeMeters(b *bytes.Buffer, ms []MeterValue) {
+	writeUint16(b, uint16(len(ms)))
+	for _, m := range ms {
+		writeUint16(b, uint16(len(m.Name)))
+		b.WriteString(m.Name)
+		writeFloat64(b, m.Value)
+		writeInt64(b, int64(m.Updated))
+	}
+}
+
+func readMeters(r *bytes.Reader) ([]MeterValue, error) {
+	n, err := readUint16(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxMeters {
+		return nil, fmt.Errorf("rcr: implausible meter count %d", n)
+	}
+	ms := make([]MeterValue, n)
+	for i := range ms {
+		nameLen, err := readUint16(r)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("rcr: decoding meter name: %w", err)
+		}
+		ms[i].Name = string(name)
+		if ms[i].Value, err = readFloat64(r); err != nil {
+			return nil, err
+		}
+		upd, err := readInt64(r)
+		if err != nil {
+			return nil, err
+		}
+		ms[i].Updated = time.Duration(upd)
+	}
+	return ms, nil
+}
+
+func writeUint16(b *bytes.Buffer, v uint16) {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	b.Write(buf[:])
+}
+
+func writeInt64(b *bytes.Buffer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	b.Write(buf[:])
+}
+
+func writeFloat64(b *bytes.Buffer, v float64) {
+	writeInt64(b, int64(math.Float64bits(v)))
+}
+
+func readUint16(r *bytes.Reader) (uint16, error) {
+	var buf [2]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("rcr: decoding uint16: %w", err)
+	}
+	return binary.LittleEndian.Uint16(buf[:]), nil
+}
+
+func readInt64(r *bytes.Reader) (int64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("rcr: decoding int64: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readFloat64(r *bytes.Reader) (float64, error) {
+	v, err := readInt64(r)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(uint64(v)), nil
+}
+
+// WriteJSON emits the snapshot as indented JSON — the interop-friendly
+// alternative to the compact binary encoding, for piping rcrd queries
+// into other tooling.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,153 @@
+package rcr
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// History records a time series of blackboard readings — the power /
+// memory-concurrency / temperature timeline behind the paper's power
+// utilization curves (§IV-B: "four test programs showed power
+// utilization curves for which throttling ... could result in a total
+// reduction"). It keeps the newest Capacity points in a ring buffer and
+// can dump them as CSV for plotting.
+type History struct {
+	m        *machine.Machine
+	bb       *Blackboard
+	tickerID int
+
+	mu     sync.Mutex
+	points []HistoryPoint // ring buffer
+	next   int            // write index
+	filled bool
+}
+
+// HistoryPoint is one sampled instant.
+type HistoryPoint struct {
+	Time        time.Duration
+	NodePower   float64
+	SocketPower []float64
+	Concurrency []float64
+	Temperature []float64
+}
+
+// DefaultHistoryCapacity bounds the ring buffer (at the default 10 ms
+// sampling period this is 40 s of virtual time).
+const DefaultHistoryCapacity = 4000
+
+// StartHistory begins recording the blackboard every period of virtual
+// time. capacity <= 0 selects DefaultHistoryCapacity; period <= 0 selects
+// the sampler default.
+func StartHistory(m *machine.Machine, bb *Blackboard, period time.Duration, capacity int) (*History, error) {
+	if capacity <= 0 {
+		capacity = DefaultHistoryCapacity
+	}
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	h := &History{m: m, bb: bb, points: make([]HistoryPoint, capacity)}
+	id, err := m.AddTicker(period, h.record)
+	if err != nil {
+		return nil, err
+	}
+	h.tickerID = id
+	return h, nil
+}
+
+// Stop ends recording; recorded points remain readable.
+func (h *History) Stop() { h.m.RemoveTicker(h.tickerID) }
+
+// record runs on the engine goroutine each period.
+func (h *History) record(now time.Duration, _ *machine.Snapshot) {
+	pt := HistoryPoint{
+		Time:        now,
+		SocketPower: make([]float64, h.bb.Sockets()),
+		Concurrency: make([]float64, h.bb.Sockets()),
+		Temperature: make([]float64, h.bb.Sockets()),
+	}
+	for s := 0; s < h.bb.Sockets(); s++ {
+		if m, ok := h.bb.Socket(s, MeterPower); ok {
+			pt.SocketPower[s] = m.Value
+			pt.NodePower += m.Value
+		}
+		if m, ok := h.bb.Socket(s, MeterMemConcurrency); ok {
+			pt.Concurrency[s] = m.Value
+		}
+		if m, ok := h.bb.Socket(s, MeterTemperature); ok {
+			pt.Temperature[s] = m.Value
+		}
+	}
+	h.mu.Lock()
+	h.points[h.next] = pt
+	h.next++
+	if h.next == len(h.points) {
+		h.next = 0
+		h.filled = true
+	}
+	h.mu.Unlock()
+}
+
+// Points returns the recorded series oldest-first.
+func (h *History) Points() []HistoryPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.filled {
+		out := make([]HistoryPoint, h.next)
+		copy(out, h.points[:h.next])
+		return out
+	}
+	out := make([]HistoryPoint, 0, len(h.points))
+	out = append(out, h.points[h.next:]...)
+	out = append(out, h.points[:h.next]...)
+	return out
+}
+
+// Len reports how many points are currently recorded.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.filled {
+		return len(h.points)
+	}
+	return h.next
+}
+
+// WriteCSV dumps the series as long-form CSV.
+func (h *History) WriteCSV(w io.Writer) error {
+	pts := h.Points()
+	cw := csv.NewWriter(w)
+	header := []string{"t_seconds", "node_watts"}
+	nSock := h.bb.Sockets()
+	for s := 0; s < nSock; s++ {
+		header = append(header,
+			fmt.Sprintf("pkg%d_watts", s),
+			fmt.Sprintf("pkg%d_memconc", s),
+			fmt.Sprintf("pkg%d_temp", s))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		rec := []string{
+			strconv.FormatFloat(pt.Time.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(pt.NodePower, 'f', 3, 64),
+		}
+		for s := 0; s < nSock; s++ {
+			rec = append(rec,
+				strconv.FormatFloat(pt.SocketPower[s], 'f', 3, 64),
+				strconv.FormatFloat(pt.Concurrency[s], 'f', 3, 64),
+				strconv.FormatFloat(pt.Temperature[s], 'f', 2, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,118 @@
+package rcr
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistoryRecordsSeries(t *testing.T) {
+	m, s := startSimStack(t, 10*time.Millisecond)
+	h, err := StartHistory(m, s.Blackboard(), 10*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	burn(t, m, []int{0, 1, 2, 3}, 200*time.Millisecond)
+
+	pts := h.Points()
+	if len(pts) < 15 {
+		t.Fatalf("recorded %d points over 200 ms at 10 ms, want ~20", len(pts))
+	}
+	if h.Len() != len(pts) {
+		t.Errorf("Len() = %d, Points() = %d", h.Len(), len(pts))
+	}
+	// Monotone time, plausible power during the burn.
+	var sawLoad bool
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("time not monotone at %d", i)
+		}
+		if pts[i].NodePower > 60 {
+			sawLoad = true
+		}
+	}
+	if !sawLoad {
+		t.Error("history never saw the load's power")
+	}
+	if len(pts[0].SocketPower) != 2 || len(pts[0].Concurrency) != 2 || len(pts[0].Temperature) != 2 {
+		t.Errorf("point shape wrong: %+v", pts[0])
+	}
+}
+
+func TestHistoryRingWraps(t *testing.T) {
+	m, s := startSimStack(t, 10*time.Millisecond)
+	h, err := StartHistory(m, s.Blackboard(), 10*time.Millisecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	burn(t, m, []int{0}, 300*time.Millisecond) // ~30 samples into 8 slots
+	pts := h.Points()
+	if len(pts) != 8 {
+		t.Fatalf("ring holds %d points, want 8", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("wrapped ring out of order at %d", i)
+		}
+	}
+	// Oldest retained point must be from near the end of the run.
+	if pts[0].Time < 200*time.Millisecond {
+		t.Errorf("ring kept stale point at %v", pts[0].Time)
+	}
+}
+
+func TestHistoryWriteCSV(t *testing.T) {
+	m, s := startSimStack(t, 10*time.Millisecond)
+	h, err := StartHistory(m, s.Blackboard(), 10*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	burn(t, m, []int{0, 1}, 100*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != h.Len()+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), h.Len()+1)
+	}
+	if !strings.HasPrefix(lines[0], "t_seconds,node_watts,pkg0_watts") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestHistoryConcurrentReaders(t *testing.T) {
+	m, s := startSimStack(t, 5*time.Millisecond)
+	h, err := StartHistory(m, s.Blackboard(), 5*time.Millisecond, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Points()
+					_ = h.Len()
+				}
+			}
+		}()
+	}
+	burn(t, m, []int{0, 1, 2}, 150*time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

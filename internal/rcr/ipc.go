@@ -1,0 +1,112 @@
+package rcr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The IPC protocol stands in for the real RCRdaemon's shared-memory
+// region: a client connects to a Unix socket, sends a one-line request,
+// and receives a length-prefixed binary snapshot.
+//
+//	request:  "GET\n"
+//	response: uint32 little-endian length, then EncodeSnapshot bytes
+
+// maxSnapshotBytes bounds the response size a client will accept.
+const maxSnapshotBytes = 16 << 20
+
+// Server serves blackboard snapshots over a listener.
+type Server struct {
+	bb    *Blackboard
+	clock Clock
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer creates a snapshot server; call Serve to run it.
+func NewServer(bb *Blackboard, clock Clock, ln net.Listener) *Server {
+	return &Server{bb: bb, clock: clock, ln: ln}
+}
+
+// Serve accepts connections until Close. It returns nil after Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("rcr: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			// Nothing useful to do with a close error on a per-request
+			// connection; the client has the data or it doesn't.
+			_ = err
+		}
+	}()
+	req := make([]byte, 4)
+	if _, err := io.ReadFull(conn, req); err != nil {
+		return
+	}
+	if string(req) != "GET\n" {
+		return
+	}
+	payload := EncodeSnapshot(s.bb.Snapshot(s.clock.Now()))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return
+	}
+}
+
+// Query connects to addr (a Unix socket path by default network "unix"),
+// requests a snapshot, and decodes it.
+func Query(network, addr string) (Snapshot, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("rcr: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET\n")); err != nil {
+		return Snapshot{}, fmt.Errorf("rcr: request: %w", err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return Snapshot{}, fmt.Errorf("rcr: response header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxSnapshotBytes {
+		return Snapshot{}, fmt.Errorf("rcr: implausible snapshot size %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return Snapshot{}, fmt.Errorf("rcr: response body: %w", err)
+	}
+	return DecodeSnapshot(payload)
+}

@@ -1,0 +1,111 @@
+package rcr
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+// MinRegionDuration is the shortest region the measurement is considered
+// trustworthy for; the paper's implementation requires code regions of at
+// least 0.1 second (§II-B). Shorter regions are still reported, with
+// TooShort set.
+const MinRegionDuration = 100 * time.Millisecond
+
+// Region is an in-flight bracketed measurement, created by StartRegion
+// and finished by End.
+type Region struct {
+	name        string
+	clock       Clock
+	reader      rapl.Reader
+	bb          *Blackboard
+	start       time.Duration
+	startEnergy []units.Joules
+}
+
+// RegionReport is the result of measuring one code region: the same
+// quantities the RCRdaemon API prints (paper §II-B) — elapsed time,
+// energy, average power, and the most recent temperature of each chip.
+type RegionReport struct {
+	Name     string
+	Elapsed  time.Duration
+	Energy   units.Joules
+	AvgPower units.Watts
+	// Per-socket breakdowns.
+	SocketEnergy []units.Joules
+	SocketPower  []units.Watts
+	Temps        []units.Celsius
+	// TooShort marks regions below MinRegionDuration.
+	TooShort bool
+}
+
+// StartRegion begins measuring a named code region. The reader supplies
+// energy; the blackboard (optional, may be nil) supplies temperatures.
+func StartRegion(name string, clock Clock, reader rapl.Reader, bb *Blackboard) (*Region, error) {
+	r := &Region{
+		name:        name,
+		clock:       clock,
+		reader:      reader,
+		bb:          bb,
+		start:       clock.Now(),
+		startEnergy: make([]units.Joules, reader.Domains()),
+	}
+	for d := range r.startEnergy {
+		e, err := reader.Energy(d)
+		if err != nil {
+			return nil, fmt.Errorf("rcr: region %q start: %w", name, err)
+		}
+		r.startEnergy[d] = e
+	}
+	return r, nil
+}
+
+// End finishes the region and returns its report.
+func (r *Region) End() (RegionReport, error) {
+	now := r.clock.Now()
+	rep := RegionReport{
+		Name:         r.name,
+		Elapsed:      now - r.start,
+		SocketEnergy: make([]units.Joules, len(r.startEnergy)),
+		SocketPower:  make([]units.Watts, len(r.startEnergy)),
+		Temps:        make([]units.Celsius, len(r.startEnergy)),
+	}
+	for d := range r.startEnergy {
+		e, err := r.reader.Energy(d)
+		if err != nil {
+			return RegionReport{}, fmt.Errorf("rcr: region %q end: %w", r.name, err)
+		}
+		de := e - r.startEnergy[d]
+		rep.SocketEnergy[d] = de
+		rep.SocketPower[d] = units.PowerOver(de, rep.Elapsed)
+		rep.Energy += de
+		if r.bb != nil {
+			if m, ok := r.bb.Socket(d, MeterTemperature); ok {
+				rep.Temps[d] = units.Celsius(m.Value)
+			}
+		}
+	}
+	rep.AvgPower = units.PowerOver(rep.Energy, rep.Elapsed)
+	rep.TooShort = rep.Elapsed < MinRegionDuration
+	return rep, nil
+}
+
+// String renders the report in the style of the RCRdaemon's per-region
+// output line.
+func (rr RegionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "region %s: %.2f s, %.1f J, %.1f W", rr.Name, rr.Elapsed.Seconds(), float64(rr.Energy), float64(rr.AvgPower))
+	for d := range rr.SocketEnergy {
+		fmt.Fprintf(&b, " | pkg%d %.1f J %.1f W", d, float64(rr.SocketEnergy[d]), float64(rr.SocketPower[d]))
+		if d < len(rr.Temps) && rr.Temps[d] != 0 {
+			fmt.Fprintf(&b, " %.0f°C", float64(rr.Temps[d]))
+		}
+	}
+	if rr.TooShort {
+		b.WriteString(" (below 0.1s: unreliable)")
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package rcr
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+// fakeClock is a settable Clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestRegionReport(t *testing.T) {
+	clock := &fakeClock{}
+	reader := rapl.NewFake(2)
+	bb, _ := NewBlackboard(2, 1)
+	bb.SetSocket(0, MeterTemperature, 70, 0)
+	bb.SetSocket(1, MeterTemperature, 68, 0)
+
+	r, err := StartRegion("kernel", clock, reader, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.Add(0, 800)
+	reader.Add(1, 700)
+	clock.advance(10 * time.Second)
+	rep, err := r.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "kernel" {
+		t.Errorf("Name = %q", rep.Name)
+	}
+	if rep.Elapsed != 10*time.Second {
+		t.Errorf("Elapsed = %v", rep.Elapsed)
+	}
+	if rep.Energy != 1500 {
+		t.Errorf("Energy = %v, want 1500 J", rep.Energy)
+	}
+	if math.Abs(float64(rep.AvgPower-150)) > 1e-9 {
+		t.Errorf("AvgPower = %v, want 150 W", rep.AvgPower)
+	}
+	if rep.SocketEnergy[0] != 800 || rep.SocketEnergy[1] != 700 {
+		t.Errorf("SocketEnergy = %v", rep.SocketEnergy)
+	}
+	if math.Abs(float64(rep.SocketPower[0]-80)) > 1e-9 {
+		t.Errorf("SocketPower[0] = %v, want 80 W", rep.SocketPower[0])
+	}
+	if rep.Temps[0] != 70 || rep.Temps[1] != 68 {
+		t.Errorf("Temps = %v", rep.Temps)
+	}
+	if rep.TooShort {
+		t.Error("10 s region marked TooShort")
+	}
+}
+
+func TestRegionExcludesOutsideEnergy(t *testing.T) {
+	clock := &fakeClock{}
+	reader := rapl.NewFake(1)
+	reader.Add(0, 5000) // consumed before the region
+	r, err := StartRegion("r", clock, reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.Add(0, 250)
+	clock.advance(time.Second)
+	rep, err := r.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Energy != 250 {
+		t.Errorf("Energy = %v, want 250 J (pre-region energy excluded)", rep.Energy)
+	}
+}
+
+func TestRegionTooShort(t *testing.T) {
+	clock := &fakeClock{}
+	reader := rapl.NewFake(1)
+	r, _ := StartRegion("blip", clock, reader, nil)
+	clock.advance(50 * time.Millisecond)
+	rep, err := r.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TooShort {
+		t.Error("50 ms region not marked TooShort")
+	}
+	if !strings.Contains(rep.String(), "unreliable") {
+		t.Errorf("String() = %q, want unreliable marker", rep.String())
+	}
+}
+
+func TestRegionReaderErrors(t *testing.T) {
+	clock := &fakeClock{}
+	reader := rapl.NewFake(1)
+	reader.SetError(errors.New("boom"))
+	if _, err := StartRegion("x", clock, reader, nil); err == nil {
+		t.Error("StartRegion with failing reader succeeded")
+	}
+	reader.SetError(nil)
+	r, err := StartRegion("x", clock, reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.SetError(errors.New("boom"))
+	if _, err := r.End(); err == nil {
+		t.Error("End with failing reader succeeded")
+	}
+}
+
+func TestRegionStringFormat(t *testing.T) {
+	rep := RegionReport{
+		Name:         "lulesh",
+		Elapsed:      48*time.Second + 600*time.Millisecond,
+		Energy:       7064,
+		AvgPower:     145.4,
+		SocketEnergy: []units.Joules{3500, 3564},
+		SocketPower:  []units.Watts{72.0, 73.4},
+		Temps:        []units.Celsius{71, 69},
+	}
+	s := rep.String()
+	for _, want := range []string{"lulesh", "48.60 s", "7064.0 J", "145.4 W", "pkg0", "pkg1", "71°C"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

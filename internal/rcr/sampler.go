@@ -1,0 +1,104 @@
+package rcr
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/rapl"
+)
+
+// DefaultSamplePeriod is how often the sampler refreshes the blackboard.
+// The real RCRdaemon updates its shared-memory region at a similar rate;
+// consumers like the MAESTRO throttle daemon poll less often (0.1 s) to
+// smooth jitter (paper §IV).
+const DefaultSamplePeriod = 10 * time.Millisecond
+
+// Sampler periodically reads the RAPL counters and the machine's uncore
+// metrics into a blackboard. It is driven by the simulated machine's
+// virtual-time ticker, so samples land at exact virtual instants.
+type Sampler struct {
+	m        *machine.Machine
+	reader   rapl.Reader
+	bb       *Blackboard
+	period   time.Duration
+	tickerID int
+
+	// Engine-goroutine state (only touched inside the ticker callback).
+	lastEnergy []float64
+	lastTime   time.Duration
+	haveLast   bool
+}
+
+// StartSampler registers a sampler on the machine and returns it. The
+// blackboard is updated every period of virtual time until Stop.
+func StartSampler(m *machine.Machine, reader rapl.Reader, bb *Blackboard, period time.Duration) (*Sampler, error) {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	if reader.Domains() != m.Config().Sockets {
+		return nil, fmt.Errorf("rcr: reader has %d domains, machine has %d sockets", reader.Domains(), m.Config().Sockets)
+	}
+	if bb.Sockets() != m.Config().Sockets || bb.Cores() != m.Config().Cores() {
+		return nil, fmt.Errorf("rcr: blackboard topology %d/%d does not match machine %d/%d",
+			bb.Sockets(), bb.Cores(), m.Config().Sockets, m.Config().Cores())
+	}
+	s := &Sampler{
+		m:          m,
+		reader:     reader,
+		bb:         bb,
+		period:     period,
+		lastEnergy: make([]float64, reader.Domains()),
+	}
+	id, err := m.AddTicker(period, s.sample)
+	if err != nil {
+		return nil, err
+	}
+	s.tickerID = id
+	return s, nil
+}
+
+// Blackboard returns the blackboard this sampler writes.
+func (s *Sampler) Blackboard() *Blackboard { return s.bb }
+
+// Reader returns the RAPL reader this sampler polls.
+func (s *Sampler) Reader() rapl.Reader { return s.reader }
+
+// Period returns the sampling period.
+func (s *Sampler) Period() time.Duration { return s.period }
+
+// Stop unregisters the sampler's ticker.
+func (s *Sampler) Stop() { s.m.RemoveTicker(s.tickerID) }
+
+// sample runs on the machine's engine goroutine at each period.
+func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
+	dt := now - s.lastTime
+	totalE, totalP := 0.0, 0.0
+	for d := 0; d < s.reader.Domains(); d++ {
+		e, err := s.reader.Energy(d)
+		if err != nil {
+			// Counter read failures are recorded as a stale meter rather
+			// than tearing down the daemon.
+			continue
+		}
+		s.bb.SetSocket(d, MeterEnergy, float64(e), now)
+		totalE += float64(e)
+		if s.haveLast && dt > 0 {
+			p := (float64(e) - s.lastEnergy[d]) / dt.Seconds()
+			s.bb.SetSocket(d, MeterPower, p, now)
+			totalP += p
+		}
+		s.lastEnergy[d] = float64(e)
+	}
+	for d, sock := range snap.Sockets {
+		s.bb.SetSocket(d, MeterMemBandwidth, float64(sock.Bandwidth), now)
+		s.bb.SetSocket(d, MeterMemConcurrency, sock.OutstandingRefs, now)
+		s.bb.SetSocket(d, MeterTemperature, float64(sock.Temperature), now)
+	}
+	s.bb.SetSystem(MeterEnergy, totalE, now)
+	if s.haveLast && dt > 0 {
+		s.bb.SetSystem(MeterPower, totalP, now)
+	}
+	s.lastTime = now
+	s.haveLast = true
+}

@@ -1,0 +1,73 @@
+// Package stats provides the small summary statistics the measurement
+// protocol needs: the paper repeats every test ten times, reports the
+// lowest execution time, and notes that "modern processors have enough
+// internal heterogeneity that execution times often vary by several
+// percent run to run" (§II).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	Stddev float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CV returns the coefficient of variation (stddev/mean), or 0 for a
+// non-positive mean.
+func (s Summary) CV() float64 {
+	if s.Mean <= 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g median=%.4g mean=%.4g max=%.4g sd=%.3g (cv %.2f%%)",
+		s.N, s.Min, s.Median, s.Mean, s.Max, s.Stddev, s.CV()*100)
+}

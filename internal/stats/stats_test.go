@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("median = %g", s.Median)
+	}
+	// Sample stddev of {1,2,3,4} is sqrt(5/3).
+	if math.Abs(s.Stddev-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("stddev = %g", s.Stddev)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if got := Summarize([]float64{9, 1, 5}).Median; got != 5 {
+		t.Errorf("median = %g, want 5", got)
+	}
+}
+
+func TestSummarizeSingleAndEmpty(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.Stddev != 0 {
+		t.Errorf("single-element summary = %+v", s)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestCV(t *testing.T) {
+	s := Summary{Mean: 100, Stddev: 5}
+	if got := s.CV(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("CV = %g", got)
+	}
+	if got := (Summary{Mean: 0, Stddev: 5}).CV(); got != 0 {
+		t.Errorf("CV with zero mean = %g", got)
+	}
+}
+
+func TestStringIncludesFields(t *testing.T) {
+	out := Summarize([]float64{1, 2, 3}).String()
+	for _, want := range []string{"n=3", "min=1", "max=3", "median=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 50
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		return s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

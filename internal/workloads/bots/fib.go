@@ -1,0 +1,108 @@
+package bots
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/workloads"
+)
+
+// Fib is BOTS Fibonacci *with cutoff*: tasks are spawned down to a fixed
+// recursion depth and computed serially below it, so tasks are coarse
+// enough to amortize scheduling (paper §II). Unlike the untuned
+// micro-benchmark it scales near-linearly; the compilers still differ
+// sharply in power (GCC ~96 W — stall-heavy task code — versus ICC
+// ~157 W dense compute, Tables II/III).
+type Fib struct {
+	p  workloads.Params
+	cg compiler.CodeGen
+
+	n      int
+	cutoff int
+	want   uint64
+	got    uint64
+
+	perLeaf  float64
+	activity float64
+	numLeafs int
+}
+
+// BOTS-like parameters: fib(30) with a manual cutoff 9 levels down gives
+// 512 coarse leaf tasks.
+const (
+	botsFibN      = 30
+	botsFibCutoff = 9
+)
+
+// NewFib creates the workload.
+func NewFib() *Fib { return &Fib{} }
+
+// Name returns the canonical app name.
+func (w *Fib) Name() string { return compiler.AppFibCutoff }
+
+// Prepare calibrates the charge model.
+func (w *Fib) Prepare(p workloads.Params) error {
+	p = p.WithDefaults()
+	cg, err := workloads.Lookup(w.Name(), p.Target)
+	if err != nil {
+		return err
+	}
+	w.p, w.cg = p, cg
+	w.n = botsFibN
+	w.cutoff = botsFibCutoff
+	w.want = fibIter(w.n)
+	w.numLeafs = 1 << uint(w.cutoff)
+
+	total, act, err := computeCalib(p.MachineConfig, w.Name(), p.Target, p.Scale)
+	if err != nil {
+		return err
+	}
+	w.perLeaf = total / float64(w.numLeafs)
+	w.activity = act
+	return nil
+}
+
+func fibIter(n int) uint64 {
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+func fibRec(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibRec(n-1) + fibRec(n-2)
+}
+
+// Root returns the benchmark body.
+func (w *Fib) Root() qthreads.Task {
+	return func(tc *qthreads.TC) {
+		w.got = w.run(tc, w.n, w.cutoff)
+	}
+}
+
+func (w *Fib) run(tc *qthreads.TC, n, depth int) uint64 {
+	if depth == 0 || n < 2 {
+		v := fibRec(n)
+		tc.Execute(machine.Work{Ops: w.perLeaf, Activity: w.activity})
+		return v
+	}
+	var a uint64
+	tc.Spawn(func(tc *qthreads.TC) { a = w.run(tc, n-1, depth-1) })
+	b := w.run(tc, n-2, depth-1)
+	tc.Sync()
+	return a + b
+}
+
+// Validate checks the Fibonacci value.
+func (w *Fib) Validate() error {
+	if w.got != w.want {
+		return fmt.Errorf("bots-fib: fib(%d) = %d, want %d", w.n, w.got, w.want)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package bots implements the Barcelona OpenMP Task Suite benchmarks the
+// paper evaluates (§II, reference [4]): protein alignment (-for and
+// -single variants), Fibonacci with cutoff, the health system simulation,
+// n-queens with cutoff, sort with cutoff, sparse LU decomposition (-for
+// and -single), and Strassen matrix multiplication. Each is a real
+// algorithm with BOTS' task-generation pattern and cutoff structure,
+// charging calibrated costs to the simulated machine (see package
+// workloads).
+package bots
+
+import (
+	"math"
+
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// computeCalib calibrates a compute-bound benchmark: the total charged
+// cycles for the whole run and the power activity, from the paper's
+// 16-thread time and watts for the given build.
+func computeCalib(cfg machine.Config, app string, t compiler.Target, scale float64) (totalCycles, activity float64, err error) {
+	cg, err := workloads.Lookup(app, t)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, _ := compiler.PaperEntry(app, baseTargetFor(app, t))
+	seconds := base.Seconds * cg.TimeFactor * scale
+	totalCycles = seconds * float64(cfg.Cores()) * float64(cfg.BaseFreq)
+	activity = workloads.SolveActivity(cfg, cg.TargetWatts,
+		cfg.CoresPerSocket, 0, 0, 1, 0, 0)
+	return totalCycles, activity, nil
+}
+
+// baseTargetFor returns the anchor entry's target: GCC -O2 when the paper
+// built the app with GCC, else the app's own compiler at -O2.
+func baseTargetFor(app string, t compiler.Target) compiler.Target {
+	if compiler.Supported(app, compiler.Baseline.Compiler) {
+		return compiler.Baseline
+	}
+	return compiler.Target{Compiler: t.Compiler, Opt: compiler.O2}
+}
+
+// bwProfile is the calibrated charge model of a bandwidth-knee benchmark.
+type bwProfile struct {
+	// demand is the per-thread bandwidth demand in bytes/s; satShare
+	// threads per socket saturate the (penalty-degraded) capacity.
+	demand float64
+	// afBW16 is the bandwidth-limited progress fraction with all 16
+	// threads running.
+	afBW16 float64
+	// totalCycles is the charged compute volume of the whole run.
+	totalCycles float64
+	// bytesPerCycle converts charged cycles to memory traffic.
+	bytesPerCycle float64
+	// activity and overlap shape power draw.
+	activity, overlap float64
+}
+
+// bwCalib calibrates a bandwidth-knee benchmark: satShare is the number
+// of threads per socket at which the socket saturates (half the
+// node-wide knee the paper's speedup figures show), overlap the
+// compute/memory overlap credit of the algorithm.
+func bwCalib(cfg machine.Config, app string, t compiler.Target, scale, satShare, overlap float64) (bwProfile, error) {
+	cg, err := workloads.Lookup(app, t)
+	if err != nil {
+		return bwProfile{}, err
+	}
+	base, _ := compiler.PaperEntry(app, baseTargetFor(app, t))
+	seconds := base.Seconds * cg.TimeFactor * scale
+
+	mem := cfg.Mem
+	f := float64(cfg.BaseFreq)
+	coreCap := float64(mem.MaxCoreBandwidth())
+	// Self-consistent demand at the 16-thread equilibrium.
+	demand := float64(mem.BandwidthPerSocket) / satShare
+	var ceff float64
+	for i := 0; i < 40; i++ {
+		refsPerCore := math.Min(demand/float64(mem.PerRefBandwidth()), float64(mem.MaxRefsPerCore))
+		ceff = mem.EffectiveCapacity(refsPerCore * float64(cfg.CoresPerSocket))
+		demand = ceff / satShare
+		if demand > coreCap {
+			demand = coreCap
+		}
+	}
+	grant16 := ceff / float64(cfg.CoresPerSocket)
+	afBW := grant16 / demand
+	if afBW > 1 {
+		afBW = 1
+	}
+	p := bwProfile{
+		demand:        demand,
+		afBW16:        afBW,
+		totalCycles:   seconds * float64(cfg.Cores()) * f * afBW,
+		bytesPerCycle: demand / f,
+		overlap:       overlap,
+	}
+	util := ceff / float64(mem.BandwidthPerSocket)
+	p.activity = workloads.SolveActivity(cfg, cg.TargetWatts,
+		cfg.CoresPerSocket, 0, 0, afBW, overlap, util)
+	return p, nil
+}
+
+// work builds the machine work item for a slice of the calibrated cycle
+// budget.
+func (p bwProfile) work(cycles float64) machine.Work {
+	return machine.Work{
+		Ops:      cycles,
+		Bytes:    cycles * p.bytesPerCycle,
+		Activity: p.activity,
+		Overlap:  p.overlap,
+	}
+}

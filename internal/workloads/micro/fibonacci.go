@@ -1,0 +1,165 @@
+package micro
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/workloads"
+)
+
+// Fibonacci is the untuned recursive Fibonacci micro-benchmark: a task
+// per call with no cutoff. The two compilers produce qualitatively
+// different programs (paper Tables II/III):
+//
+//   - GCC: every tiny call becomes an OpenMP task. The run is dominated
+//     by task allocation/queue traffic on shared cache lines, so adding
+//     threads adds coherence ping-pong: 16 threads run 1.5× *slower*
+//     than serial, at low power (~92–97 W) because the cores are
+//     latency-stalled on the allocator.
+//   - ICC: the inliner collapses the recursion into coarse compute-bound
+//     work; 13.5 s at ~143 W regardless of optimization level.
+type Fibonacci struct {
+	p  workloads.Params
+	cg compiler.CodeGen
+
+	n        int
+	depth    int
+	want     uint64
+	got      uint64
+	numLeafs int
+
+	// GCC mechanism: contended allocator line.
+	virtPerLeaf  float64
+	lineCost     float64
+	pingpong     float64
+	lineActivity float64
+	bodyPerLeaf  float64
+	// ICC mechanism: coarse compute.
+	opsPerLeaf float64
+	activity   float64
+}
+
+// Fibonacci mechanism constants: the virtual task tree is far larger
+// than the real one (scale = virtual nodes per real leaf); the allocator
+// critical section costs ~340 cycles uncontended, with the ping-pong
+// factor fitted to the paper's 1.5× slowdown from serial to 16 threads.
+const (
+	fibN            = 26
+	fibSpawnDepth   = 10 // 2^10 leaf tasks
+	fibLineCost     = 340
+	fibBodyCycles   = 60 // per virtual call outside the allocator
+	fibGCCSerialSec = 51.3
+)
+
+// NewFibonacci creates the workload.
+func NewFibonacci() *Fibonacci { return &Fibonacci{} }
+
+// Name returns the canonical app name.
+func (w *Fibonacci) Name() string { return compiler.AppFibonacci }
+
+// Prepare calibrates the mechanism for the selected compiler.
+func (w *Fibonacci) Prepare(p workloads.Params) error {
+	p = p.WithDefaults()
+	cg, err := workloads.Lookup(w.Name(), p.Target)
+	if err != nil {
+		return err
+	}
+	w.p, w.cg = p, cg
+	w.n = fibN
+	w.depth = fibSpawnDepth
+	w.want = fibValue(w.n)
+	w.numLeafs = 1 << uint(w.depth)
+
+	cfg := p.MachineConfig
+	f := float64(cfg.BaseFreq)
+	entry, ok := compiler.PaperEntry(w.Name(), p.Target)
+	if !ok {
+		return fmt.Errorf("micro: fibonacci has no %v entry", p.Target)
+	}
+	if p.Target.Compiler == compiler.GCC {
+		// Virtual call count from the serial anchor: T(1) = Nv×(alloc +
+		// body)/f scaled by this build's time relative to the -O3 row
+		// (the fastest GCC build anchors the serial estimate).
+		gccBase, _ := compiler.PaperEntry(w.Name(), compiler.Target{Compiler: compiler.GCC, Opt: compiler.O3})
+		serial := fibGCCSerialSec * (entry.Seconds / gccBase.Seconds) * p.Scale
+		nv := serial * f / (fibLineCost + fibBodyCycles)
+		w.virtPerLeaf = nv / float64(w.numLeafs)
+		w.bodyPerLeaf = w.virtPerLeaf * fibBodyCycles
+		w.lineCost = fibLineCost
+		// Fit ping-pong to this build's 16-thread time:
+		// T16 ≈ Nv×cost×(1+15λ)/f + Nv×body/(16f).
+		atomicShare := entry.Seconds*p.Scale - nv*fibBodyCycles/(16*f)
+		mult := atomicShare * f / (nv * fibLineCost)
+		if mult < 1 {
+			mult = 1
+		}
+		w.pingpong = (mult - 1) / 15
+		w.lineActivity = workloads.SolveActivity(cfg, entry.Watts,
+			cfg.CoresPerSocket, 0, 0, 1, 0, 0)
+	} else {
+		// ICC: compute-bound coarse tasks.
+		total := entry.Seconds * p.Scale * float64(cfg.Cores()) * f
+		w.opsPerLeaf = total / float64(w.numLeafs)
+		w.activity = workloads.SolveActivity(cfg, entry.Watts,
+			cfg.CoresPerSocket, 0, 0, 1, 0, 0)
+	}
+	return nil
+}
+
+// fibValue computes Fibonacci numbers iteratively for the reference.
+func fibValue(n int) uint64 {
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// fibSerial is the real recursion run inside leaf tasks.
+func fibSerial(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+// Root returns the benchmark body.
+func (w *Fibonacci) Root() qthreads.Task {
+	return func(tc *qthreads.TC) {
+		var line *machine.Line
+		if w.p.Target.Compiler == compiler.GCC {
+			line = tc.Machine().NewLine(w.lineCost, w.pingpong, w.lineActivity)
+		}
+		w.got = w.fib(tc, w.n, w.depth, line)
+	}
+}
+
+// fib spawns the real task recursion down to the given depth; leaves
+// compute their subtree for real and charge the mechanism costs.
+func (w *Fibonacci) fib(tc *qthreads.TC, n, depth int, line *machine.Line) uint64 {
+	if depth == 0 || n < 2 {
+		v := fibSerial(n)
+		if line != nil {
+			tc.Atomic(line, w.virtPerLeaf)
+			tc.Compute(w.bodyPerLeaf)
+		} else {
+			tc.Execute(machine.Work{Ops: w.opsPerLeaf, Activity: w.activity})
+		}
+		return v
+	}
+	var a uint64
+	tc.Spawn(func(tc *qthreads.TC) { a = w.fib(tc, n-1, depth-1, line) })
+	b := w.fib(tc, n-2, depth-1, line)
+	tc.Sync()
+	return a + b
+}
+
+// Validate checks the Fibonacci value.
+func (w *Fibonacci) Validate() error {
+	if w.got != w.want {
+		return fmt.Errorf("fibonacci: fib(%d) = %d, want %d", w.n, w.got, w.want)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package micro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/workloads"
+)
+
+// Mergesort is the untuned micro-benchmark sort: the classic "default
+// implementation" that parallelizes only the top-level split (two
+// sections sorting one half each, then a sequential merge). It therefore
+// scales to exactly 2 threads (paper §II-C.4) and, being memory-bound
+// with most threads parked, draws the study's lowest power (~60 W).
+type Mergesort struct {
+	p  workloads.Params
+	cg compiler.CodeGen
+
+	data   []int32
+	out    []int32
+	sorted bool
+
+	// Charge model: each half-sort streams bytesHalf at opsHalf compute
+	// cycles (memory-bound); the final merge is charged on the root.
+	opsHalf, bytesHalf   float64
+	opsMerge, bytesMerge float64
+	activity             float64
+}
+
+// Mergesort shape constants at GCC -O2 (see DESIGN.md): of the 22.5 s
+// 16-thread run, ~18.5 s is the two parallel half-sorts and ~4 s the
+// serial merge; the compute stream occupies ~20% of the memory-bound
+// time.
+const (
+	mergesortElems     = 2_000_000
+	msHalfSecBase      = 18.5
+	msMergeSecBase     = 4.0
+	msComputeShareBase = 0.20
+)
+
+// NewMergesort creates the workload.
+func NewMergesort() *Mergesort { return &Mergesort{} }
+
+// Name returns the canonical app name.
+func (s *Mergesort) Name() string { return compiler.AppMergesort }
+
+// Prepare generates data and calibrates the charge model.
+func (s *Mergesort) Prepare(p workloads.Params) error {
+	p = p.WithDefaults()
+	cg, err := workloads.Lookup(s.Name(), p.Target)
+	if err != nil {
+		return err
+	}
+	s.p, s.cg = p, cg
+
+	n := int(mergesortElems * p.Scale)
+	if n < 4 {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	s.data = make([]int32, n)
+	for i := range s.data {
+		s.data[i] = int32(rng.Uint32())
+	}
+	s.out = make([]int32, n)
+
+	cfg := p.MachineConfig
+	f := float64(cfg.BaseFreq)
+	coreCap := float64(cfg.Mem.MaxCoreBandwidth())
+
+	// Memory traffic is a property of the data volume; compute scales
+	// with the compiler. Fit the compute scale so the predicted total
+	// time matches the paper for this build (at -O0 the bottleneck moves
+	// from bandwidth to compute; scaling cycles by the raw time ratio
+	// would change nothing while the run is bandwidth-bound).
+	bytesHalf := msHalfSecBase * coreCap * p.Scale
+	bytesMerge := msMergeSecBase * coreCap * p.Scale
+	opsHalfBase := msComputeShareBase * f * msHalfSecBase * p.Scale
+	opsMergeBase := msComputeShareBase * f * msMergeSecBase * p.Scale
+	target, ok := compiler.PaperEntry(s.Name(), p.Target)
+	if !ok {
+		return fmt.Errorf("micro: mergesort has no %v entry", p.Target)
+	}
+	predict := func(sc float64) float64 {
+		half := maxf(opsHalfBase*sc/f, bytesHalf/coreCap)
+		merge := maxf(opsMergeBase*sc/f, bytesMerge/coreCap)
+		return half + merge
+	}
+	sc := workloads.SolveScale(predict, target.Seconds*p.Scale, 0.01, 1000)
+	s.bytesHalf, s.bytesMerge = bytesHalf, bytesMerge
+	s.opsHalf = opsHalfBase * sc
+	s.opsMerge = opsMergeBase * sc
+
+	// Power at the calibration point (16 threads): one busy core per
+	// socket (the two halves), the rest parked, streaming at the core
+	// cap.
+	halfTime := maxf(s.opsHalf/f, bytesHalf/coreCap)
+	afBW := (s.opsHalf / f) / halfTime
+	util := (bytesHalf / halfTime) / float64(cfg.Mem.BandwidthPerSocket)
+	s.activity = workloads.SolveActivity(cfg, cg.TargetWatts,
+		1, cfg.CoresPerSocket-1, 0, afBW, 0, util)
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Root returns the benchmark body.
+func (s *Mergesort) Root() qthreads.Task {
+	return func(tc *qthreads.TC) {
+		s.sorted = false
+		n := len(s.data)
+		mid := n / 2
+		left := make([]int32, mid)
+		right := make([]int32, n-mid)
+		// The two "sections": each really sorts its half.
+		tc.Spawn(func(tc *qthreads.TC) {
+			copy(left, s.data[:mid])
+			serialMergesort(left)
+			tc.Execute(machine.Work{Ops: s.opsHalf / 2, Bytes: s.bytesHalf / 2, Activity: s.activity})
+			tc.Execute(machine.Work{Ops: s.opsHalf / 2, Bytes: s.bytesHalf / 2, Activity: s.activity})
+		})
+		tc.Spawn(func(tc *qthreads.TC) {
+			copy(right, s.data[mid:])
+			serialMergesort(right)
+			tc.Execute(machine.Work{Ops: s.opsHalf / 2, Bytes: s.bytesHalf / 2, Activity: s.activity})
+			tc.Execute(machine.Work{Ops: s.opsHalf / 2, Bytes: s.bytesHalf / 2, Activity: s.activity})
+		})
+		tc.Sync()
+		// Sequential final merge on the root.
+		mergeInto(s.out, left, right)
+		tc.Execute(machine.Work{Ops: s.opsMerge, Bytes: s.bytesMerge, Activity: s.activity})
+		s.sorted = true
+	}
+}
+
+// serialMergesort is a real bottom-up merge sort.
+func serialMergesort(a []int32) {
+	n := len(a)
+	buf := make([]int32, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeInto(buf[lo:hi], a[lo:mid], a[mid:hi])
+		}
+		copy(a, buf)
+	}
+}
+
+// mergeInto merges two sorted slices into dst (len(dst) == len(a)+len(b)).
+func mergeInto(dst, a, b []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// Validate checks the output is a sorted permutation of the input.
+func (s *Mergesort) Validate() error {
+	if !s.sorted {
+		return fmt.Errorf("mergesort: run did not complete")
+	}
+	var sumIn, sumOut int64
+	for _, v := range s.data {
+		sumIn += int64(v)
+	}
+	for i, v := range s.out {
+		sumOut += int64(v)
+		if i > 0 && s.out[i-1] > v {
+			return fmt.Errorf("mergesort: out[%d]=%d > out[%d]=%d", i-1, s.out[i-1], i, v)
+		}
+	}
+	if sumIn != sumOut {
+		return fmt.Errorf("mergesort: element checksum mismatch (%d vs %d)", sumIn, sumOut)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/rapl"
+	"repro/internal/rcr"
+)
+
+// RunOnce executes a prepared workload on a fresh qthreads runtime with
+// the given worker count, bracketing it in an RCR region exactly as the
+// paper instruments its benchmarks (§II-B), and validates the result.
+// The machine keeps accumulating energy and temperature across calls;
+// callers control warm-up via machine.WarmAll.
+func RunOnce(m *machine.Machine, wl Workload, workers int) (rcr.RegionReport, error) {
+	reader, err := rapl.NewMSRReader(m.MSR())
+	if err != nil {
+		return rcr.RegionReport{}, err
+	}
+	qcfg := qthreads.DefaultConfig()
+	qcfg.Workers = workers
+	rt, err := qthreads.New(m, qcfg)
+	if err != nil {
+		return rcr.RegionReport{}, err
+	}
+	defer rt.Shutdown()
+	return RunOnRuntime(rt, reader, nil, wl)
+}
+
+// RunOnRuntime executes one measured run of a workload on an existing
+// runtime, using the given RAPL reader for the region energy and an
+// optional blackboard for temperatures. The caller owns runtime and
+// daemon lifecycles, which lets throttling experiments wrap the run with
+// a MAESTRO daemon.
+func RunOnRuntime(rt *qthreads.Runtime, reader rapl.Reader, bb *rcr.Blackboard, wl Workload) (rcr.RegionReport, error) {
+	m := rt.Machine()
+	region, err := rcr.StartRegion(wl.Name(), m, reader, bb)
+	if err != nil {
+		return rcr.RegionReport{}, err
+	}
+	if err := rt.Run(wl.Root()); err != nil {
+		return rcr.RegionReport{}, fmt.Errorf("workloads: running %s: %w", wl.Name(), err)
+	}
+	rep, err := region.End()
+	if err != nil {
+		return rcr.RegionReport{}, err
+	}
+	if err := wl.Validate(); err != nil {
+		return rcr.RegionReport{}, fmt.Errorf("workloads: %s produced a wrong answer: %w", wl.Name(), err)
+	}
+	return rep, nil
+}
