@@ -44,6 +44,14 @@ func benchTable(b *testing.B, run func(*experiments.Lab) (experiments.TableResul
 				cells++
 			}
 		}
+		if cells == 0 {
+			// No overlap between the table and the paper's entries (can
+			// happen with a trimmed-down app suite): report zero error
+			// rather than dividing by zero into NaN metrics.
+			b.Logf("%s: no unskipped cells; error metrics not meaningful", res.Title)
+			meanTimeErr, meanPowerErr = 0, 0
+			continue
+		}
 		meanTimeErr = te / float64(cells) * 100
 		meanPowerErr = pe / float64(cells) * 100
 	}
@@ -65,6 +73,11 @@ func benchFigure(b *testing.B, run func(*experiments.Lab) (experiments.FigureRes
 		res, err := run(lab)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Logf("%s: no supported applications; speedup metric not meaningful", res.Title)
+			meanSpeedup = 0
+			continue
 		}
 		total := 0.0
 		for _, s := range res.Series {

@@ -33,34 +33,41 @@ type PolicyAblationRow struct {
 func (lab *Lab) PolicyAblation() ([]PolicyAblationRow, error) {
 	target := compiler.Target{Compiler: compiler.GCC, Opt: compiler.O3}
 	apps := []string{compiler.AppSparseLUSingle, compiler.AppLULESH}
-	var rows []PolicyAblationRow
-	for _, app := range apps {
-		base := RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true}
-		baseline, err := lab.Measure(base)
-		if err != nil {
-			return nil, err
+	rows := make([]PolicyAblationRow, len(apps))
+	// Three independent runs per app; every cell fills its own field of
+	// the app's row, deltas are derived once all cells are in.
+	err := lab.runCells(len(apps)*3, func(i int) error {
+		app, variant := apps[i/3], i%3
+		spec := RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true}
+		switch variant {
+		case 1:
+			spec.Throttle = ThrottleDynamic
+		case 2:
+			spec.Throttle = ThrottleDynamic
+			spec.Maestro = maestro.Config{Policy: maestro.PowerOnly}
 		}
-		dualSpec := base
-		dualSpec.Throttle = ThrottleDynamic
-		dual, err := lab.Measure(dualSpec)
+		meas, err := lab.Measure(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		poSpec := base
-		poSpec.Throttle = ThrottleDynamic
-		poSpec.Maestro = maestro.Config{Policy: maestro.PowerOnly}
-		po, err := lab.Measure(poSpec)
-		if err != nil {
-			return nil, err
+		row := &rows[i/3]
+		row.App = app
+		switch variant {
+		case 0:
+			row.Baseline = meas
+		case 1:
+			row.Dual = meas
+		case 2:
+			row.PowerOnly = meas
 		}
-		rows = append(rows, PolicyAblationRow{
-			App:         app,
-			Baseline:    baseline,
-			Dual:        dual,
-			PowerOnly:   po,
-			DualDeltaE:  (dual.Joules - baseline.Joules) / baseline.Joules * 100,
-			PowerDeltaE: (po.Joules - baseline.Joules) / baseline.Joules * 100,
-		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].DualDeltaE = (rows[i].Dual.Joules - rows[i].Baseline.Joules) / rows[i].Baseline.Joules * 100
+		rows[i].PowerDeltaE = (rows[i].PowerOnly.Joules - rows[i].Baseline.Joules) / rows[i].Baseline.Joules * 100
 	}
 	return rows, nil
 }
@@ -100,28 +107,35 @@ func (lab *Lab) MechanismAblation() ([]MechanismAblationRow, error) {
 		{compiler.AppDijkstra, 0.45},
 		{compiler.AppLULESH, 0.6},
 	}
-	var rows []MechanismAblationRow
-	for _, c := range cases {
-		scale := throttleScale(c.app)
-		base := RunSpec{App: c.app, Target: target, Workers: FullThreads, Scale: scale, SpinOnlyIdle: true}
-		baseline, err := lab.Measure(base)
-		if err != nil {
-			return nil, err
+	rows := make([]MechanismAblationRow, len(cases))
+	err := lab.runCells(len(cases)*3, func(i int) error {
+		c, variant := cases[i/3], i%3
+		spec := RunSpec{App: c.app, Target: target, Workers: FullThreads, Scale: throttleScale(c.app), SpinOnlyIdle: true}
+		switch variant {
+		case 1:
+			spec.Throttle = ThrottleDynamic
+		case 2:
+			spec.Throttle = ThrottleDynamic
+			spec.Maestro = maestro.Config{Mechanism: maestro.ScaleFrequency, FrequencyGear: c.gear}
 		}
-		dutySpec := base
-		dutySpec.Throttle = ThrottleDynamic
-		duty, err := lab.Measure(dutySpec)
+		meas, err := lab.Measure(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dvfsSpec := base
-		dvfsSpec.Throttle = ThrottleDynamic
-		dvfsSpec.Maestro = maestro.Config{Mechanism: maestro.ScaleFrequency, FrequencyGear: c.gear}
-		dvfs, err := lab.Measure(dvfsSpec)
-		if err != nil {
-			return nil, err
+		row := &rows[i/3]
+		row.App, row.Gear = c.app, c.gear
+		switch variant {
+		case 0:
+			row.Baseline = meas
+		case 1:
+			row.DutyCycle = meas
+		case 2:
+			row.DVFS = meas
 		}
-		rows = append(rows, MechanismAblationRow{App: c.app, Gear: c.gear, Baseline: baseline, DutyCycle: duty, DVFS: dvfs})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -147,13 +161,23 @@ func (lab *Lab) PowerCapStudy(cap units.Watts) (PowerCapResult, error) {
 	target := compiler.Target{Compiler: compiler.GCC, Opt: compiler.O3}
 	// A longer run gives the controller time to converge.
 	base := RunSpec{App: app, Target: target, Workers: FullThreads, Scale: 3, SpinOnlyIdle: true}
-	uncapped, err := lab.Measure(base)
-	if err != nil {
-		return PowerCapResult{}, err
-	}
-	cappedSpec := base
-	cappedSpec.PowerCap = cap
-	capped, err := lab.Measure(cappedSpec)
+	var uncapped, capped Measurement
+	err := lab.runCells(2, func(i int) error {
+		spec := base
+		if i == 1 {
+			spec.PowerCap = cap
+		}
+		meas, err := lab.Measure(spec)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			uncapped = meas
+		} else {
+			capped = meas
+		}
+		return nil
+	})
 	if err != nil {
 		return PowerCapResult{}, err
 	}

@@ -54,11 +54,19 @@ func (lab *Lab) ColdStart() (ColdStartResult, error) {
 		}
 		return Measurement{App: wl.Name(), Seconds: rep.Elapsed.Seconds(), Joules: float64(rep.Energy), Watts: float64(rep.AvgPower)}, nil
 	}
-	cold, err := run(false)
-	if err != nil {
-		return ColdStartResult{}, err
-	}
-	warm, err := run(true)
+	var cold, warm Measurement
+	err := lab.runCells(2, func(i int) error {
+		m, err := run(i == 1)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			cold = m
+		} else {
+			warm = m
+		}
+		return nil
+	})
 	if err != nil {
 		return ColdStartResult{}, err
 	}
@@ -97,23 +105,35 @@ func WellScalingApps() []string {
 // without the MAESTRO daemon under the spin-only runtime.
 func (lab *Lab) ThrottleOverhead() ([]OverheadRow, error) {
 	target := compiler.Target{Compiler: compiler.GCC, Opt: compiler.O3}
-	var rows []OverheadRow
-	for _, app := range WellScalingApps() {
-		fixed, err := lab.Measure(RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true})
-		if err != nil {
-			return nil, err
+	apps := WellScalingApps()
+	rows := make([]OverheadRow, len(apps))
+	// Fixed and dynamic runs of each app are independent cells; the
+	// percentages are derived once both of a row's cells are in.
+	err := lab.runCells(len(apps)*2, func(i int) error {
+		app, dynamic := apps[i/2], i%2 == 1
+		spec := RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true}
+		if dynamic {
+			spec.Throttle = ThrottleDynamic
 		}
-		dyn, err := lab.Measure(RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true, Throttle: ThrottleDynamic})
+		meas, err := lab.Measure(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, OverheadRow{
-			App:         app,
-			FixedSec:    fixed.Seconds,
-			DynamicSec:  dyn.Seconds,
-			OverheadPct: (dyn.Seconds - fixed.Seconds) / fixed.Seconds * 100,
-			Activations: dyn.Daemon.Activations,
-		})
+		row := &rows[i/2]
+		row.App = app
+		if dynamic {
+			row.DynamicSec = meas.Seconds
+			row.Activations = meas.Daemon.Activations
+		} else {
+			row.FixedSec = meas.Seconds
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].OverheadPct = (rows[i].DynamicSec - rows[i].FixedSec) / rows[i].FixedSec * 100
 	}
 	return rows, nil
 }
@@ -182,11 +202,19 @@ func (lab *Lab) DutyCycleSavings() (DutyCycleResult, error) {
 		}
 		return units.PowerOver(m.TotalEnergy()-startE, elapsed), nil
 	}
-	full, err := measure(0)
-	if err != nil {
-		return DutyCycleResult{}, err
-	}
-	throttled, err := measure(4)
+	var full, throttled units.Watts
+	err := lab.runCells(2, func(i int) error {
+		w, err := measure(i * 4)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			full = w
+		} else {
+			throttled = w
+		}
+		return nil
+	})
 	if err != nil {
 		return DutyCycleResult{}, err
 	}

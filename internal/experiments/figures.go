@@ -66,36 +66,67 @@ func (lab *Lab) Figure4() (FigureResult, error) {
 
 // figure sweeps thread counts for each app at -O2 with the given
 // compiler. Apps the paper did not build with that compiler are skipped
-// (e.g. sparselu-for under GCC).
+// (e.g. sparselu-for under GCC). Every (app, thread-count) point is an
+// independent run, so the whole figure fans out on the Lab's worker pool
+// rather than sweeping one curve at a time.
 func (lab *Lab) figure(title string, apps []string, c compiler.Compiler) (FigureResult, error) {
 	res := FigureResult{Title: title}
 	target := compiler.Target{Compiler: c, Opt: compiler.O2}
+	var supported []string
 	for _, app := range apps {
-		if !compiler.Supported(app, c) {
-			continue
+		if compiler.Supported(app, c) {
+			supported = append(supported, app)
 		}
-		s, err := lab.Sweep(app, target, sweepThreads)
+	}
+	threads := sweepThreads
+	meas := make([]Measurement, len(supported)*len(threads))
+	err := lab.runCells(len(meas), func(i int) error {
+		app, k := supported[i/len(threads)], threads[i%len(threads)]
+		m, err := lab.Measure(RunSpec{App: app, Target: target, Workers: k})
 		if err != nil {
-			return FigureResult{}, err
+			return fmt.Errorf("experiments: sweep %s %v @%d: %w", app, target, k, err)
 		}
-		res.Series = append(res.Series, s)
+		meas[i] = m
+		return nil
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+	for i, app := range supported {
+		res.Series = append(res.Series, deriveSeries(app, target, threads, meas[i*len(threads):(i+1)*len(threads)]))
 	}
 	return res, nil
 }
 
 // Sweep measures one application across thread counts and derives the
-// figure quantities.
+// figure quantities. The points are measured concurrently on the Lab's
+// worker pool.
 func (lab *Lab) Sweep(app string, target compiler.Target, threads []int) (Series, error) {
-	s := Series{App: app, Target: target}
-	for _, k := range threads {
-		meas, err := lab.Measure(RunSpec{App: app, Target: target, Workers: k})
+	meas := make([]Measurement, len(threads))
+	err := lab.runCells(len(threads), func(i int) error {
+		m, err := lab.Measure(RunSpec{App: app, Target: target, Workers: threads[i]})
 		if err != nil {
-			return Series{}, fmt.Errorf("experiments: sweep %s %v @%d: %w", app, target, k, err)
+			return fmt.Errorf("experiments: sweep %s %v @%d: %w", app, target, threads[i], err)
 		}
-		s.Threads = append(s.Threads, k)
-		s.Seconds = append(s.Seconds, meas.Seconds)
-		s.Joules = append(s.Joules, meas.Joules)
-		s.Watts = append(s.Watts, meas.Watts)
+		meas[i] = m
+		return nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return deriveSeries(app, target, threads, meas), nil
+}
+
+// deriveSeries assembles a Series from per-thread-count measurements,
+// deriving the figure quantities (speedup and normalized energy against
+// the first point).
+func deriveSeries(app string, target compiler.Target, threads []int, meas []Measurement) Series {
+	s := Series{App: app, Target: target}
+	for i, m := range meas {
+		s.Threads = append(s.Threads, threads[i])
+		s.Seconds = append(s.Seconds, m.Seconds)
+		s.Joules = append(s.Joules, m.Joules)
+		s.Watts = append(s.Watts, m.Watts)
 	}
 	if len(s.Seconds) > 0 && s.Seconds[0] > 0 && s.Joules[0] > 0 {
 		for i := range s.Seconds {
@@ -103,7 +134,7 @@ func (lab *Lab) Sweep(app string, target compiler.Target, threads []int) (Series
 			s.NormEnergy = append(s.NormEnergy, s.Joules[i]/s.Joules[0])
 		}
 	}
-	return s, nil
+	return s
 }
 
 // At returns the series values at a thread count.

@@ -78,6 +78,13 @@ type Lab struct {
 	Repeats int
 	// Seed feeds workload input generation.
 	Seed int64
+	// Parallel bounds how many experiment cells (independent simulated
+	// runs) execute concurrently: each cell gets its own machine, so
+	// tables, figures and ablations fan out without affecting results.
+	// Zero means GOMAXPROCS; 1 disables parallelism and restores the
+	// strictly serial execution (including fail-fast on the first cell
+	// error) the Lab has always had.
+	Parallel int
 }
 
 // NewLab returns a Lab with defaults.
@@ -121,16 +128,21 @@ func (lab *Lab) MeasureSeries(spec RunSpec, n int) ([]Measurement, SeriesSummary
 	if n < 1 {
 		n = 1
 	}
-	out := make([]Measurement, 0, n)
+	out := make([]Measurement, n)
+	if err := lab.runCells(n, func(r int) error {
+		m, err := lab.runOnceSeeded(spec, lab.Seed+int64(r))
+		if err != nil {
+			return err
+		}
+		out[r] = m
+		return nil
+	}); err != nil {
+		return nil, SeriesSummary{}, err
+	}
 	secs := make([]float64, 0, n)
 	joules := make([]float64, 0, n)
 	watts := make([]float64, 0, n)
-	for r := 0; r < n; r++ {
-		m, err := lab.runOnceSeeded(spec, lab.Seed+int64(r))
-		if err != nil {
-			return nil, SeriesSummary{}, err
-		}
-		out = append(out, m)
+	for _, m := range out {
 		secs = append(secs, m.Seconds)
 		joules = append(joules, m.Joules)
 		watts = append(watts, m.Watts)

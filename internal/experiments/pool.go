@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the Lab's parallelism: Parallel when positive,
+// GOMAXPROCS when zero. A result of 1 selects the serial path, so a
+// single-CPU host (or Parallel = 1) behaves exactly as the serial Lab
+// always has.
+func (lab *Lab) workers() int {
+	n := lab.Parallel
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runCells runs fn(0) … fn(n-1) — one independent experiment cell each —
+// on a bounded worker pool. Cells must write their results into
+// index-addressed slots so the output order never depends on scheduling.
+//
+// With one worker the cells run in order and the first error returns
+// immediately, exactly like the loops this replaces. With more workers
+// every cell runs to completion and the lowest-index error is returned,
+// so the reported failure is also scheduling-independent.
+func (lab *Lab) runCells(n int, fn func(i int) error) error {
+	workers := lab.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+func TestRunCellsSerialFailsFast(t *testing.T) {
+	lab := NewLab()
+	lab.Parallel = 1
+	var calls atomic.Int64
+	wantErr := errors.New("cell 2 broke")
+	err := lab.runCells(10, func(i int) error {
+		calls.Add(1)
+		if i == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("serial runCells ran %d cells after an error at cell 2, want 3", calls.Load())
+	}
+}
+
+func TestRunCellsParallelReturnsLowestIndexError(t *testing.T) {
+	lab := NewLab()
+	lab.Parallel = 4
+	var calls atomic.Int64
+	err := lab.runCells(16, func(i int) error {
+		calls.Add(1)
+		if i == 11 || i == 5 {
+			return fmt.Errorf("cell %d broke", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 5 broke" {
+		t.Fatalf("err = %v, want the lowest-index failure (cell 5)", err)
+	}
+	if calls.Load() != 16 {
+		t.Errorf("parallel runCells ran %d of 16 cells", calls.Load())
+	}
+}
+
+func TestRunCellsCoversEveryIndexOnce(t *testing.T) {
+	lab := NewLab()
+	lab.Parallel = 3
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := lab.runCells(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("cell %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestParallelSweepMatchesSerial is the determinism gate for the parallel
+// Lab: every cell runs on its own machine with a seed derived from the
+// spec alone, so a fanned-out sweep must reproduce the serial one — same
+// structure and ordering exactly, measurements within the run-to-run
+// scheduling noise multi-worker simulations already have (the machine is
+// repeatable "modulo Go scheduling of work stealing"; observed noise is
+// ~1e-4 relative, far under every experiment tolerance).
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	target := compiler.Target{Compiler: compiler.GCC, Opt: compiler.O2}
+	threads := []int{1, 2, 4}
+
+	serialLab := NewLab()
+	serialLab.Parallel = 1
+	serial, err := serialLab.Sweep(compiler.AppReduction, target, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelLab := NewLab()
+	parallelLab.Parallel = 4
+	parallel, err := parallelLab.Sweep(compiler.AppReduction, target, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.App != parallel.App || serial.Target != parallel.Target ||
+		!reflect.DeepEqual(serial.Threads, parallel.Threads) {
+		t.Fatalf("parallel sweep structure differs:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	close := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d points serial vs %d parallel", name, len(a), len(b))
+		}
+		for i := range a {
+			if diff := (a[i] - b[i]) / a[i]; diff > 5e-3 || diff < -5e-3 {
+				t.Errorf("%s[%d]: serial %g vs parallel %g", name, i, a[i], b[i])
+			}
+		}
+	}
+	close("Seconds", serial.Seconds, parallel.Seconds)
+	close("Joules", serial.Joules, parallel.Joules)
+	close("Watts", serial.Watts, parallel.Watts)
+	close("Speedup", serial.Speedup, parallel.Speedup)
+	close("NormEnergy", serial.NormEnergy, parallel.NormEnergy)
+}

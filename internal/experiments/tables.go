@@ -58,31 +58,39 @@ func (lab *Lab) optTable(title string, c compiler.Compiler) (TableResult, error)
 	return lab.compilerTable(title, targets)
 }
 
-// compilerTable measures every suite application under each target.
+// compilerTable measures every suite application under each target. The
+// app × target cells are independent runs, so they fan out on the Lab's
+// worker pool; each cell writes its own slot, keeping the table identical
+// whatever the scheduling.
 func (lab *Lab) compilerTable(title string, targets []compiler.Target) (TableResult, error) {
 	res := TableResult{Title: title}
 	for _, t := range targets {
 		res.Columns = append(res.Columns, t.String())
 	}
-	for _, app := range compiler.Apps() {
-		row := TableRow{App: app}
-		for _, t := range targets {
-			cell := TableCell{Label: t.String()}
-			paper, ok := compiler.PaperEntry(app, t)
-			if !ok {
-				cell.Skipped = true
-				row.Cells = append(row.Cells, cell)
-				continue
-			}
-			cell.Paper = paper
-			meas, err := lab.Measure(RunSpec{App: app, Target: t, Workers: FullThreads})
-			if err != nil {
-				return TableResult{}, fmt.Errorf("experiments: %s %v: %w", app, t, err)
-			}
-			cell.Meas = meas
-			row.Cells = append(row.Cells, cell)
+	apps := compiler.Apps()
+	res.Rows = make([]TableRow, len(apps))
+	for i, app := range apps {
+		res.Rows[i] = TableRow{App: app, Cells: make([]TableCell, len(targets))}
+	}
+	err := lab.runCells(len(apps)*len(targets), func(i int) error {
+		app, t := apps[i/len(targets)], targets[i%len(targets)]
+		cell := &res.Rows[i/len(targets)].Cells[i%len(targets)]
+		cell.Label = t.String()
+		paper, ok := compiler.PaperEntry(app, t)
+		if !ok {
+			cell.Skipped = true
+			return nil
 		}
-		res.Rows = append(res.Rows, row)
+		cell.Paper = paper
+		meas, err := lab.Measure(RunSpec{App: app, Target: t, Workers: FullThreads})
+		if err != nil {
+			return fmt.Errorf("experiments: %s %v: %w", app, t, err)
+		}
+		cell.Meas = meas
+		return nil
+	})
+	if err != nil {
+		return TableResult{}, err
 	}
 	return res, nil
 }

@@ -114,7 +114,9 @@ func (lab *Lab) ThrottleTable(app string) (ThrottleResult, error) {
 		{Fixed16, FullThreads, ThrottleOff},
 		{Fixed12, ThrottledThreads, ThrottleOff},
 	}
-	for _, c := range configs {
+	res.Rows = make([]ThrottleRow, len(configs))
+	err := lab.runCells(len(configs), func(i int) error {
+		c := configs[i]
 		meas, err := lab.Measure(RunSpec{
 			App:          app,
 			Target:       target,
@@ -124,10 +126,14 @@ func (lab *Lab) ThrottleTable(app string) (ThrottleResult, error) {
 			Throttle:     c.throttle,
 		})
 		if err != nil {
-			return ThrottleResult{}, fmt.Errorf("experiments: %s %s: %w", app, c.cfg, err)
+			return fmt.Errorf("experiments: %s %s: %w", app, c.cfg, err)
 		}
 		paper, _ := PaperThrottleEntry(app, c.cfg)
-		res.Rows = append(res.Rows, ThrottleRow{Config: c.cfg, Meas: meas, Paper: paper})
+		res.Rows[i] = ThrottleRow{Config: c.cfg, Meas: meas, Paper: paper}
+		return nil
+	})
+	if err != nil {
+		return ThrottleResult{}, err
 	}
 	return res, nil
 }

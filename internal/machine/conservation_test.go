@@ -148,15 +148,22 @@ func TestBandwidthConservationUnderChurn(t *testing.T) {
 	var mu sync.Mutex
 	start := m.Now()
 	bodies := map[int]func(*CoreCtx){}
+	// Draw each core's arrival delay and volume up front: the bodies run
+	// on concurrent goroutines and math/rand.Rand is not safe for shared
+	// use.
 	rng := rand.New(rand.NewSource(7))
 	perCore := make([]float64, 8)
 	for i := 0; i < 8; i++ {
 		perCore[i] = float64(1+rng.Intn(20)) * 1e8
 	}
+	delay := make([]time.Duration, 8)
+	for i := 0; i < 8; i++ {
+		delay[i] = time.Duration(rng.Intn(10)) * time.Millisecond
+	}
 	for i := 0; i < 8; i++ {
 		i := i
 		bodies[i] = func(c *CoreCtx) {
-			c.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+			c.Sleep(delay[i])
 			c.Stream(perCore[i])
 			mu.Lock()
 			totalBytes += perCore[i]

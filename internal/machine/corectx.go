@@ -43,6 +43,7 @@ func (x *CoreCtx) block(setup func(c *core)) wakeMsg {
 		panic(fmt.Sprintf("machine: core %d charging call in state %d (concurrent use of CoreCtx?)", x.c.id, state))
 	}
 	setup(x.c)
+	m.indexBlockedLocked(x.c)
 	m.running--
 	m.engCond.Signal()
 	m.mu.Unlock()

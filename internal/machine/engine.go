@@ -16,7 +16,8 @@ const never = time.Duration(math.MaxInt64)
 const defaultIdlePace = 200 * time.Microsecond
 
 // engine is the single goroutine that advances virtual time. It runs until
-// the machine is stopped. See the package comment for the execution model.
+// the machine is stopped. See the package comment and docs/engine.md for
+// the execution model.
 func (m *Machine) engine() {
 	defer close(m.engineDone)
 	m.mu.Lock()
@@ -78,27 +79,30 @@ func (m *Machine) engine() {
 
 // wakeReadyLocked wakes every waiting core whose condition is true or
 // whose deadline has been reached. It reports whether any core was woken.
+// Conditions are arbitrary host functions, so the cores carrying one
+// (m.condWaiters) are polled each pass; pure deadline sleeps cost nothing
+// until the deadline heap's front comes due.
 func (m *Machine) wakeReadyLocked() bool {
 	woke := false
-	for _, c := range m.cores {
-		if c.state != coreSpinWait && c.state != coreIdleWait {
-			continue
-		}
-		if c.cond != nil && c.cond() {
-			m.wakeLocked(c, wakeMsg{condMet: true})
+	for i := 0; i < len(m.condWaiters); {
+		c := m.condWaiters[i]
+		if c.cond() {
+			m.wakeLocked(c, wakeMsg{condMet: true}) // removes condWaiters[i]
 			woke = true
 			continue
 		}
-		if c.deadline > 0 && m.now >= c.deadline {
-			m.wakeLocked(c, wakeMsg{})
-			woke = true
-		}
+		i++
+	}
+	for len(m.dlHeap) > 0 && m.now >= m.dlHeap[0].deadline {
+		m.wakeLocked(m.dlHeap[0], wakeMsg{})
+		woke = true
 	}
 	return woke
 }
 
 // wakeLocked transitions a blocked core back to host execution.
 func (m *Machine) wakeLocked(c *core, msg wakeMsg) {
+	m.unindexBlockedLocked(c)
 	c.state = coreRunning
 	c.cond = nil
 	c.deadline = 0
@@ -111,39 +115,39 @@ func (m *Machine) wakeLocked(c *core, msg wakeMsg) {
 // deadline or wait deadline, capped by MaxStep while demand exists. It
 // returns ok=false when nothing can advance time (pure condition waits);
 // tickerOnly=true when the step exists solely to reach a ticker deadline.
+// It reads only the incremental indexes (busy lists, line groups, event
+// heaps) — never the full core array.
 func (m *Machine) planStepLocked() (dt time.Duration, tickerOnly, ok bool) {
 	earliest := never
-	hasDemand := false
-	hasDeadline := false
+	hasDemand := m.totBusy > 0 || m.totAtomic > 0
+	hasDeadline := len(m.dlHeap) > 0
 
 	// Per-socket Turbo boost from current occupancy (busy + atomic
 	// cores); constant across the step because occupancy only changes at
 	// completions, which bound the step.
-	for sock := 0; sock < m.cfg.Sockets; sock++ {
-		occupied := 0
-		for _, c := range m.cores {
-			if c.socket == sock && (c.state == coreBusy || c.state == coreAtomic) {
-				occupied++
-			}
-		}
-		m.stepBoost[sock] = m.cfg.Turbo.boostFor(occupied, m.cfg.CoresPerSocket)
+	for sock := range m.socks {
+		m.stepBoost[sock] = m.cfg.Turbo.boostFor(m.socks[sock].occupied(), m.cfg.CoresPerSocket)
 	}
 
-	// Memory-contended busy cores, socket by socket.
-	for sock := 0; sock < m.cfg.Sockets; sock++ {
-		var busy []*core
-		var demands []float64
-		for _, c := range m.cores {
-			if c.socket == sock && c.state == coreBusy {
-				busy = append(busy, c)
-				demands = append(demands, c.bwDemand(m.cfg, m.freqScale[sock]*m.stepBoost[sock]))
-			}
+	// Memory-contended busy cores, socket by socket. The busy lists are
+	// id-ordered, so demand vectors match the order the old full scans
+	// produced and the allocator's arithmetic is unchanged.
+	for sock := range m.socks {
+		busy := m.socks[sock].busy
+		if len(busy) == 0 {
+			m.stepRefs[sock] = 0
+			m.stepUtil[sock] = 0
+			continue
 		}
-		grants, refs, util := m.cfg.Mem.allocate(demands)
+		demands := m.demandScratch[:0]
+		for _, c := range busy {
+			demands = append(demands, c.bwDemand(m.cfg, m.freqScale[sock]*m.stepBoost[sock]))
+		}
+		m.demandScratch = demands[:0]
+		grants, refs, util := m.cfg.Mem.allocateInto(demands, &m.allocScratch)
 		m.stepRefs[sock] = refs
 		m.stepUtil[sock] = util
 		for i, c := range busy {
-			hasDemand = true
 			cycleRate := float64(m.cfg.BaseFreq) * c.duty * m.freqScale[sock] * m.stepBoost[sock]
 			var opsRate, bytesRate float64
 			switch {
@@ -185,18 +189,12 @@ func (m *Machine) planStepLocked() (dt time.Duration, tickerOnly, ok bool) {
 
 	// Atomic (contended cache line) cores, grouped by line. Service is
 	// serialized across the group and each operation's cost grows with
-	// the number of contenders (coherence ping-pong).
-	groups := make(map[*Line][]*core)
-	for _, c := range m.cores {
-		if c.state == coreAtomic {
-			groups[c.line] = append(groups[c.line], c)
-		}
-	}
-	for line, g := range groups {
-		k := float64(len(g))
+	// the number of contenders (coherence ping-pong). The groups are
+	// maintained incrementally at state transitions.
+	for line, g := range m.lineGroups {
+		k := float64(len(g.members))
 		mult := 1 + line.pingpong*(k-1)
-		for _, c := range g {
-			hasDemand = true
+		for _, c := range g.members {
 			rate := float64(m.cfg.BaseFreq) * c.duty * m.freqScale[c.socket] * m.stepBoost[c.socket] / (line.costCycles * mult * k)
 			c.stepOpsRate = rate
 			if rate <= 0 {
@@ -209,18 +207,16 @@ func (m *Machine) planStepLocked() (dt time.Duration, tickerOnly, ok bool) {
 		}
 	}
 
-	// Ticker and wait deadlines.
-	for _, tk := range m.tickers {
-		if d := tk.next - m.now; d < earliest {
+	// Ticker and wait deadlines: the earliest of each is the front of its
+	// min-heap.
+	if len(m.tickerHeap) > 0 {
+		if d := m.tickerHeap[0].next - m.now; d < earliest {
 			earliest = d
 		}
 	}
-	for _, c := range m.cores {
-		if (c.state == coreSpinWait || c.state == coreIdleWait) && c.deadline > 0 {
-			hasDeadline = true
-			if d := c.deadline - m.now; d < earliest {
-				earliest = d
-			}
+	if hasDeadline {
+		if d := m.dlHeap[0].deadline - m.now; d < earliest {
+			earliest = d
 		}
 	}
 
@@ -250,13 +246,13 @@ func (m *Machine) advanceLocked(dt time.Duration) {
 	secs := dt.Seconds()
 
 	// Energy and thermal integration per socket, using pre-progress
-	// states (rates are constant across the step by construction).
+	// states (rates are constant across the step by construction). Every
+	// core contributes power whatever its state, so this walks each
+	// socket's contiguous core range once (in id order — the same
+	// summation order as ever).
 	for sock := 0; sock < m.cfg.Sockets; sock++ {
 		p := m.cfg.Power.UncoreBase
-		for _, c := range m.cores {
-			if c.socket != sock {
-				continue
-			}
+		for _, c := range m.coresOf(sock) {
 			p += m.cfg.Power.corePower(c.state, c.duty, m.freqScale[sock]*m.stepBoost[sock], c.effActiveFrac())
 		}
 		p += m.cfg.Power.BandwidthMax * units.Watts(m.stepUtil[sock])
@@ -278,7 +274,9 @@ func (m *Machine) advanceLocked(dt time.Duration) {
 		}
 	}
 
-	// Progress work and cycle counters; wake completed cores.
+	// Progress work and cycle counters; wake completed cores. This walks
+	// the stable core array (not the mutable busy lists) because
+	// completions unindex cores mid-loop.
 	for _, c := range m.cores {
 		switch c.state {
 		case coreBusy:
@@ -303,31 +301,53 @@ func (m *Machine) advanceLocked(dt time.Duration) {
 	m.updateSnapLocked()
 }
 
+// coresOf returns socket sock's cores, which are contiguous (and
+// id-ordered) in m.cores.
+func (m *Machine) coresOf(sock int) []*core {
+	return m.cores[sock*m.cfg.CoresPerSocket : (sock+1)*m.cfg.CoresPerSocket]
+}
+
 // completeLocked finishes a core's current work item and resumes its
 // owner.
 func (m *Machine) completeLocked(c *core) {
 	c.remOps, c.remBytes, c.remAtomics = 0, 0, 0
-	c.line = nil
 	if err := m.msrFile.AddCoreCycles(c.id, c.cycles); err != nil {
 		panic(err) // core ids are internally consistent
 	}
 	c.cycles = 0
-	m.wakeLocked(c, wakeMsg{})
+	m.wakeLocked(c, wakeMsg{}) // unindexes first, so c.line must still be set
+	c.line = nil
 }
 
 // fireTickersLocked runs every ticker whose deadline has arrived, passing
-// each the same post-step snapshot.
+// each the same post-step snapshot (a reused buffer — see TickerFunc).
+//
+// Step planning never advances past a pending ticker deadline (the heap
+// front bounds every step, and AddTicker kicks a re-plan), so each due
+// ticker fires exactly once per crossed deadline. If a step nonetheless
+// overshoots several periods, the missed deadlines are coalesced into the
+// single fire and counted on the ticker rather than replayed against one
+// stale snapshot.
 func (m *Machine) fireTickersLocked() {
-	var snap *Snapshot
-	for _, tk := range m.tickers {
-		for tk.next <= m.now {
-			if snap == nil {
-				s := m.cloneSnapLocked()
-				snap = &s
-			}
-			tk.fn(m.now, snap)
-			tk.next += tk.period
+	if len(m.tickerHeap) == 0 || m.tickerHeap[0].next > m.now {
+		return
+	}
+	m.tickSnap.Now = m.lastSnap.Now
+	if len(m.tickSnap.Sockets) != len(m.lastSnap.Sockets) {
+		m.tickSnap.Sockets = make([]SocketSnapshot, len(m.lastSnap.Sockets))
+	}
+	copy(m.tickSnap.Sockets, m.lastSnap.Sockets)
+	for len(m.tickerHeap) > 0 && m.tickerHeap[0].next <= m.now {
+		tk := m.tickerHeap[0]
+		tk.fn(m.now, &m.tickSnap)
+		tk.next += tk.period
+		if tk.next <= m.now {
+			// Overshoot: coalesce the deadlines this step skipped.
+			n := (m.now-tk.next)/tk.period + 1
+			tk.coalesced += uint64(n)
+			tk.next += time.Duration(n) * tk.period
 		}
+		m.tkFixLocked(0)
 	}
 }
 
@@ -340,10 +360,8 @@ func (m *Machine) updateSnapLocked() {
 	m.lastSnap.Now = m.now
 	for sock := 0; sock < m.cfg.Sockets; sock++ {
 		grantTotal := 0.0
-		for _, c := range m.cores {
-			if c.socket == sock && c.state == coreBusy {
-				grantTotal += c.stepBytesRate
-			}
+		for _, c := range m.socks[sock].busy {
+			grantTotal += c.stepBytesRate
 		}
 		m.lastSnap.Sockets[sock] = SocketSnapshot{
 			Power:                m.stepPower[sock],

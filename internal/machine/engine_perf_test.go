@@ -1,0 +1,218 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// steadyStateLoad enrolls a background mix that keeps the engine stepping
+// through every index it maintains: a compute/memory busy core, two cores
+// contending one atomic line, and a deadline spinner. It returns a stop
+// function that winds the workers down.
+func steadyStateLoad(tb testing.TB, m *Machine) (stop func()) {
+	tb.Helper()
+	var done atomic.Bool
+	line := m.NewLine(40, 0.5, 0.85)
+	var wg sync.WaitGroup
+	bg := func(id int, body func(*CoreCtx)) {
+		ctx, err := m.Enroll(id)
+		if err != nil {
+			tb.Fatalf("Enroll(%d): %v", id, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(Abort); !ok {
+						panic(r)
+					}
+				}
+			}()
+			defer ctx.Release()
+			for !done.Load() {
+				body(ctx)
+			}
+		}()
+	}
+	// The spin condition is hoisted out of the loop: a fresh closure per
+	// SpinFor call escapes into the core and would count as a (worker-side)
+	// allocation per iteration.
+	spinDone := func() bool { return done.Load() }
+	bg(1, func(ctx *CoreCtx) { ctx.Execute(Work{Ops: 2.7e6, Bytes: 1e6, Overlap: 0.5}) })
+	bg(2, func(ctx *CoreCtx) { ctx.Atomic(line, 1000) })
+	bg(3, func(ctx *CoreCtx) { ctx.Atomic(line, 1000) })
+	bg(4, func(ctx *CoreCtx) { ctx.SpinFor(spinDone, time.Millisecond) })
+	return func() {
+		done.Store(true)
+		m.Kick()
+		wg.Wait()
+	}
+}
+
+// TestEngineStepAllocs is the zero-allocation regression gate for the
+// engine's steady state: with a busy/atomic/spin mix in flight and a
+// ticker firing, charging a long work item (hundreds of MaxStep quanta)
+// must not allocate. The old scan-per-step engine allocated several slices
+// per quantum, i.e. thousands per run measured here.
+func TestEngineStepAllocs(t *testing.T) {
+	m := newTestMachine(t)
+	if _, err := m.AddTicker(100*time.Microsecond, func(time.Duration, *Snapshot) {}); err != nil {
+		t.Fatal(err)
+	}
+	stop := steadyStateLoad(t, m)
+	defer stop()
+
+	fg, err := m.Enroll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fg.Release()
+
+	// ~1e9 ops at 2.7 GHz is ~370 ms of virtual time = ~370 MaxStep quanta
+	// (plus as many ticker fires and background wake/sleep cycles) per
+	// measured call. AllocsPerRun's warm-up call grows every scratch
+	// buffer, heap and pool to its steady-state size.
+	const steps = 370.0
+	allocs := testing.AllocsPerRun(5, func() {
+		fg.Execute(Work{Ops: 1e9})
+	})
+	// Tolerate a handful of runtime-internal allocations (sudog cache
+	// refills and the like); the engine's own per-step allocations would
+	// show up as hundreds per run.
+	if allocs > 10 {
+		t.Errorf("engine steady state allocates: %.0f allocs per run (%.3f per step), want 0",
+			allocs, allocs/steps)
+	}
+}
+
+// TestTickerCoalescesOvershoot exercises fireTickersLocked's fallback
+// directly: if a step somehow lands beyond several deadlines of one
+// ticker, the ticker fires once, the skipped deadlines are counted in
+// tk.coalesced, and the next deadline is re-armed strictly in the future.
+func TestTickerCoalescesOvershoot(t *testing.T) {
+	m := newTestMachine(t)
+	fires := 0
+	id, err := m.AddTicker(10*time.Microsecond, func(time.Duration, *Snapshot) { fires++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	tk := m.tickers[id]
+	m.now = 55 * time.Microsecond // 5.5 periods past registration
+	m.fireTickersLocked()
+	next, coalesced := tk.next, tk.coalesced
+	m.mu.Unlock()
+	if fires != 1 {
+		t.Errorf("ticker fired %d times for one overshot step, want 1", fires)
+	}
+	if coalesced != 4 {
+		t.Errorf("coalesced = %d, want 4 (deadlines at 20..50µs merged into the fire at 10µs)", coalesced)
+	}
+	if want := 60 * time.Microsecond; next != want {
+		t.Errorf("next deadline = %v, want %v", next, want)
+	}
+}
+
+// TestTickerFiresAdvanceMonotonically checks the planning invariant the
+// coalescing fallback backstops: with a ticker period far below MaxStep,
+// every fire sees a strictly later virtual time and no deadline is ever
+// skipped while work is in flight.
+func TestTickerFiresAdvanceMonotonically(t *testing.T) {
+	m := newTestMachine(t)
+	var mu sync.Mutex
+	var fires []time.Duration
+	id, err := m.AddTicker(50*time.Microsecond, func(now time.Duration, _ *Snapshot) {
+		mu.Lock()
+		fires = append(fires, now)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOn(t, m, map[int]func(*CoreCtx){
+		0: func(ctx *CoreCtx) { ctx.Compute(2.7e6) }, // ~1 ms
+	})
+	m.RemoveTicker(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fires) < 10 {
+		t.Fatalf("got %d fires across ~1ms with a 50µs period, want >= 10", len(fires))
+	}
+	for i := 1; i < len(fires); i++ {
+		if fires[i] <= fires[i-1] {
+			t.Fatalf("fire %d at %v not after fire %d at %v", i, fires[i], i-1, fires[i-1])
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, tk := range m.tickers {
+		if tk.coalesced != 0 {
+			t.Errorf("ticker %d coalesced %d deadlines; planning should bound every step", id, tk.coalesced)
+		}
+	}
+}
+
+// BenchmarkEngineStep measures one engine quantum with a representative
+// background mix: the foreground work is sized so each step advances a
+// full MaxStep, making ns/op the cost of planning + advancing one step.
+func BenchmarkEngineStep(b *testing.B) {
+	cfg := testConfig()
+	cfg.VirtualTimeLimit = 0 // b.N steps of 1ms each can pass any fixed limit
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	stop := steadyStateLoad(b, m)
+	defer stop()
+	fg, err := m.Enroll(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fg.Release()
+	opsPerStep := float64(cfg.BaseFreq) * cfg.MaxStep.Seconds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	fg.Execute(Work{Ops: opsPerStep * float64(b.N)})
+}
+
+// BenchmarkChargingCall measures the round-trip of a minimal charging
+// call: block, one engine step, wake.
+func BenchmarkChargingCall(b *testing.B) {
+	cfg := testConfig()
+	cfg.VirtualTimeLimit = 0
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	fg, err := m.Enroll(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fg.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fg.Compute(1)
+	}
+}
+
+// BenchmarkMembwAllocate measures one socket's bandwidth allocation for a
+// full complement of demanding cores.
+func BenchmarkMembwAllocate(b *testing.B) {
+	mem := M620().Mem
+	demands := make([]float64, 8)
+	for i := range demands {
+		demands[i] = float64(mem.BandwidthPerSocket) / 4 * float64(i+1) / 8
+	}
+	var s allocScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.allocateInto(demands, &s)
+	}
+}

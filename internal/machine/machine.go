@@ -84,6 +84,9 @@ type core struct {
 	// non-zero, when virtual time reaches it.
 	cond     func() bool
 	deadline time.Duration
+	// dlIdx is the core's position in the engine's deadline heap, -1 when
+	// absent (see events.go).
+	dlIdx int
 	// Wakeup channel; buffered so the engine never blocks sending.
 	wake chan wakeMsg
 
@@ -100,12 +103,23 @@ type ticker struct {
 	period time.Duration
 	next   time.Duration
 	fn     TickerFunc
+	// heapIdx is the ticker's position in the engine's deadline heap
+	// (see events.go), -1 when removed.
+	heapIdx int
+	// coalesced counts deadlines merged into a single fire because a step
+	// overshot more than one period. Step planning bounds every step by
+	// the earliest ticker deadline, so this stays zero unless a future
+	// change breaks that invariant; fireTickersLocked tolerates overshoot
+	// by firing once and jumping past the missed deadlines.
+	coalesced uint64
 }
 
 // TickerFunc is called by the engine at each ticker deadline with the
 // current virtual time and a metrics snapshot. It runs on the engine
 // goroutine with the machine lock held: it must be fast and must not call
-// any Machine or CoreCtx method (reading the MSR file is allowed).
+// any Machine or CoreCtx method (reading the MSR file is allowed). The
+// snapshot is only valid for the duration of the call — the engine reuses
+// its buffer across fires; use Snapshot.Clone to retain it.
 type TickerFunc func(now time.Duration, s *Snapshot)
 
 // SocketSnapshot is the instantaneous state of one socket.
@@ -142,6 +156,20 @@ type Machine struct {
 	nextTickerID int
 	kicked       bool
 
+	// Incremental engine indexes (events.go): per-socket busy lists and
+	// state counts, the contended-line groups, the waiting cores whose
+	// conditions need polling, and the min-heaps of virtual-time events
+	// (wait deadlines and ticker deadlines). Updated at state
+	// transitions; the per-step planner never rescans m.cores.
+	socks       []socketIndex
+	totBusy     int
+	totAtomic   int
+	condWaiters []*core // wait-state cores with a condition, ascending id
+	dlHeap      []*core // wait-state cores with a deadline, min-heap
+	tickerHeap  []*ticker
+	lineGroups  map[*Line]*lineGroup
+	groupPool   []*lineGroup
+
 	energy      []float64 // exact joules per socket
 	temp        []units.Celsius
 	flushedTemp []units.Celsius // last temperature mirrored to the MSR file
@@ -152,6 +180,14 @@ type Machine struct {
 	stepRefs  []float64
 	stepUtil  []float64
 	stepPower []units.Watts
+
+	// Scratch buffers owned by the engine goroutine, reused every step so
+	// the steady-state hot path performs zero allocations (pinned by
+	// TestEngineStepAllocs): bandwidth demands, the allocator's working
+	// slices, and the snapshot buffer handed to ticker callbacks.
+	demandScratch []float64
+	allocScratch  allocScratch
+	tickSnap      Snapshot
 
 	// Per-socket DVFS state: the applied scale (engine-owned) and the
 	// lock-free request slots (see dvfs.go).
@@ -193,9 +229,20 @@ func New(cfg Config) (*Machine, error) {
 			socket: cfg.SocketOf(i),
 			state:  coreUnowned,
 			duty:   1,
+			dlIdx:  -1,
 			wake:   make(chan wakeMsg, 1),
 		}
 	}
+	m.socks = make([]socketIndex, cfg.Sockets)
+	for s := range m.socks {
+		m.socks[s].busy = make([]*core, 0, cfg.CoresPerSocket)
+	}
+	m.condWaiters = make([]*core, 0, cfg.Cores())
+	m.dlHeap = make([]*core, 0, cfg.Cores())
+	m.lineGroups = make(map[*Line]*lineGroup)
+	m.demandScratch = make([]float64, 0, cfg.CoresPerSocket)
+	m.allocScratch.grow(cfg.CoresPerSocket)
+	m.tickSnap.Sockets = make([]SocketSnapshot, cfg.Sockets)
 	for s := range m.temp {
 		m.temp[s] = cfg.Thermal.Ambient + 15 // powered on but cool
 	}
@@ -258,13 +305,16 @@ func (m *Machine) SocketEnergy(socket int) units.Joules {
 func (m *Machine) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.cloneSnapLocked()
+	return m.lastSnap.Clone()
 }
 
-func (m *Machine) cloneSnapLocked() Snapshot {
-	s := Snapshot{Now: m.lastSnap.Now, Sockets: make([]SocketSnapshot, len(m.lastSnap.Sockets))}
-	copy(s.Sockets, m.lastSnap.Sockets)
-	return s
+// Clone returns a deep copy of the snapshot. Ticker callbacks that need
+// to retain their snapshot beyond the call must clone it: the engine
+// reuses the snapshot buffer it passes them.
+func (s Snapshot) Clone() Snapshot {
+	out := Snapshot{Now: s.Now, Sockets: make([]SocketSnapshot, len(s.Sockets))}
+	copy(out.Sockets, s.Sockets)
+	return out
 }
 
 // SetTemperature forces a socket's die temperature, e.g. to start an
@@ -314,7 +364,13 @@ func (m *Machine) AddTicker(period time.Duration, fn TickerFunc) (int, error) {
 	defer m.mu.Unlock()
 	id := m.nextTickerID
 	m.nextTickerID++
-	m.tickers[id] = &ticker{period: period, next: m.now + period, fn: fn}
+	tk := &ticker{period: period, next: m.now + period, fn: fn}
+	m.tickers[id] = tk
+	m.tkPushLocked(tk)
+	// Force a re-plan: the engine may be mid pace-sleep with a step length
+	// computed before this ticker existed; without the kick it would
+	// advance past the new ticker's first deadlines (see fireTickersLocked).
+	m.kicked = true
 	m.engCond.Signal()
 	return id, nil
 }
@@ -323,7 +379,10 @@ func (m *Machine) AddTicker(period time.Duration, fn TickerFunc) (int, error) {
 func (m *Machine) RemoveTicker(id int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.tickers, id)
+	if tk, ok := m.tickers[id]; ok {
+		m.tkRemoveLocked(tk)
+		delete(m.tickers, id)
+	}
 }
 
 // Kick asks the engine to re-evaluate wait conditions. Call it after a
@@ -364,6 +423,7 @@ func (m *Machine) abortLocked(cause error) {
 	for _, c := range m.cores {
 		switch c.state {
 		case coreBusy, coreAtomic, coreSpinWait, coreIdleWait:
+			m.unindexBlockedLocked(c)
 			c.state = coreRunning
 			m.running++
 			c.wake <- wakeMsg{abort: cause}

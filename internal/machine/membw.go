@@ -19,16 +19,27 @@ package machine
 // Negative demands are treated as zero.
 func MaxMinFair(demands []float64, capacity float64) []float64 {
 	alloc := make([]float64, len(demands))
+	maxMinFairInto(demands, alloc, make([]bool, len(demands)), capacity)
+	return alloc
+}
+
+// maxMinFairInto is MaxMinFair writing into caller-owned buffers: alloc
+// and satisfied must be len(demands). It is the engine's allocation-free
+// hot path; the arithmetic (and its order) is exactly MaxMinFair's.
+func maxMinFairInto(demands, alloc []float64, satisfied []bool, capacity float64) {
+	for i := range alloc {
+		alloc[i] = 0
+	}
 	if capacity <= 0 || len(demands) == 0 {
-		return alloc
+		return
 	}
 	remaining := capacity
 	unsat := 0
-	satisfied := make([]bool, len(demands))
 	for i, d := range demands {
 		if d <= 0 {
 			satisfied[i] = true
 		} else {
+			satisfied[i] = false
 			unsat++
 		}
 	}
@@ -61,7 +72,6 @@ func MaxMinFair(demands []float64, capacity float64) []float64 {
 			remaining = 0
 		}
 	}
-	return alloc
 }
 
 // EffectiveCapacity returns the socket's usable bandwidth given the total
@@ -103,13 +113,44 @@ func (m MemParams) outstandingRefs(demands []float64) float64 {
 	return total
 }
 
+// allocScratch holds the per-call working slices of allocateInto so the
+// engine's per-step allocations can reuse one buffer set. Owned by the
+// engine goroutine; see docs/engine.md for the ownership rules.
+type allocScratch struct {
+	capped    []float64
+	grants    []float64
+	satisfied []bool
+}
+
+// grow sizes the scratch for n demands, reusing backing arrays when they
+// are already large enough.
+func (s *allocScratch) grow(n int) {
+	if cap(s.capped) < n {
+		s.capped = make([]float64, n)
+		s.grants = make([]float64, n)
+		s.satisfied = make([]bool, n)
+	}
+	s.capped = s.capped[:n]
+	s.grants = s.grants[:n]
+	s.satisfied = s.satisfied[:n]
+}
+
 // allocate runs the full per-socket allocation: cap each demand at the
 // per-core limit, derive outstanding references, degrade capacity if
 // oversubscribed, and split max-min fairly. It returns the grants, the
 // outstanding-reference count, and the utilization of the plateau
 // bandwidth in [0, 1].
 func (m MemParams) allocate(demands []float64) (grants []float64, refs float64, utilization float64) {
-	capped := make([]float64, len(demands))
+	var s allocScratch
+	return m.allocateInto(demands, &s)
+}
+
+// allocateInto is allocate writing into reusable scratch buffers: the
+// engine's zero-allocation hot path. The returned grants slice aliases
+// the scratch and is only valid until the next call with the same
+// scratch.
+func (m MemParams) allocateInto(demands []float64, s *allocScratch) (grants []float64, refs float64, utilization float64) {
+	s.grow(len(demands))
 	coreCap := float64(m.MaxCoreBandwidth())
 	for i, d := range demands {
 		if d < 0 {
@@ -118,10 +159,11 @@ func (m MemParams) allocate(demands []float64) (grants []float64, refs float64, 
 		if d > coreCap {
 			d = coreCap
 		}
-		capped[i] = d
+		s.capped[i] = d
 	}
-	refs = m.outstandingRefs(capped)
-	grants = MaxMinFair(capped, m.EffectiveCapacity(refs))
+	refs = m.outstandingRefs(s.capped)
+	maxMinFairInto(s.capped, s.grants, s.satisfied, m.EffectiveCapacity(refs))
+	grants = s.grants
 	total := 0.0
 	for _, g := range grants {
 		total += g

@@ -38,11 +38,17 @@ func TestRandomTaskDAGsComputeCorrectSums(t *testing.T) {
 			want += nodes
 			nodes *= int64(fanout)
 		}
+		// Draw every node's compute cost up front: tasks run on multiple
+		// worker goroutines and math/rand.Rand is not safe for concurrent
+		// use.
+		costs := make([]float64, want)
+		for i := range costs {
+			costs[i] = float64(1 + rng.Intn(5000))
+		}
 		var got atomic.Int64
 		var build func(tc *TC, d int)
 		build = func(tc *TC, d int) {
-			got.Add(1)
-			tc.Compute(float64(1 + rng.Intn(5000)))
+			tc.Compute(costs[got.Add(1)-1])
 			if d == depth {
 				return
 			}
