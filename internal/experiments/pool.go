@@ -27,8 +27,11 @@ func (lab *Lab) workers() int {
 //
 // With one worker the cells run in order and the first error returns
 // immediately, exactly like the loops this replaces. With more workers
-// every cell runs to completion and the lowest-index error is returned,
-// so the reported failure is also scheduling-independent.
+// the lowest-index error is returned, so the reported failure is
+// scheduling-independent; cells above the lowest failed index so far are
+// cancelled (skipped before they start) because no error they could
+// produce can win, while every cell below it still runs to completion —
+// a later, lower-index failure must still take precedence.
 func (lab *Lab) runCells(n int, fn func(i int) error) error {
 	workers := lab.workers()
 	if workers > n {
@@ -44,6 +47,8 @@ func (lab *Lab) runCells(n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var firstErr atomic.Int64 // lowest failed index so far; n = none
+	firstErr.Store(int64(n))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -54,15 +59,24 @@ func (lab *Lab) runCells(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if int64(i) > firstErr.Load() {
+					continue // doomed: a lower-index cell already failed
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if w := firstErr.Load(); w < int64(n) {
+		return errs[w]
 	}
 	return nil
 }

@@ -1,0 +1,161 @@
+package gomax
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+// TestThrottlerLimitBoundsUnderChaos is a property test: however the
+// power and pressure classifications flip between High/Medium/Low, and
+// however hostile the concurrent SetLimit churn (including out-of-range
+// values), the pool's limit stays in [1, Workers] and the active count
+// stays in [0, Workers] at every observable instant. The phase driver
+// cycles classifications until the throttler has both engaged and
+// released at least once, so both transition directions run under the
+// same concurrency.
+func TestThrottlerLimitBoundsUnderChaos(t *testing.T) {
+	const workers = 8
+	p, err := NewPool(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	fake := rapl.NewFake(2)
+	var pressureBits atomic.Uint64
+	pressureBits.Store(math.Float64bits(0))
+	th, err := StartThrottler(p, fake, ThrottlerConfig{
+		Period:         time.Millisecond,
+		LowPower:       10,
+		HighPower:      100,
+		Pressure:       func() float64 { return math.Float64frombits(pressureBits.Load()) },
+		LowPressure:    0.2,
+		HighPressure:   0.8,
+		ThrottledLimit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+
+	// Invariant monitors: poll as fast as they can.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if l := p.Limit(); l < 1 || l > workers {
+					violations.Add(1)
+					t.Errorf("limit %d outside [1, %d]", l, workers)
+					return
+				}
+				if a := p.Active(); a < 0 || a > workers {
+					violations.Add(1)
+					t.Errorf("active %d outside [0, %d]", a, workers)
+					return
+				}
+			}
+		}()
+	}
+
+	// Hostile concurrent SetLimit churn, including out-of-range values
+	// that must clamp.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.SetLimit(rng.Intn(workers+6) - 3) // [-3, workers+2]
+			time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+		}
+	}()
+
+	// A steady task stream keeps the worker gate path hot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = p.Submit(func() { time.Sleep(50 * time.Microsecond) })
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Phase driver: cycle the classification inputs — (High, High) must
+	// eventually engage, (Low, Low) must eventually release, and a
+	// High-power/Medium-pressure phase in between must change nothing.
+	// Phases are paced by the throttler's own sample counter (not wall
+	// time) so coarse host timers can't shrink a phase below a full
+	// sampling window; the energy per feed slice is large enough that any
+	// window overlapping a feeding phase classifies High even if the
+	// 1 ms sleeps stretch to tens of milliseconds.
+	runPhase := func(joulesPerSlice, pressure float64, minSamples uint64) {
+		pressureBits.Store(math.Float64bits(pressure))
+		start := th.Stats().Samples
+		phaseDeadline := time.Now().Add(2 * time.Second)
+		for th.Stats().Samples < start+minSamples && time.Now().Before(phaseDeadline) {
+			if joulesPerSlice > 0 {
+				fake.Add(0, units.Joules(joulesPerSlice/2))
+				fake.Add(1, units.Joules(joulesPerSlice/2))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for cycle := 0; ; cycle++ {
+		st := th.Stats()
+		if st.Activations >= 1 && st.Deactivations >= 1 && cycle >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("throttler never completed an engage/release cycle: %+v", th.Stats())
+		}
+		runPhase(5, 1.0, 6)  // High/High -> engage
+		runPhase(5, 0.5, 4)  // High power, Medium pressure -> hold
+		runPhase(0, 0.0, 6)  // Low/Low -> release
+	}
+
+	close(stop)
+	wg.Wait()
+	th.Stop()
+
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d bound violations observed", n)
+	}
+	st := th.Stats()
+	if st.Samples == 0 {
+		t.Error("throttler took no samples")
+	}
+	if st.Activations < 1 || st.Deactivations < 1 {
+		t.Errorf("throttler stats %+v: want at least one activation and one deactivation", st)
+	}
+	// Stop restores the full limit regardless of the churn's last word.
+	if got := p.Limit(); got != workers {
+		t.Errorf("limit after Stop = %d, want %d", got, workers)
+	}
+	p.Wait()
+}

@@ -61,8 +61,13 @@ func (m *Machine) engine() {
 				m.mu.Unlock()
 				time.Sleep(pace)
 				m.mu.Lock()
-				// State may have changed during the sleep; recompute.
+				// State may have changed during the sleep; recompute. The
+				// kick is consumed here: the re-plan it asked for is the
+				// continue itself. Leaving it set would livelock the
+				// ticker-only path (plan, sleep, see the stale kick,
+				// discard the plan, forever).
 				if m.running > 0 || m.stopped || m.kicked {
+					m.kicked = false
 					continue
 				}
 			}
@@ -299,6 +304,9 @@ func (m *Machine) advanceLocked(dt time.Duration) {
 
 	m.now += dt
 	m.updateSnapLocked()
+	if m.stepHook != nil {
+		m.stepHook(m.stepRecordLocked(dt))
+	}
 }
 
 // coresOf returns socket sock's cores, which are contiguous (and
@@ -328,6 +336,14 @@ func (m *Machine) completeLocked(c *core) {
 // overshoots several periods, the missed deadlines are coalesced into the
 // single fire and counted on the ticker rather than replayed against one
 // stale snapshot.
+//
+// Callbacks run with the machine lock released so they may call
+// non-blocking Machine methods — in particular RemoveTicker, including on
+// themselves. Virtual time cannot move meanwhile (the engine goroutine is
+// the one here), so the snapshot stays consistent for the duration of the
+// fire. After each callback the loop revalidates against the heap: the
+// fired ticker is re-armed only if it is still registered (heapIdx >= 0),
+// and the sweep stops if the machine was stopped.
 func (m *Machine) fireTickersLocked() {
 	if len(m.tickerHeap) == 0 || m.tickerHeap[0].next > m.now {
 		return
@@ -339,7 +355,15 @@ func (m *Machine) fireTickersLocked() {
 	copy(m.tickSnap.Sockets, m.lastSnap.Sockets)
 	for len(m.tickerHeap) > 0 && m.tickerHeap[0].next <= m.now {
 		tk := m.tickerHeap[0]
+		m.mu.Unlock()
 		tk.fn(m.now, &m.tickSnap)
+		m.mu.Lock()
+		if m.stopped {
+			return
+		}
+		if tk.heapIdx < 0 {
+			continue // removed during its own callback
+		}
 		tk.next += tk.period
 		if tk.next <= m.now {
 			// Overshoot: coalesce the deadlines this step skipped.
@@ -347,7 +371,7 @@ func (m *Machine) fireTickersLocked() {
 			tk.coalesced += uint64(n)
 			tk.next += time.Duration(n) * tk.period
 		}
-		m.tkFixLocked(0)
+		m.tkFixLocked(tk.heapIdx)
 	}
 }
 

@@ -116,10 +116,13 @@ type ticker struct {
 
 // TickerFunc is called by the engine at each ticker deadline with the
 // current virtual time and a metrics snapshot. It runs on the engine
-// goroutine with the machine lock held: it must be fast and must not call
-// any Machine or CoreCtx method (reading the MSR file is allowed). The
-// snapshot is only valid for the duration of the call — the engine reuses
-// its buffer across fires; use Snapshot.Clone to retain it.
+// goroutine with the machine lock released: it must be fast and may call
+// non-blocking Machine methods (AddTicker, RemoveTicker — including on
+// itself — Snapshot, RequestFrequencyScale, reading the MSR file), but
+// must not make blocking CoreCtx charging calls and must not call Stop
+// (Stop waits for the engine goroutine, which is running the callback).
+// The snapshot is only valid for the duration of the call — the engine
+// reuses its buffer across fires; use Snapshot.Clone to retain it.
 type TickerFunc func(now time.Duration, s *Snapshot)
 
 // SocketSnapshot is the instantaneous state of one socket.
@@ -155,6 +158,9 @@ type Machine struct {
 	tickers      map[int]*ticker
 	nextTickerID int
 	kicked       bool
+
+	// stepHook, when non-nil, observes every engine step (see trace.go).
+	stepHook StepHook
 
 	// Incremental engine indexes (events.go): per-socket busy lists and
 	// state counts, the contended-line groups, the waiting cores whose
@@ -376,6 +382,10 @@ func (m *Machine) AddTicker(period time.Duration, fn TickerFunc) (int, error) {
 }
 
 // RemoveTicker unregisters a ticker. Removing an unknown id is a no-op.
+// Safe to call from inside a ticker callback, including the removed
+// ticker's own (the engine skips the re-arm of a ticker removed
+// mid-fire). A removal racing an in-flight fire may observe that one
+// last callback.
 func (m *Machine) RemoveTicker(id int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAddTickerDuringIdlePaceSleepKicksReplan registers a fast ticker
+// while the engine is parked in an idle-pace host sleep toward a far
+// slower ticker's deadline. The AddTicker kick must make the engine
+// abandon that in-flight plan and re-plan, so the new ticker's first
+// fire lands at exactly one period of virtual time — not coalesced into
+// the old plan's distant step.
+func TestAddTickerDuringIdlePaceSleepKicksReplan(t *testing.T) {
+	cfg := testConfig()
+	// A long pace makes "during the sleep" easy to hit: the engine sits
+	// in a 100 ms host sleep before its first (1 s virtual) advance.
+	cfg.IdlePace = 100 * time.Millisecond
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+
+	var slowFires atomic.Int32
+	if _, err := m.AddTicker(time.Second, func(time.Duration, *Snapshot) {
+		slowFires.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the engine plan the 1 s step and enter its pace sleep, then add
+	// the fast ticker mid-sleep.
+	time.Sleep(5 * time.Millisecond)
+	fastFire := make(chan time.Duration, 1)
+	fastID, err := m.AddTicker(500*time.Microsecond, func(now time.Duration, _ *Snapshot) {
+		select {
+		case fastFire <- now:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.RemoveTicker(fastID)
+
+	select {
+	case now := <-fastFire:
+		if now != 500*time.Microsecond {
+			t.Errorf("first fast fire at %v, want exactly 500µs: engine did not re-plan after the kick", now)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast ticker never fired; engine stayed on the stale plan")
+	}
+	if n := slowFires.Load(); n != 0 {
+		t.Errorf("slow ticker fired %d times before the fast ticker; the stale 1s step was taken", n)
+	}
+}
+
+// TestAddTickerRejectsNonPositivePeriod covers the zero- and
+// negative-period rejection (zero alone is covered in machine_test.go).
+func TestAddTickerRejectsNonPositivePeriod(t *testing.T) {
+	m := newTestMachine(t)
+	for _, period := range []time.Duration{0, -time.Nanosecond, -time.Second} {
+		if id, err := m.AddTicker(period, func(time.Duration, *Snapshot) {}); err == nil {
+			t.Errorf("AddTicker(%v) succeeded with id %d, want error", period, id)
+		}
+	}
+}
+
+// TestRemoveTickerFromOwnCallback removes a ticker from inside its own
+// callback. The callback runs with the engine lock released, so this
+// must neither deadlock nor re-arm the ticker: it fires exactly once.
+func TestRemoveTickerFromOwnCallback(t *testing.T) {
+	m := newTestMachine(t)
+	var fires atomic.Int32
+	idCh := make(chan int, 1)
+	if id, err := m.AddTicker(100*time.Microsecond, func(time.Duration, *Snapshot) {
+		fires.Add(1)
+		m.RemoveTicker(<-idCh) // self-removal mid-fire
+	}); err != nil {
+		t.Fatal(err)
+	} else {
+		idCh <- id
+	}
+
+	// Drive ~1 ms of virtual time; an un-removed 100 µs ticker would fire
+	// about ten times.
+	runOn(t, m, map[int]func(*CoreCtx){
+		0: func(ctx *CoreCtx) { ctx.Compute(2.7e6) },
+	})
+	if n := fires.Load(); n != 1 {
+		t.Errorf("self-removing ticker fired %d times, want exactly 1", n)
+	}
+	if err := m.Err(); err != nil {
+		t.Errorf("machine error after self-removal: %v", err)
+	}
+}
+
+// TestRemoveTickerFromOtherCallback removes ticker B from inside ticker
+// A's callback while both are due at the same instant: B must not fire
+// after its removal, and the sweep must survive the heap mutation.
+func TestRemoveTickerFromOtherCallback(t *testing.T) {
+	m := newTestMachine(t)
+	var bFires atomic.Int32
+	bID, err := m.AddTicker(200*time.Microsecond, func(time.Duration, *Snapshot) {
+		bFires.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A has a shorter period, so A's first fire precedes B's and A's
+	// later fires share instants with B's deadlines (200 µs multiples).
+	if _, err := m.AddTicker(100*time.Microsecond, func(now time.Duration, _ *Snapshot) {
+		if now >= 200*time.Microsecond {
+			m.RemoveTicker(bID) // idempotent; first call lands at B's own due instant
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runOn(t, m, map[int]func(*CoreCtx){
+		0: func(ctx *CoreCtx) { ctx.Compute(2.7e6) },
+	})
+	// At 200µs, A fires first (registered later but earlier period means
+	// its heap position is settled by deadline; both orders are legal for
+	// equal deadlines) — so B may legitimately fire once at 200 µs, but
+	// never again afterwards.
+	if n := bFires.Load(); n > 1 {
+		t.Errorf("removed ticker fired %d times, want at most 1", n)
+	}
+	if err := m.Err(); err != nil {
+		t.Errorf("machine error after cross-removal: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package refmodel
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// ControllerCore is the core every scenario reserves for the controller:
+// the goroutine that owns all global operations (DVFS requests, ticker
+// registration and removal, worker starts). Serializing those on one
+// enrolled core makes a scenario's virtual-time schedule deterministic —
+// each global operation happens at the exact virtual instant one of the
+// controller's sleeps expires, on both engines.
+const ControllerCore = 0
+
+// OpKind enumerates worker-script operations.
+type OpKind int
+
+// Worker operations. Execute/Atomic/Sleep/SpinFor are charging calls
+// (they consume virtual time); SetDuty is host-side (instantaneous).
+const (
+	OpExecute OpKind = iota
+	OpAtomic
+	OpSleep
+	OpSpinFor
+	OpSetDuty
+)
+
+// Op is one step of a worker script.
+type Op struct {
+	Kind  OpKind
+	Work  machine.Work  // OpExecute
+	Line  int           // OpAtomic: index into Scenario.Lines
+	N     float64       // OpAtomic: operation count
+	D     time.Duration // OpSleep / OpSpinFor duration
+	Level int           // OpSetDuty: clock-modulation level in [1, 32]
+}
+
+// Worker is a scripted workload bound to one core. Cores are unique per
+// scenario and never ControllerCore.
+type Worker struct {
+	Core int
+	Ops  []Op
+}
+
+// GlobalKind enumerates controller operations.
+type GlobalKind int
+
+// Controller operations.
+const (
+	// GlobalDVFS requests a socket frequency scale.
+	GlobalDVFS GlobalKind = iota
+	// GlobalAddTicker registers a periodic ticker into a scenario slot.
+	GlobalAddTicker
+	// GlobalRemoveTicker unregisters the ticker in a scenario slot.
+	GlobalRemoveTicker
+	// GlobalStartWorker enrolls a worker core and starts its script.
+	GlobalStartWorker
+)
+
+// GlobalOp is one controller operation, performed at a phase boundary.
+type GlobalOp struct {
+	Kind   GlobalKind
+	Socket int           // GlobalDVFS
+	Scale  float64       // GlobalDVFS
+	Ticker int           // ticker slot for Add/Remove
+	Period time.Duration // GlobalAddTicker
+	Worker int           // GlobalStartWorker: index into Scenario.Workers
+}
+
+// Phase is one controller step: perform the global operations, then sleep
+// (in virtual time) so the machine runs.
+type Phase struct {
+	Ops   []GlobalOp
+	Sleep time.Duration
+}
+
+// LineParams describes one contended cache line (machine.NewLine).
+type LineParams struct {
+	CostCycles float64
+	PingPong   float64
+	Activity   float64
+}
+
+// Scenario is a fully deterministic co-simulation script: the same
+// scenario played on the optimized machine engine and interpreted by the
+// naive reference engine must produce bit-identical trajectories.
+//
+// After the last phase the controller removes every still-registered
+// ticker and releases its core; workers release their cores when their
+// scripts end.
+type Scenario struct {
+	Seed    int64
+	Cfg     machine.Config
+	Lines   []LineParams
+	Workers []Worker
+	Phases  []Phase
+	// TickerSlots is the number of scenario-local ticker slots referenced
+	// by GlobalAddTicker/GlobalRemoveTicker ops.
+	TickerSlots int
+	// CounterStart preloads every socket's MSR_PKG_ENERGY_STATUS counter
+	// before the run. Seeding it near 2^32 makes the 32-bit wrap happen
+	// mid-scenario, so wrap handling is differentially tested too.
+	CounterStart uint32
+}
+
+// Generate derives a random scenario from a seed. The same seed always
+// produces the same scenario. Shapes are kept small enough that a single
+// scenario simulates in a few milliseconds of virtual time.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed}
+	sc.Cfg = generateConfig(rng)
+	if rng.Intn(4) == 0 {
+		// A few ms of scenario burns on the order of 10^4 RAPL counts;
+		// starting this close to 2^32 makes a mid-run wrap likely.
+		sc.CounterStart = uint32(units.RAPLCounterMod - uint64(1+rng.Intn(15_000)))
+	}
+
+	nLines := 1 + rng.Intn(3)
+	for i := 0; i < nLines; i++ {
+		sc.Lines = append(sc.Lines, LineParams{
+			CostCycles: 80 + rng.Float64()*400,
+			PingPong:   rng.Float64() * 0.8,
+			Activity:   0.3 + rng.Float64()*0.65,
+		})
+	}
+
+	// Worker cores: a random subset of the non-controller cores.
+	cores := sc.Cfg.Cores()
+	nWorkers := 1 + rng.Intn(cores-1)
+	perm := rng.Perm(cores - 1) // values 0..cores-2; +1 skips the controller
+	for w := 0; w < nWorkers; w++ {
+		sc.Workers = append(sc.Workers, Worker{
+			Core: perm[w] + 1,
+			Ops:  generateOps(rng, len(sc.Lines)),
+		})
+	}
+
+	// Phases: distribute worker starts, DVFS flips and ticker churn.
+	nPhases := 1 + rng.Intn(4)
+	sc.Phases = make([]Phase, nPhases)
+	for w := range sc.Workers {
+		p := rng.Intn(nPhases)
+		sc.Phases[p].Ops = append(sc.Phases[p].Ops, GlobalOp{Kind: GlobalStartWorker, Worker: w})
+	}
+	sc.TickerSlots = rng.Intn(3)
+	for slot := 0; slot < sc.TickerSlots; slot++ {
+		add := rng.Intn(nPhases)
+		sc.Phases[add].Ops = append(sc.Phases[add].Ops, GlobalOp{
+			Kind:   GlobalAddTicker,
+			Ticker: slot,
+			Period: 50*time.Microsecond + time.Duration(rng.Int63n(int64(time.Millisecond))),
+		})
+		// Sometimes remove it in a strictly later phase; otherwise the
+		// end-of-run cleanup removes it.
+		if add+1 < nPhases && rng.Intn(2) == 0 {
+			rem := add + 1 + rng.Intn(nPhases-add-1)
+			sc.Phases[rem].Ops = append(sc.Phases[rem].Ops, GlobalOp{Kind: GlobalRemoveTicker, Ticker: slot})
+		}
+	}
+	for p := range sc.Phases {
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			sc.Phases[p].Ops = append(sc.Phases[p].Ops, GlobalOp{
+				Kind:   GlobalDVFS,
+				Socket: rng.Intn(sc.Cfg.Sockets),
+				Scale:  machine.MinFrequencyScale + rng.Float64()*(1-machine.MinFrequencyScale),
+			})
+		}
+		sc.Phases[p].Sleep = 50*time.Microsecond + time.Duration(rng.Int63n(int64(2*time.Millisecond)))
+	}
+	return sc
+}
+
+// generateConfig varies the node topology and the model knobs that gate
+// distinct engine code paths: Turbo on/off, memory-subsystem shape, and a
+// thermal time constant short enough that temperatures (and therefore
+// leakage and the MSR therm-flush path) move within a run.
+func generateConfig(rng *rand.Rand) machine.Config {
+	cfg := machine.M620()
+	cfg.Sockets = 1 + rng.Intn(2)
+	cfg.CoresPerSocket = 2 + rng.Intn(3)
+	cfg.MaxStep = time.Millisecond
+	cfg.IdlePace = -1 // never host-pace: scenarios are deadline-driven
+	cfg.VirtualTimeLimit = 10 * time.Minute
+	if rng.Intn(2) == 0 {
+		cfg.Turbo = machine.DefaultTurbo()
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Mem.BandwidthPerSocket = 17e9
+		cfg.Mem.KneeRefs = 14
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Mem.MaxRefsPerCore = 4
+	}
+	if rng.Intn(4) == 0 {
+		cfg.Mem.OversubPenalty = 0
+	}
+	cfg.Thermal.TimeConstant = time.Duration(5+rng.Intn(95)) * time.Millisecond
+	return cfg
+}
+
+// generateOps builds one worker script. Work sizes are chosen so items
+// span a handful of engine steps at the 1 ms MaxStep.
+func generateOps(rng *rand.Rand, nLines int) []Op {
+	n := 1 + rng.Intn(6)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			w := machine.Work{Ops: (0.2 + rng.Float64()*3) * 1e6}
+			switch rng.Intn(3) {
+			case 0: // compute only
+			case 1: // mixed compute + memory
+				w.Bytes = w.Ops * rng.Float64() * 8
+				w.Overlap = rng.Float64()
+				w.Activity = 0.3 + rng.Float64()*0.7
+			default: // pure stream
+				w.Ops = 0
+				w.Bytes = 1e5 + rng.Float64()*5e6
+			}
+			ops = append(ops, Op{Kind: OpExecute, Work: w})
+		case r < 0.60:
+			ops = append(ops, Op{
+				Kind: OpAtomic,
+				Line: rng.Intn(nLines),
+				N:    100 + rng.Float64()*3000,
+			})
+		case r < 0.75:
+			ops = append(ops, Op{Kind: OpSleep, D: 20*time.Microsecond + time.Duration(rng.Int63n(int64(1500*time.Microsecond)))})
+		case r < 0.85:
+			ops = append(ops, Op{Kind: OpSpinFor, D: 20*time.Microsecond + time.Duration(rng.Int63n(int64(1500*time.Microsecond)))})
+		default:
+			ops = append(ops, Op{Kind: OpSetDuty, Level: 1 + rng.Intn(32)})
+		}
+	}
+	return ops
+}
