@@ -8,6 +8,7 @@
 //	paperbench -experiment table1
 //	paperbench -experiment fig3 -csv fig3.csv
 //	paperbench -experiment table4 -repeats 3
+//	paperbench -experiment table6 -telemetry table6.telemetry.jsonl
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 table4 table5
 // table6 table7 coldstart overhead dutycycle ablation-policy
@@ -29,6 +30,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write the result as CSV to this file (tables and figures only)")
 		repeats    = flag.Int("repeats", 1, "runs per configuration, keeping the best time (the paper uses 10)")
 		seed       = flag.Int64("seed", 42, "workload input seed")
+		telePath   = flag.String("telemetry", "", "write a per-run telemetry sidecar (JSONL of metrics + decision journal) to this file")
 	)
 	flag.Parse()
 
@@ -36,9 +38,27 @@ func main() {
 	lab.Repeats = *repeats
 	lab.Seed = *seed
 
+	var sidecar *experiments.SidecarWriter
+	if *telePath != "" {
+		f, err := os.Create(*telePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sidecar = experiments.NewSidecarWriter(f)
+		lab.Telemetry = sidecar.Record
+	}
+
 	if err := run(lab, *experiment, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+	if sidecar != nil {
+		if err := sidecar.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -8,9 +8,11 @@
 //
 //	rcrd -socket /tmp/rcrd.sock -load lulesh -duration 30s   # serve
 //	rcrd -socket /tmp/rcrd.sock -query                       # query
+//	rcrd -socket /tmp/rcrd.sock -metrics                     # telemetry text
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -27,12 +29,20 @@ func main() {
 	var (
 		socket   = flag.String("socket", "/tmp/rcrd.sock", "unix socket path")
 		query    = flag.Bool("query", false, "query a running daemon instead of serving")
+		metrics  = flag.Bool("metrics", false, "query a running daemon's telemetry (/metrics-style text)")
 		asJSON   = flag.Bool("json", false, "with -query, print the snapshot as JSON")
 		load     = flag.String("load", "lulesh", "benchmark to loop as background load while serving")
 		duration = flag.Duration("duration", 30*time.Second, "how long (host time) to serve before exiting")
 	)
 	flag.Parse()
 
+	if *metrics {
+		if err := runMetricsQuery(*socket); err != nil {
+			fmt.Fprintln(os.Stderr, "rcrd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *query {
 		if err := runQuery(*socket, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "rcrd:", err)
@@ -44,6 +54,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rcrd:", err)
 		os.Exit(1)
 	}
+}
+
+func runMetricsQuery(socket string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rcr.DefaultQueryTimeout)
+	defer cancel()
+	text, err := rcr.QueryMetrics(ctx, "unix", socket)
+	if err != nil {
+		return err
+	}
+	if text == "" {
+		return fmt.Errorf("daemon at %s is not instrumented", socket)
+	}
+	fmt.Print(text)
+	return nil
 }
 
 func runQuery(socket string, asJSON bool) error {
@@ -81,7 +105,7 @@ func serve(socket, load string, duration time.Duration) error {
 	if err := os.Remove(socket); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	sys, err := core.New(core.Options{Warm: true})
+	sys, err := core.New(core.Options{Warm: true, Telemetry: true})
 	if err != nil {
 		return err
 	}
@@ -92,6 +116,7 @@ func serve(socket, load string, duration time.Duration) error {
 		return err
 	}
 	srv := rcr.NewServer(sys.Blackboard(), sys.Machine(), ln)
+	srv.Instrument(sys.Telemetry())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 	fmt.Printf("rcrd: serving %s for %v with background load %q\n", socket, duration, load)

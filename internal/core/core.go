@@ -24,6 +24,7 @@ import (
 	"repro/internal/qthreads"
 	"repro/internal/rapl"
 	"repro/internal/rcr"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -58,6 +59,14 @@ type Options struct {
 	// point. Experiments that care about the cold-start effect leave it
 	// false and manage temperature explicitly.
 	Warm bool
+	// Telemetry instruments the whole stack — blackboard, sampler, task
+	// runtime, and the MAESTRO daemon or power-cap controller — into one
+	// registry, and attaches a decision journal to the daemon. True
+	// creates the registry and journal internally (read them back via
+	// Telemetry/Journal); to publish into an existing registry set
+	// Qthreads.Telemetry / Maestro.Telemetry / Maestro.Journal yourself
+	// and leave this false.
+	Telemetry bool
 }
 
 // System is a ready-to-run instance of the paper's full stack.
@@ -70,6 +79,8 @@ type System struct {
 	daemon  *maestro.Daemon
 	cap     *maestro.PowerCap
 	history *rcr.History
+	reg     *telemetry.Registry
+	journal *telemetry.Journal
 	closed  bool
 }
 
@@ -100,12 +111,22 @@ func New(opts Options) (*System, error) {
 	if sys.sampler, err = rcr.StartSampler(m, sys.reader, sys.bb, opts.SamplePeriod); err != nil {
 		return fail(err)
 	}
+	if opts.Telemetry {
+		sys.reg = telemetry.NewRegistry()
+		sys.journal = telemetry.NewJournal(0, mcfg.Sockets)
+		sys.bb.Instrument(sys.reg)
+		sys.sampler.Instrument(sys.reg)
+		opts.Qthreads.Telemetry = sys.reg
+		opts.Maestro.Telemetry = sys.reg
+		opts.Maestro.Journal = sys.journal
+	}
 	qcfg := opts.Qthreads
 	if qcfg.SpawnCost == 0 && qcfg.DequeueCost == 0 && qcfg.StealCost == 0 {
 		base := qthreads.DefaultConfig()
 		base.Workers = qcfg.Workers
 		base.SpinOnlyIdle = qcfg.SpinOnlyIdle
 		base.Pinning = qcfg.Pinning
+		base.Telemetry = qcfg.Telemetry
 		qcfg = base
 	}
 	if opts.Workers != 0 {
@@ -126,6 +147,7 @@ func New(opts Options) (*System, error) {
 		if sys.cap, err = maestro.StartPowerCap(sys.rt, sys.bb, opts.PowerCap, 0); err != nil {
 			return fail(err)
 		}
+		sys.cap.Instrument(sys.reg) // no-op when reg is nil
 	}
 	if opts.RecordHistory {
 		if sys.history, err = rcr.StartHistory(m, sys.bb, opts.SamplePeriod, 0); err != nil {
@@ -168,6 +190,16 @@ func (s *System) Capping() (maestro.CapStats, bool) {
 // History returns the recorded measurement time series, or nil when
 // RecordHistory was not set.
 func (s *System) History() *rcr.History { return s.history }
+
+// Telemetry returns the stack-wide metrics registry, or nil when
+// Options.Telemetry was not set.
+func (s *System) Telemetry() *telemetry.Registry { return s.reg }
+
+// Journal returns the MAESTRO decision journal, or nil when
+// Options.Telemetry was not set. It only fills while AdaptiveThrottling
+// is enabled — the journal records classifications, and only the daemon
+// classifies.
+func (s *System) Journal() *telemetry.Journal { return s.journal }
 
 // Run executes task as a root task on the runtime, measured as an RCR
 // region.

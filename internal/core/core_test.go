@@ -219,3 +219,49 @@ func TestHistoryOption(t *testing.T) {
 		t.Error("history present without the option")
 	}
 }
+
+func TestTelemetryOption(t *testing.T) {
+	sys := newSystem(t, Options{Warm: true, AdaptiveThrottling: true, Telemetry: true})
+	if sys.Telemetry() == nil || sys.Journal() == nil {
+		t.Fatal("Telemetry option did not install registry/journal")
+	}
+	// ~370 ms of virtual work, several MAESTRO poll periods.
+	_, err := sys.Run("kernel", func(tc *qthreads.TC) {
+		tc.ParallelFor(1600, 100, func(tc *qthreads.TC, lo, hi int) {
+			tc.Compute(float64(hi-lo) * 1e7)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Telemetry().Snapshot()
+	if len(snap) < 10 {
+		t.Errorf("stack publishes %d metrics, want >= 10", len(snap))
+	}
+	want := map[string]bool{
+		"rcr_sampler_ticks_total":     false,
+		"rcr_blackboard_writes_total": false,
+		"qthreads_tasks_total":        false,
+		"maestro_polls_total":         false,
+	}
+	for _, m := range snap {
+		if _, ok := want[m.Name]; ok && m.Value > 0 {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric %s absent or zero after a run", name)
+		}
+	}
+	if sys.Journal().Len() == 0 {
+		t.Error("daemon recorded no decisions in the journal")
+	}
+}
+
+func TestTelemetryOffByDefault(t *testing.T) {
+	sys := newSystem(t, Options{})
+	if sys.Telemetry() != nil || sys.Journal() != nil {
+		t.Error("telemetry installed without Options.Telemetry")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/rapl"
 	"repro/internal/rcr"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workloads"
 	"repro/internal/workloads/suite"
@@ -85,6 +86,22 @@ type Lab struct {
 	// strictly serial execution (including fail-fast on the first cell
 	// error) the Lab has always had.
 	Parallel int
+	// Telemetry, when non-nil, instruments every cell's stack (sampler,
+	// blackboard, runtime, daemon/cap) and receives one RunTelemetry per
+	// completed run. With Parallel > 1 the sink is called from multiple
+	// goroutines; SidecarWriter is a ready-made concurrency-safe sink.
+	Telemetry func(RunTelemetry)
+}
+
+// RunTelemetry is the observability record of one instrumented cell run:
+// the final metrics snapshot of the run's private registry plus the
+// MAESTRO decision journal (empty unless the run used ThrottleDynamic).
+type RunTelemetry struct {
+	App     string               `json:"app"`
+	Workers int                  `json:"workers"`
+	Seed    int64                `json:"seed"`
+	Metrics []telemetry.Metric   `json:"metrics"`
+	Journal []telemetry.Decision `json:"journal,omitempty"`
 }
 
 // NewLab returns a Lab with defaults.
@@ -199,9 +216,21 @@ func (lab *Lab) runOnceSeeded(spec RunSpec, seed int64) (Measurement, error) {
 	}
 	defer sampler.Stop()
 
+	// Each cell gets a private registry and journal so parallel cells
+	// never share instruments; the sink receives them after the run.
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if lab.Telemetry != nil {
+		reg = telemetry.NewRegistry()
+		journal = telemetry.NewJournal(0, mcfg.Sockets)
+		bb.Instrument(reg)
+		sampler.Instrument(reg)
+	}
+
 	qcfg := qthreads.DefaultConfig()
 	qcfg.Workers = spec.Workers
 	qcfg.SpinOnlyIdle = spec.SpinOnlyIdle
+	qcfg.Telemetry = reg
 	rt, err := qthreads.New(m, qcfg)
 	if err != nil {
 		return Measurement{}, err
@@ -210,7 +239,10 @@ func (lab *Lab) runOnceSeeded(spec RunSpec, seed int64) (Measurement, error) {
 
 	var daemon *maestro.Daemon
 	if spec.Throttle == ThrottleDynamic {
-		daemon, err = maestro.Start(rt, bb, spec.Maestro)
+		mcfgDaemon := spec.Maestro
+		mcfgDaemon.Telemetry = reg
+		mcfgDaemon.Journal = journal
+		daemon, err = maestro.Start(rt, bb, mcfgDaemon)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -223,6 +255,7 @@ func (lab *Lab) runOnceSeeded(spec RunSpec, seed int64) (Measurement, error) {
 			return Measurement{}, err
 		}
 		defer cap.Stop()
+		cap.Instrument(reg) // no-op when reg is nil
 	}
 
 	rep, err := workloads.RunOnRuntime(rt, reader, bb, wl)
@@ -242,6 +275,19 @@ func (lab *Lab) runOnceSeeded(spec RunSpec, seed int64) (Measurement, error) {
 	}
 	if cap != nil {
 		meas.Cap = cap.Stats()
+	}
+	if lab.Telemetry != nil {
+		var entries []telemetry.Decision
+		if journal != nil {
+			entries = journal.Entries()
+		}
+		lab.Telemetry(RunTelemetry{
+			App:     spec.App,
+			Workers: spec.Workers,
+			Seed:    seed,
+			Metrics: reg.Snapshot(),
+			Journal: entries,
+		})
 	}
 	return meas, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/maestro"
 	"repro/internal/rapl"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -32,6 +33,20 @@ type ThrottlerConfig struct {
 	// ThrottledLimit is the pool limit while engaged; zero selects 3/4
 	// of the pool.
 	ThrottledLimit int
+	// Telemetry, when non-nil, receives the daemon's gomax_* counters
+	// and engaged gauge (see docs/observability.md).
+	Telemetry *telemetry.Registry
+}
+
+// throttlerMetrics is the daemon's instrument set, pre-registered at
+// StartThrottler.
+type throttlerMetrics struct {
+	samples       *telemetry.Counter
+	readErrors    *telemetry.Counter
+	activations   *telemetry.Counter
+	deactivations *telemetry.Counter
+	engaged       *telemetry.Gauge
+	power         *telemetry.Gauge // last windowed node power, Watts
 }
 
 // Throttler samples RAPL counters in wall-clock time and throttles a
@@ -49,6 +64,8 @@ type Throttler struct {
 	samples       atomic.Uint64
 	activations   atomic.Uint64
 	deactivations atomic.Uint64
+
+	met *throttlerMetrics // fixed at StartThrottler; may be nil
 
 	lastEnergy units.Joules
 	lastTime   time.Time
@@ -86,6 +103,16 @@ func StartThrottler(p *Pool, reader rapl.Reader, cfg ThrottlerConfig) (*Throttle
 		done:       make(chan struct{}),
 		lastEnergy: e,
 		lastTime:   time.Now(),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		t.met = &throttlerMetrics{
+			samples:       reg.Counter("gomax_samples_total"),
+			readErrors:    reg.Counter("gomax_read_errors_total"),
+			activations:   reg.Counter("gomax_activations_total"),
+			deactivations: reg.Counter("gomax_deactivations_total"),
+			engaged:       reg.Gauge("gomax_engaged"),
+			power:         reg.Gauge("gomax_power_watts"),
+		}
 	}
 	go t.loop()
 	return t, nil
@@ -137,8 +164,15 @@ func (t *Throttler) loop() {
 // toggles the pool limit.
 func (t *Throttler) sample() {
 	t.samples.Add(1)
+	met := t.met
+	if met != nil {
+		met.samples.Inc()
+	}
 	e, err := rapl.Total(t.reader)
 	if err != nil {
+		if met != nil {
+			met.readErrors.Inc()
+		}
 		return // transient read failure: hold
 	}
 	now := time.Now()
@@ -148,6 +182,9 @@ func (t *Throttler) sample() {
 	}
 	power := units.PowerOver(e-t.lastEnergy, dt)
 	t.lastEnergy, t.lastTime = e, now
+	if met != nil {
+		met.power.Set(float64(power))
+	}
 
 	pLevel := maestro.Classify(float64(power), float64(t.cfg.LowPower), float64(t.cfg.HighPower))
 	prLevel := maestro.High // power-only gating when no pressure metric
@@ -158,11 +195,19 @@ func (t *Throttler) sample() {
 	case pLevel == maestro.High && prLevel == maestro.High:
 		if !t.engaged.Swap(true) {
 			t.activations.Add(1)
+			if met != nil {
+				met.activations.Inc()
+				met.engaged.Set(1)
+			}
 			t.pool.SetLimit(t.cfg.ThrottledLimit)
 		}
 	case pLevel == maestro.Low && (t.cfg.Pressure == nil || prLevel == maestro.Low):
 		if t.engaged.Swap(false) {
 			t.deactivations.Add(1)
+			if met != nil {
+				met.deactivations.Inc()
+				met.engaged.Set(0)
+			}
 			t.pool.SetLimit(t.pool.Workers())
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/qthreads"
 	"repro/internal/rcr"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -229,6 +230,15 @@ type Config struct {
 	// FrequencyGear is the DVFS scale applied while ScaleFrequency is
 	// engaged; zero selects 0.6.
 	FrequencyGear float64
+	// Telemetry, when non-nil, receives the daemon's maestro_* counters,
+	// gauges and staleness histogram (see docs/observability.md for the
+	// catalog). The poll path records through pre-registered instruments
+	// only, so enabling telemetry adds no allocation.
+	Telemetry *telemetry.Registry
+	// Journal, when non-nil, receives one telemetry.Decision per poll —
+	// the full classification trace (inputs, levels, thresholds,
+	// outcome) behind every throttle flip.
+	Journal *telemetry.Journal
 }
 
 // DefaultPeriod is the paper's daemon wake interval.
@@ -245,6 +255,19 @@ type Daemon struct {
 	// engaged tracks whether the mechanism is currently applied; only
 	// the poll callback (engine goroutine) touches it.
 	engaged bool
+
+	// met and journal are fixed at Start. The scratch slices below are
+	// reused every poll (engine goroutine only) so classification and
+	// journaling never allocate on the hot path.
+	met     *daemonMetrics
+	journal *telemetry.Journal
+	power   []units.Watts
+	conc    []float64
+	powerF  []float64
+	concF   []float64
+	membwF  []float64
+	powerLv []int8
+	concLv  []int8
 
 	activations   atomic.Uint64
 	deactivations atomic.Uint64
@@ -277,7 +300,18 @@ func Start(rt *qthreads.Runtime, bb *rcr.Blackboard, cfg Config) (*Daemon, error
 	if cfg.FrequencyGear <= 0 || cfg.FrequencyGear > 1 {
 		cfg.FrequencyGear = 0.6
 	}
-	d := &Daemon{rt: rt, bb: bb, cfg: cfg}
+	d := &Daemon{rt: rt, bb: bb, cfg: cfg, journal: cfg.Journal}
+	if cfg.Telemetry != nil {
+		d.met = newDaemonMetrics(cfg.Telemetry)
+	}
+	nSock := bb.Sockets()
+	d.power = make([]units.Watts, 0, nSock)
+	d.conc = make([]float64, 0, nSock)
+	d.powerF = make([]float64, 0, nSock)
+	d.concF = make([]float64, 0, nSock)
+	d.membwF = make([]float64, 0, nSock)
+	d.powerLv = make([]int8, 0, nSock)
+	d.concLv = make([]int8, 0, nSock)
 	id, err := rt.Machine().AddTicker(cfg.Period, d.poll)
 	if err != nil {
 		return nil, err
@@ -322,42 +356,138 @@ func (d *Daemon) Stats() Stats {
 // through atomics only.
 func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 	d.samples.Add(1)
+	met := d.met
+	if met != nil {
+		met.polls.Inc()
+	}
 	if prev := d.lastSample.Swap(int64(now)); prev != 0 && d.engaged {
 		d.throttledTime.Add(int64(now) - prev)
 	}
 	nSock := d.bb.Sockets()
-	power := make([]units.Watts, 0, nSock)
-	conc := make([]float64, 0, nSock)
+	d.power, d.conc = d.power[:0], d.conc[:0]
+	staleness := time.Duration(0)
 	for s := 0; s < nSock; s++ {
 		p, okP := d.bb.Socket(s, rcr.MeterPower)
 		c, okC := d.bb.Socket(s, rcr.MeterMemConcurrency)
 		if !okP || !okC {
+			if met != nil {
+				met.incomplete.Inc()
+			}
 			return // not enough data yet; hold
 		}
-		power = append(power, units.Watts(p.Value))
+		if age := now - p.Updated; age > staleness {
+			staleness = age
+		}
+		if age := now - c.Updated; age > staleness {
+			staleness = age
+		}
+		d.power = append(d.power, units.Watts(p.Value))
 		if d.cfg.Policy == PowerOnly {
 			// Power-only ablation: pretend concurrency is always High so
 			// only the power classification gates the decision.
-			conc = append(conc, d.cfg.Thresholds.HighConcurrency)
+			d.conc = append(d.conc, d.cfg.Thresholds.HighConcurrency)
 		} else {
-			conc = append(conc, c.Value)
+			d.conc = append(d.conc, c.Value)
 		}
 	}
-	switch d.cfg.Thresholds.Decide(power, conc) {
+	// Classify once per socket and derive the decision from the levels —
+	// the same dual-condition rule as Thresholds.Decide, with the levels
+	// retained for counters and the decision journal.
+	th := d.cfg.Thresholds
+	d.powerLv, d.concLv = d.powerLv[:0], d.concLv[:0]
+	anyBothHigh, allLow := false, true
+	for i := range d.power {
+		pl := Classify(float64(d.power[i]), float64(th.LowPower), float64(th.HighPower))
+		cl := Classify(d.conc[i], th.LowConcurrency, th.HighConcurrency)
+		d.powerLv = append(d.powerLv, int8(pl))
+		d.concLv = append(d.concLv, int8(cl))
+		if met != nil {
+			met.powerLevel[pl].Inc()
+			met.concLevel[cl].Inc()
+		}
+		if pl == High && cl == High {
+			anyBothHigh = true
+		}
+		if pl != Low || cl != Low {
+			allLow = false
+		}
+	}
+	dec := Hold
+	switch {
+	case anyBothHigh:
+		dec = Enable
+	case allLow:
+		dec = Disable
+	}
+	outcome := "hold"
+	switch dec {
 	case Enable:
+		outcome = "enable"
+		if met != nil {
+			met.decEnable.Inc()
+		}
 		if !d.engaged {
 			d.engaged = true
 			d.activations.Add(1)
+			if met != nil {
+				met.transitions.Inc()
+			}
 			d.engage(true)
 		}
 	case Disable:
+		outcome = "disable"
+		if met != nil {
+			met.decDisable.Inc()
+		}
 		if d.engaged {
 			d.engaged = false
 			d.deactivations.Add(1)
+			if met != nil {
+				met.transitions.Inc()
+			}
 			d.engage(false)
 		}
-	case Hold:
+	default:
 		// Hysteresis band: leave the mechanism as-is.
+		if met != nil {
+			met.decHold.Inc()
+		}
+	}
+	if met != nil {
+		if d.engaged {
+			met.engaged.Set(1)
+		} else {
+			met.engaged.Set(0)
+		}
+		if now > 0 {
+			met.duty.Set(float64(d.throttledTime.Load()) / float64(now))
+		}
+		met.staleness.Observe(float64(staleness))
+	}
+	if d.journal != nil {
+		d.powerF, d.concF, d.membwF = d.powerF[:0], d.concF[:0], d.membwF[:0]
+		for s := 0; s < nSock; s++ {
+			bw, _ := d.bb.Socket(s, rcr.MeterMemBandwidth)
+			d.membwF = append(d.membwF, bw.Value)
+			d.powerF = append(d.powerF, float64(d.power[s]))
+			d.concF = append(d.concF, d.conc[s])
+		}
+		d.journal.Record(telemetry.Decision{
+			T:       now,
+			Power:   d.powerF,
+			Conc:    d.concF,
+			Membw:   d.membwF,
+			PowerLv: d.powerLv,
+			ConcLv:  d.concLv,
+			Thresholds: [4]float64{
+				float64(th.LowPower), float64(th.HighPower),
+				th.LowConcurrency, th.HighConcurrency,
+			},
+			Outcome:   outcome,
+			Engaged:   d.engaged,
+			Limit:     d.cfg.ThrottleLimit,
+			Staleness: staleness,
+		})
 	}
 }
 

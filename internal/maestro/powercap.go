@@ -34,6 +34,8 @@ type PowerCap struct {
 	overBudget  atomic.Uint64 // samples observed above the cap
 	samples     atomic.Uint64
 	minLimit    atomic.Int64
+
+	met atomic.Pointer[capMetrics]
 }
 
 // DefaultCapPeriod is the controller's adjustment interval. It must be
@@ -102,10 +104,17 @@ func (pc *PowerCap) Stop() {
 // poll runs on the engine goroutine each period.
 func (pc *PowerCap) poll(_ time.Duration, _ *machine.Snapshot) {
 	pc.samples.Add(1)
+	met := pc.met.Load()
+	if met != nil {
+		met.samples.Inc()
+	}
 	node := 0.0
 	for s := 0; s < pc.bb.Sockets(); s++ {
 		m, ok := pc.bb.Socket(s, rcr.MeterPower)
 		if !ok {
+			if met != nil {
+				met.incomplete.Inc()
+			}
 			return // no data yet
 		}
 		node += m.Value
@@ -113,9 +122,15 @@ func (pc *PowerCap) poll(_ time.Duration, _ *machine.Snapshot) {
 	switch {
 	case node > float64(pc.cap):
 		pc.overBudget.Add(1)
+		if met != nil {
+			met.overBudget.Inc()
+		}
 		if pc.limit > 1 {
 			pc.limit--
 			pc.tightenings.Add(1)
+			if met != nil {
+				met.tightenings.Inc()
+			}
 			if int64(pc.limit) < pc.minLimit.Load() {
 				pc.minLimit.Store(int64(pc.limit))
 			}
@@ -124,10 +139,16 @@ func (pc *PowerCap) poll(_ time.Duration, _ *machine.Snapshot) {
 	case node < float64(pc.cap-pc.margin) && pc.limit < pc.maxLimit:
 		pc.limit++
 		pc.relaxations.Add(1)
+		if met != nil {
+			met.relaxations.Inc()
+		}
 		if pc.limit >= pc.maxLimit {
 			pc.rt.SetThrottle(false, pc.maxLimit)
 		} else {
 			pc.rt.SetThrottle(true, pc.limit)
 		}
+	}
+	if met != nil {
+		met.limit.Set(float64(pc.limit))
 	}
 }

@@ -1,0 +1,79 @@
+package maestro
+
+import (
+	"repro/internal/telemetry"
+)
+
+// daemonMetrics is the throttle daemon's instrument set. All instruments
+// are pre-registered at Start so the poll path records through atomics
+// only — no lookups, no allocation.
+type daemonMetrics struct {
+	polls       *telemetry.Counter
+	incomplete  *telemetry.Counter // polls aborted on a missing meter
+	decHold     *telemetry.Counter
+	decEnable   *telemetry.Counter
+	decDisable  *telemetry.Counter
+	transitions *telemetry.Counter    // actual throttle flips (≤ enable+disable)
+	powerLevel  [3]*telemetry.Counter // per-socket classifications by Level
+	concLevel   [3]*telemetry.Counter
+	engaged     *telemetry.Gauge     // 1 while the mechanism is applied
+	duty        *telemetry.Gauge     // fraction of virtual time spent engaged
+	staleness   *telemetry.Histogram // age of the oldest meter read, ns
+}
+
+func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
+	level := func(prefix string) [3]*telemetry.Counter {
+		return [3]*telemetry.Counter{
+			reg.Counter(prefix + "_low_total"),
+			reg.Counter(prefix + "_medium_total"),
+			reg.Counter(prefix + "_high_total"),
+		}
+	}
+	return &daemonMetrics{
+		polls:       reg.Counter("maestro_polls_total"),
+		incomplete:  reg.Counter("maestro_incomplete_reads_total"),
+		decHold:     reg.Counter("maestro_decision_hold_total"),
+		decEnable:   reg.Counter("maestro_decision_enable_total"),
+		decDisable:  reg.Counter("maestro_decision_disable_total"),
+		transitions: reg.Counter("maestro_transitions_total"),
+		powerLevel:  level("maestro_power_level"),
+		concLevel:   level("maestro_conc_level"),
+		engaged:     reg.Gauge("maestro_engaged"),
+		duty:        reg.Gauge("maestro_throttle_duty"),
+		// Meter age at decision time. The sampler refreshes every 10 ms
+		// and the daemon polls every 100 ms, so a healthy loop sits in
+		// the 0–10 ms buckets; anything beyond one daemon period means
+		// the sampler has stalled.
+		staleness: reg.Histogram("maestro_staleness_ns",
+			1e6, 2.5e6, 5e6, 1e7, 2.5e7, 1e8, 1e9),
+	}
+}
+
+// capMetrics is the PowerCap controller's instrument set, installed
+// atomically by Instrument so it can be attached after StartPowerCap.
+type capMetrics struct {
+	samples     *telemetry.Counter
+	incomplete  *telemetry.Counter
+	tightenings *telemetry.Counter
+	relaxations *telemetry.Counter
+	overBudget  *telemetry.Counter
+	limit       *telemetry.Gauge // current per-shepherd limit
+}
+
+// Instrument registers the controller's counters in reg. Safe to call
+// while the controller is polling.
+func (pc *PowerCap) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &capMetrics{
+		samples:     reg.Counter("maestro_powercap_samples_total"),
+		incomplete:  reg.Counter("maestro_powercap_incomplete_reads_total"),
+		tightenings: reg.Counter("maestro_powercap_tightenings_total"),
+		relaxations: reg.Counter("maestro_powercap_relaxations_total"),
+		overBudget:  reg.Counter("maestro_powercap_over_budget_total"),
+		limit:       reg.Gauge("maestro_powercap_limit"),
+	}
+	m.limit.Set(float64(pc.maxLimit))
+	pc.met.Store(m)
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the runtime.
@@ -58,6 +59,10 @@ type Config struct {
 	ThrottleDutyLevel int
 	// Tracer, when non-nil, observes scheduler events (see trace.go).
 	Tracer Tracer
+	// Telemetry, when non-nil, receives the runtime's qthreads_* counters
+	// (aggregate scheduler activity plus per-shepherd throttled-park
+	// time); see docs/observability.md. Recording is atomic-only.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the runtime defaults used throughout the
@@ -117,6 +122,8 @@ type Runtime struct {
 	throttleOn    atomic.Bool
 	throttleLimit atomic.Int32 // active workers allowed per shepherd
 
+	met *qtMetrics // fixed at New; nil when Config.Telemetry is nil
+
 	runMu sync.Mutex // serializes Run calls
 }
 
@@ -143,6 +150,9 @@ func New(m *machine.Machine, cfg Config) (*Runtime, error) {
 	rt.throttleLimit.Store(int32(m.Config().CoresPerSocket))
 
 	nShep := m.Config().Sockets
+	if cfg.Telemetry != nil {
+		rt.met = newQTMetrics(cfg.Telemetry, nShep)
+	}
 	rt.shepherds = make([]*shepherd, nShep)
 	for i := range rt.shepherds {
 		rt.shepherds[i] = &shepherd{id: i}

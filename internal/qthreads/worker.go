@@ -2,6 +2,7 @@ package qthreads
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/machine"
 )
@@ -90,8 +91,15 @@ func (w *worker) acquireSlot() bool {
 			continue // lost the race; retry
 		}
 		w.throttleStops.Add(1)
+		if met := rt.met; met != nil {
+			met.throttleStops.Inc()
+		}
 		w.trace(EvThrottleEnter)
 		entryEpoch := rt.epoch.Load()
+		var parkStart time.Duration
+		if rt.met != nil {
+			parkStart = rt.m.Now()
+		}
 		w.ctx.SetDutyLevel(rt.cfg.ThrottleDutyLevel)
 		w.ctx.SpinUntil(func() bool {
 			return rt.shutdown.Load() ||
@@ -100,6 +108,12 @@ func (w *worker) acquireSlot() bool {
 				w.shepherd.active.Load() < rt.throttleLimit.Load()
 		})
 		w.ctx.FullDuty()
+		if met := rt.met; met != nil {
+			// Virtual time parked at 1/32 duty — the mechanism's footprint.
+			parked := uint64(rt.m.Now() - parkStart)
+			met.throttleParkNS.Add(parked)
+			met.shepherdParkNS[w.shepherd.id].Add(parked)
+		}
 		w.trace(EvThrottleExit)
 	}
 }
@@ -113,9 +127,13 @@ func (w *worker) releaseSlot() {
 // shepherds (FIFO), charging the scheduler costs to this core.
 func (w *worker) findWork() *taskItem {
 	rt := w.rt
+	met := rt.met
 	if t := w.shepherd.pop(); t != nil {
 		rt.queued.Add(-1)
 		w.localPops.Add(1)
+		if met != nil {
+			met.localPops.Inc()
+		}
 		w.chargeSched(rt.cfg.DequeueCost)
 		return t
 	}
@@ -125,11 +143,17 @@ func (w *worker) findWork() *taskItem {
 		if t := sh.stealFrom(); t != nil {
 			rt.queued.Add(-1)
 			w.steals.Add(1)
+			if met != nil {
+				met.steals.Inc()
+			}
 			w.trace(EvSteal)
 			w.chargeSched(rt.cfg.StealCost)
 			return t
 		}
 		w.stealMisses.Add(1)
+		if met != nil {
+			met.stealMisses.Inc()
+		}
 	}
 	return nil
 }
@@ -147,6 +171,9 @@ func (w *worker) execute(t *taskItem) {
 		w.rt.pending.Add(-1)
 	}
 	w.tasksExecuted.Add(1)
+	if met := w.rt.met; met != nil {
+		met.tasks.Inc()
+	}
 	w.trace(EvTaskEnd)
 }
 

@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Standard meter names written by the sampler. Clients address meters by
@@ -49,6 +52,14 @@ type Blackboard struct {
 	sockets []map[string]Meter
 	cores   []map[string]Meter // node-wide core index
 	perSock int
+
+	met atomic.Pointer[bbMetrics]
+}
+
+// bbMetrics counts blackboard traffic; installed by Instrument.
+type bbMetrics struct {
+	writes *telemetry.Counter
+	reads  *telemetry.Counter
 }
 
 // NewBlackboard creates a blackboard for a node topology.
@@ -71,6 +82,31 @@ func NewBlackboard(sockets, coresPerSocket int) (*Blackboard, error) {
 	return bb, nil
 }
 
+// Instrument registers write/read counters for the blackboard in reg —
+// the traffic rates behind "how hot is the measurement path". Safe to
+// call while samplers and daemons are running.
+func (bb *Blackboard) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	bb.met.Store(&bbMetrics{
+		writes: reg.Counter("rcr_blackboard_writes_total"),
+		reads:  reg.Counter("rcr_blackboard_reads_total"),
+	})
+}
+
+func (bb *Blackboard) countWrite() {
+	if m := bb.met.Load(); m != nil {
+		m.writes.Inc()
+	}
+}
+
+func (bb *Blackboard) countRead() {
+	if m := bb.met.Load(); m != nil {
+		m.reads.Inc()
+	}
+}
+
 // Sockets returns the number of socket domains.
 func (bb *Blackboard) Sockets() int { return len(bb.sockets) }
 
@@ -79,6 +115,7 @@ func (bb *Blackboard) Cores() int { return len(bb.cores) }
 
 // SetSystem writes a system-level meter.
 func (bb *Blackboard) SetSystem(name string, v float64, now time.Duration) {
+	bb.countWrite()
 	bb.mu.Lock()
 	bb.system[name] = Meter{Value: v, Updated: now}
 	bb.mu.Unlock()
@@ -87,6 +124,7 @@ func (bb *Blackboard) SetSystem(name string, v float64, now time.Duration) {
 // SetSocket writes a socket-level meter. Out-of-range sockets are a
 // programming error and panic.
 func (bb *Blackboard) SetSocket(socket int, name string, v float64, now time.Duration) {
+	bb.countWrite()
 	bb.mu.Lock()
 	bb.sockets[socket][name] = Meter{Value: v, Updated: now}
 	bb.mu.Unlock()
@@ -94,6 +132,7 @@ func (bb *Blackboard) SetSocket(socket int, name string, v float64, now time.Dur
 
 // SetCore writes a core-level meter.
 func (bb *Blackboard) SetCore(core int, name string, v float64, now time.Duration) {
+	bb.countWrite()
 	bb.mu.Lock()
 	bb.cores[core][name] = Meter{Value: v, Updated: now}
 	bb.mu.Unlock()
@@ -101,6 +140,7 @@ func (bb *Blackboard) SetCore(core int, name string, v float64, now time.Duratio
 
 // System reads a system-level meter.
 func (bb *Blackboard) System(name string) (Meter, bool) {
+	bb.countRead()
 	bb.mu.RLock()
 	defer bb.mu.RUnlock()
 	m, ok := bb.system[name]
@@ -109,6 +149,7 @@ func (bb *Blackboard) System(name string) (Meter, bool) {
 
 // Socket reads a socket-level meter.
 func (bb *Blackboard) Socket(socket int, name string) (Meter, bool) {
+	bb.countRead()
 	bb.mu.RLock()
 	defer bb.mu.RUnlock()
 	if socket < 0 || socket >= len(bb.sockets) {
@@ -120,6 +161,7 @@ func (bb *Blackboard) Socket(socket int, name string) (Meter, bool) {
 
 // Core reads a core-level meter.
 func (bb *Blackboard) Core(core int, name string) (Meter, bool) {
+	bb.countRead()
 	bb.mu.RLock()
 	defer bb.mu.RUnlock()
 	if core < 0 || core >= len(bb.cores) {
@@ -152,6 +194,7 @@ type Snapshot struct {
 
 // Snapshot copies the blackboard.
 func (bb *Blackboard) Snapshot(now time.Duration) Snapshot {
+	bb.countRead()
 	bb.mu.RLock()
 	defer bb.mu.RUnlock()
 	s := Snapshot{

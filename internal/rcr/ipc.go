@@ -1,44 +1,105 @@
 package rcr
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The IPC protocol stands in for the real RCRdaemon's shared-memory
 // region: a client connects to a Unix socket, sends a one-line request,
-// and receives a length-prefixed binary snapshot.
+// and receives a length-prefixed binary payload.
 //
-//	request:  "GET\n"
-//	response: uint32 little-endian length, then EncodeSnapshot bytes
+//	request:  "GET\n"  response: uint32 little-endian length, then EncodeSnapshot bytes
+//	request:  "MET\n"  response: uint32 little-endian length, then metrics text
+//	                   (telemetry.Registry.WriteText form; empty when the
+//	                   server is not instrumented)
 
 // maxSnapshotBytes bounds the response size a client will accept.
 const maxSnapshotBytes = 16 << 20
 
-// Server serves blackboard snapshots over a listener.
+// Defaults for the server's per-connection protections. The protocol is
+// a single tiny request and one bounded response, so anything slower
+// than these is a stalled or hostile peer, not a slow link.
+const (
+	DefaultIPCTimeout = 2 * time.Second
+	DefaultMaxConns   = 64
+)
+
+// DefaultQueryTimeout bounds Query's whole dial/request/response
+// exchange when the caller supplies no context.
+const DefaultQueryTimeout = 5 * time.Second
+
+// Server serves blackboard snapshots over a listener. Configure the
+// exported fields (if desired) and Instrument before calling Serve.
 type Server struct {
 	bb    *Blackboard
 	clock Clock
 	ln    net.Listener
 
-	mu     sync.Mutex
-	closed bool
+	// ReadTimeout and WriteTimeout bound each connection's request read
+	// and response write. Zero selects DefaultIPCTimeout; a stalled or
+	// malicious client can hold a handler (and one connection slot) no
+	// longer than their sum.
+	ReadTimeout, WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; further clients
+	// queue in the listener backlog. Zero selects DefaultMaxConns.
+	MaxConns int
+
+	reg      *telemetry.Registry
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	rejected *telemetry.Counter
+	active   *telemetry.Gauge
+
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	serving sync.WaitGroup
 }
 
 // NewServer creates a snapshot server; call Serve to run it.
 func NewServer(bb *Blackboard, clock Clock, ln net.Listener) *Server {
-	return &Server{bb: bb, clock: clock, ln: ln}
+	return &Server{bb: bb, clock: clock, ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Instrument registers the server's request/error counters in reg and
+// makes reg's contents available to clients through the "MET" op. Call
+// before Serve.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	s.reg = reg
+	s.requests = reg.Counter("rcr_ipc_requests_total")
+	s.errors = reg.Counter("rcr_ipc_errors_total")
+	s.rejected = reg.Counter("rcr_ipc_bad_requests_total")
+	s.active = reg.Gauge("rcr_ipc_active_conns")
 }
 
 // Serve accepts connections until Close. It returns nil after Close.
 func (s *Server) Serve() error {
+	readTO, writeTO, maxConns := s.ReadTimeout, s.WriteTimeout, s.MaxConns
+	if readTO <= 0 {
+		readTO = DefaultIPCTimeout
+	}
+	if writeTO <= 0 {
+		writeTO = DefaultIPCTimeout
+	}
+	if maxConns <= 0 {
+		maxConns = DefaultMaxConns
+	}
+	sem := make(chan struct{}, maxConns)
 	for {
+		sem <- struct{}{} // cap in-flight handlers before accepting more
 		conn, err := s.ln.Accept()
 		if err != nil {
+			<-sem
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
@@ -47,19 +108,65 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("rcr: accept: %w", err)
 		}
-		go s.handle(conn)
+		if !s.track(conn) {
+			// Closed while accepting: drop the straggler.
+			conn.Close()
+			<-sem
+			return nil
+		}
+		go func() {
+			defer func() { <-sem }()
+			defer s.serving.Done()
+			defer s.untrack(conn)
+			s.handle(conn, readTO, writeTO)
+		}()
 	}
 }
 
-// Close stops the server.
-func (s *Server) Close() error {
+// track registers a live connection; it reports false when the server
+// is already closed (the caller must drop the connection).
+func (s *Server) track(conn net.Conn) bool {
 	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	return s.ln.Close()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.serving.Add(1)
+	s.active.Set(float64(len(s.conns)))
+	return true
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.active.Set(float64(len(s.conns)))
+	s.mu.Unlock()
+}
+
+// Close stops the server: no new connections are accepted, in-flight
+// handlers are hastened by expiring their deadlines, and Close returns
+// only after every handler has drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	// Expire deadlines on live connections so stalled handlers unwind
+	// immediately instead of waiting out their timeouts.
+	past := time.Unix(1, 0)
+	for conn := range s.conns {
+		_ = conn.SetDeadline(past)
+	}
+	s.mu.Unlock()
+	var err error
+	if !alreadyClosed {
+		err = s.ln.Close()
+	}
+	s.serving.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration) {
 	defer func() {
 		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			// Nothing useful to do with a close error on a per-request
@@ -67,46 +174,110 @@ func (s *Server) handle(conn net.Conn) {
 			_ = err
 		}
 	}()
+	s.requests.Inc()
+	if err := conn.SetReadDeadline(time.Now().Add(readTO)); err != nil {
+		s.errors.Inc()
+		return
+	}
 	req := make([]byte, 4)
 	if _, err := io.ReadFull(conn, req); err != nil {
+		s.errors.Inc()
 		return
 	}
-	if string(req) != "GET\n" {
+	var payload []byte
+	switch string(req) {
+	case "GET\n":
+		payload = EncodeSnapshot(s.bb.Snapshot(s.clock.Now()))
+	case "MET\n":
+		var buf bytes.Buffer
+		if s.reg != nil {
+			if err := s.reg.WriteText(&buf); err != nil {
+				s.errors.Inc()
+				return
+			}
+		}
+		payload = buf.Bytes()
+	default:
+		s.rejected.Inc()
 		return
 	}
-	payload := EncodeSnapshot(s.bb.Snapshot(s.clock.Now()))
+	if err := conn.SetWriteDeadline(time.Now().Add(writeTO)); err != nil {
+		s.errors.Inc()
+		return
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := conn.Write(hdr[:]); err != nil {
+		s.errors.Inc()
 		return
 	}
 	if _, err := conn.Write(payload); err != nil {
+		s.errors.Inc()
 		return
 	}
 }
 
-// Query connects to addr (a Unix socket path by default network "unix"),
-// requests a snapshot, and decodes it.
+// Query connects to addr (a Unix socket path by default network
+// "unix"), requests a snapshot, and decodes it. The whole exchange is
+// bounded by DefaultQueryTimeout; use QueryContext for caller-supplied
+// deadlines or cancellation.
 func Query(network, addr string) (Snapshot, error) {
-	conn, err := net.Dial(network, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultQueryTimeout)
+	defer cancel()
+	return QueryContext(ctx, network, addr)
+}
+
+// QueryContext is Query under a context: the dial, request write and
+// response read all respect ctx's deadline and cancellation, so a dead
+// or wedged server cannot block the caller indefinitely.
+func QueryContext(ctx context.Context, network, addr string) (Snapshot, error) {
+	payload, err := roundTrip(ctx, network, addr, "GET\n")
 	if err != nil {
-		return Snapshot{}, fmt.Errorf("rcr: dial %s: %w", addr, err)
+		return Snapshot{}, err
+	}
+	return DecodeSnapshot(payload)
+}
+
+// QueryMetrics fetches the server's telemetry in WriteText form. An
+// uninstrumented server returns "".
+func QueryMetrics(ctx context.Context, network, addr string) (string, error) {
+	payload, err := roundTrip(ctx, network, addr, "MET\n")
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
+
+// roundTrip performs one request/response exchange under ctx.
+func roundTrip(ctx context.Context, network, addr, req string) ([]byte, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("rcr: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write([]byte("GET\n")); err != nil {
-		return Snapshot{}, fmt.Errorf("rcr: request: %w", err)
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("rcr: deadline: %w", err)
+		}
+	}
+	// Propagate mid-exchange cancellation by expiring the deadline.
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return nil, fmt.Errorf("rcr: request: %w", err)
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return Snapshot{}, fmt.Errorf("rcr: response header: %w", err)
+		return nil, fmt.Errorf("rcr: response header: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxSnapshotBytes {
-		return Snapshot{}, fmt.Errorf("rcr: implausible snapshot size %d", n)
+		return nil, fmt.Errorf("rcr: implausible snapshot size %d", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(conn, payload); err != nil {
-		return Snapshot{}, fmt.Errorf("rcr: response body: %w", err)
+		return nil, fmt.Errorf("rcr: response body: %w", err)
 	}
-	return DecodeSnapshot(payload)
+	return payload, nil
 }

@@ -2,10 +2,12 @@ package rcr
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
 	"repro/internal/rapl"
+	"repro/internal/telemetry"
 )
 
 // DefaultSamplePeriod is how often the sampler refreshes the blackboard.
@@ -13,6 +15,14 @@ import (
 // consumers like the MAESTRO throttle daemon poll less often (0.1 s) to
 // smooth jitter (paper §IV).
 const DefaultSamplePeriod = 10 * time.Millisecond
+
+// samplerMetrics is the sampler's instrument set, installed atomically
+// by Instrument so publishing can begin while ticks are in flight.
+type samplerMetrics struct {
+	ticks      *telemetry.Counter
+	readErrors *telemetry.Counter
+	tickNS     *telemetry.Histogram // host nanoseconds per sample tick
+}
 
 // Sampler periodically reads the RAPL counters and the machine's uncore
 // metrics into a blackboard. It is driven by the simulated machine's
@@ -24,14 +34,26 @@ type Sampler struct {
 	period   time.Duration
 	tickerID int
 
-	// Engine-goroutine state (only touched inside the ticker callback).
+	met atomic.Pointer[samplerMetrics]
+
+	// Engine-goroutine state (only touched inside the ticker callback,
+	// except for the baseline seeding in StartSampler, which completes
+	// before the ticker is registered). Baselines are per-domain so a
+	// domain whose counter read fails resynchronizes over its own
+	// window instead of borrowing a neighbour's.
 	lastEnergy []float64
-	lastTime   time.Duration
-	haveLast   bool
+	lastTime   []time.Duration
+	haveBase   []bool
 }
 
 // StartSampler registers a sampler on the machine and returns it. The
 // blackboard is updated every period of virtual time until Stop.
+//
+// The energy baseline is seeded from the counters before the first tick,
+// so the first sample window already publishes a power meter: consumers
+// polling the blackboard during the first period see real data instead
+// of a zero-valued "idle" node (they previously had to wait out two
+// periods for the first derivative).
 func StartSampler(m *machine.Machine, reader rapl.Reader, bb *Blackboard, period time.Duration) (*Sampler, error) {
 	if period <= 0 {
 		period = DefaultSamplePeriod
@@ -49,6 +71,20 @@ func StartSampler(m *machine.Machine, reader rapl.Reader, bb *Blackboard, period
 		bb:         bb,
 		period:     period,
 		lastEnergy: make([]float64, reader.Domains()),
+		lastTime:   make([]time.Duration, reader.Domains()),
+		haveBase:   make([]bool, reader.Domains()),
+	}
+	// Seed per-domain baselines; a domain whose read fails here starts
+	// publishing power one window later, exactly as before.
+	start := m.Now()
+	for d := 0; d < reader.Domains(); d++ {
+		e, err := reader.Energy(d)
+		if err != nil {
+			continue
+		}
+		s.lastEnergy[d] = float64(e)
+		s.lastTime[d] = start
+		s.haveBase[d] = true
 	}
 	id, err := m.AddTicker(period, s.sample)
 	if err != nil {
@@ -56,6 +92,20 @@ func StartSampler(m *machine.Machine, reader rapl.Reader, bb *Blackboard, period
 	}
 	s.tickerID = id
 	return s, nil
+}
+
+// Instrument registers the sampler's tick/error counters and tick
+// latency histogram in reg. Safe to call while sampling is in flight.
+func (s *Sampler) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met.Store(&samplerMetrics{
+		ticks:      reg.Counter("rcr_sampler_ticks_total"),
+		readErrors: reg.Counter("rcr_sampler_read_errors_total"),
+		// Host-side cost of one sample tick: 250 ns to 1 ms.
+		tickNS: reg.Histogram("rcr_sampler_tick_ns", 250, 1000, 4000, 16000, 64000, 250000, 1e6),
+	})
 }
 
 // Blackboard returns the blackboard this sampler writes.
@@ -72,23 +122,35 @@ func (s *Sampler) Stop() { s.m.RemoveTicker(s.tickerID) }
 
 // sample runs on the machine's engine goroutine at each period.
 func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
-	dt := now - s.lastTime
+	met := s.met.Load()
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+		met.ticks.Inc()
+	}
 	totalE, totalP := 0.0, 0.0
+	havePower := false
 	for d := 0; d < s.reader.Domains(); d++ {
 		e, err := s.reader.Energy(d)
 		if err != nil {
 			// Counter read failures are recorded as a stale meter rather
 			// than tearing down the daemon.
+			if met != nil {
+				met.readErrors.Inc()
+			}
 			continue
 		}
 		s.bb.SetSocket(d, MeterEnergy, float64(e), now)
 		totalE += float64(e)
-		if s.haveLast && dt > 0 {
+		if dt := now - s.lastTime[d]; s.haveBase[d] && dt > 0 {
 			p := (float64(e) - s.lastEnergy[d]) / dt.Seconds()
 			s.bb.SetSocket(d, MeterPower, p, now)
 			totalP += p
+			havePower = true
 		}
 		s.lastEnergy[d] = float64(e)
+		s.lastTime[d] = now
+		s.haveBase[d] = true
 	}
 	for d, sock := range snap.Sockets {
 		s.bb.SetSocket(d, MeterMemBandwidth, float64(sock.Bandwidth), now)
@@ -96,9 +158,10 @@ func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
 		s.bb.SetSocket(d, MeterTemperature, float64(sock.Temperature), now)
 	}
 	s.bb.SetSystem(MeterEnergy, totalE, now)
-	if s.haveLast && dt > 0 {
+	if havePower {
 		s.bb.SetSystem(MeterPower, totalP, now)
 	}
-	s.lastTime = now
-	s.haveLast = true
+	if met != nil {
+		met.tickNS.Observe(float64(time.Since(t0)))
+	}
 }

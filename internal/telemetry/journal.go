@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level values used in decision records. They mirror the maestro
+// classifier (Low / Medium / High); the journal stores them as small
+// integers so records round-trip exactly through JSONL.
+const (
+	LevelLow    int8 = 0
+	LevelMedium int8 = 1
+	LevelHigh   int8 = 2
+)
+
+// LevelName returns the human name of a recorded level.
+func LevelName(l int8) string {
+	switch l {
+	case LevelLow:
+		return "Low"
+	case LevelMedium:
+		return "Medium"
+	case LevelHigh:
+		return "High"
+	default:
+		return fmt.Sprintf("Level(%d)", l)
+	}
+}
+
+// Decision is one classification epoch of the throttle daemon: the
+// sampled inputs, the thresholds they were classified against, the
+// per-axis levels, and the outcome. Slice fields are indexed by socket.
+type Decision struct {
+	// T is the virtual time of the poll.
+	T time.Duration `json:"t_ns"`
+	// Power and Conc are the sampled per-socket inputs (Watts,
+	// outstanding memory references); Membw is the per-socket memory
+	// bandwidth (bytes/s) at the same instant.
+	Power []float64 `json:"power"`
+	Conc  []float64 `json:"conc"`
+	Membw []float64 `json:"membw"`
+	// PowerLv / ConcLv are the per-socket classifications (LevelLow,
+	// LevelMedium, LevelHigh).
+	PowerLv []int8 `json:"power_level"`
+	ConcLv  []int8 `json:"conc_level"`
+	// Thresholds are the boundaries the inputs were classified against:
+	// {low power, high power, low concurrency, high concurrency}.
+	Thresholds [4]float64 `json:"thresholds"`
+	// Outcome is the decision: "hold", "enable" or "disable".
+	Outcome string `json:"outcome"`
+	// Engaged is the hysteresis state after the decision (whether the
+	// mechanism is applied).
+	Engaged bool `json:"engaged"`
+	// Limit is the per-shepherd active-worker limit in force.
+	Limit int `json:"limit"`
+	// Staleness is the age of the oldest input meter at poll time — how
+	// out-of-date the data behind this decision was.
+	Staleness time.Duration `json:"staleness_ns"`
+}
+
+// Journal is a bounded ring buffer of Decisions. Record copies the
+// caller's slices into storage preallocated at construction, so the
+// record path does not allocate for the topology the journal was built
+// for. A single writer (the daemon's poll callback) and any number of
+// concurrent readers are the intended pattern; all methods are safe for
+// concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	entries []Decision
+	next    int
+	filled  bool
+	sockets int
+}
+
+// DefaultJournalCapacity holds ~27 minutes of decisions at the paper's
+// 0.1 s daemon period.
+const DefaultJournalCapacity = 1 << 14
+
+// NewJournal creates a journal for capacity decisions over a node with
+// the given socket count. capacity <= 0 selects DefaultJournalCapacity.
+func NewJournal(capacity, sockets int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	if sockets < 1 {
+		sockets = 1
+	}
+	j := &Journal{entries: make([]Decision, capacity), sockets: sockets}
+	for i := range j.entries {
+		j.entries[i].Power = make([]float64, 0, sockets)
+		j.entries[i].Conc = make([]float64, 0, sockets)
+		j.entries[i].Membw = make([]float64, 0, sockets)
+		j.entries[i].PowerLv = make([]int8, 0, sockets)
+		j.entries[i].ConcLv = make([]int8, 0, sockets)
+	}
+	return j
+}
+
+// Record appends one decision, overwriting the oldest when full. The
+// slices in d are copied; the caller may reuse them. Nil-safe no-op.
+func (j *Journal) Record(d Decision) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	slot := &j.entries[j.next]
+	// Copy scalars, then splice the slot's preallocated backing arrays
+	// back in and copy the slice contents into them.
+	power, conc, membw := slot.Power[:0], slot.Conc[:0], slot.Membw[:0]
+	plv, clv := slot.PowerLv[:0], slot.ConcLv[:0]
+	*slot = d
+	slot.Power = append(power, d.Power...)
+	slot.Conc = append(conc, d.Conc...)
+	slot.Membw = append(membw, d.Membw...)
+	slot.PowerLv = append(plv, d.PowerLv...)
+	slot.ConcLv = append(clv, d.ConcLv...)
+	j.next++
+	if j.next == len(j.entries) {
+		j.next = 0
+		j.filled = true
+	}
+	j.mu.Unlock()
+}
+
+// Len reports how many decisions are currently stored (0 for nil).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.filled {
+		return len(j.entries)
+	}
+	return j.next
+}
+
+// Sockets returns the per-socket width the journal was built for.
+func (j *Journal) Sockets() int {
+	if j == nil {
+		return 0
+	}
+	return j.sockets
+}
+
+// Entries returns a deep copy of the stored decisions, oldest first.
+func (j *Journal) Entries() []Decision {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var src []Decision
+	if j.filled {
+		src = make([]Decision, 0, len(j.entries))
+		src = append(src, j.entries[j.next:]...)
+		src = append(src, j.entries[:j.next]...)
+	} else {
+		src = append([]Decision(nil), j.entries[:j.next]...)
+	}
+	out := make([]Decision, len(src))
+	for i, d := range src {
+		out[i] = d
+		out[i].Power = append([]float64(nil), d.Power...)
+		out[i].Conc = append([]float64(nil), d.Conc...)
+		out[i].Membw = append([]float64(nil), d.Membw...)
+		out[i].PowerLv = append([]int8(nil), d.PowerLv...)
+		out[i].ConcLv = append([]int8(nil), d.ConcLv...)
+	}
+	return out
+}
+
+// WriteJSONL writes the journal as one JSON object per line, oldest
+// first — the sidecar format ReadJSONL parses back.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range j.Entries() {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a WriteJSONL stream. Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Decision, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Decision
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			return nil, fmt.Errorf("telemetry: journal line %d: %w", len(out)+1, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteCSV writes the journal in long form for spreadsheet plotting:
+// one row per decision with per-socket columns.
+func (j *Journal) WriteCSV(w io.Writer) error {
+	entries := j.Entries()
+	cw := csv.NewWriter(w)
+	header := []string{"t_seconds", "outcome", "engaged", "limit", "staleness_ms"}
+	for s := 0; s < j.Sockets(); s++ {
+		header = append(header,
+			fmt.Sprintf("pkg%d_watts", s),
+			fmt.Sprintf("pkg%d_memconc", s),
+			fmt.Sprintf("pkg%d_membw", s),
+			fmt.Sprintf("pkg%d_power_level", s),
+			fmt.Sprintf("pkg%d_conc_level", s))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	at := func(v []float64, i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	lvAt := func(v []int8, i int) string {
+		if i < len(v) {
+			return LevelName(v[i])
+		}
+		return ""
+	}
+	for _, d := range entries {
+		rec := []string{
+			strconv.FormatFloat(d.T.Seconds(), 'f', 6, 64),
+			d.Outcome,
+			strconv.FormatBool(d.Engaged),
+			strconv.Itoa(d.Limit),
+			strconv.FormatFloat(float64(d.Staleness)/1e6, 'f', 3, 64),
+		}
+		for s := 0; s < j.Sockets(); s++ {
+			rec = append(rec,
+				strconv.FormatFloat(at(d.Power, s), 'f', 3, 64),
+				strconv.FormatFloat(at(d.Conc, s), 'f', 3, 64),
+				strconv.FormatFloat(at(d.Membw, s), 'f', 0, 64),
+				lvAt(d.PowerLv, s),
+				lvAt(d.ConcLv, s))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
