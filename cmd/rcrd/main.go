@@ -105,7 +105,9 @@ func serve(socket, load string, duration time.Duration) error {
 	if err := os.Remove(socket); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	sys, err := core.New(core.Options{Warm: true, Telemetry: true})
+	// A long-lived daemon runs fault-tolerant: guarded RAPL reads and a
+	// supervised sampler (docs/robustness.md).
+	sys, err := core.New(core.Options{Warm: true, Telemetry: true, FaultTolerant: true})
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,13 @@ type Options struct {
 	// SamplePeriod is the RCR blackboard refresh interval; zero selects
 	// the default (10 ms of virtual time).
 	SamplePeriod time.Duration
+	// FaultTolerant hardens the measurement path (docs/robustness.md):
+	// the RAPL reader is wrapped in a rapl.Guard (per-domain retry,
+	// bounded-backoff quarantine, plausibility clamp), and the sampler
+	// runs under an rcr.Supervisor that restarts it if it dies or wedges.
+	// The MAESTRO staleness watchdog is always on regardless (it defaults
+	// to 3× the poll period); this option adds the sensing-side armor.
+	FaultTolerant bool
 	// AdaptiveThrottling starts the MAESTRO daemon (paper §IV).
 	AdaptiveThrottling bool
 	// Maestro tunes the daemon when AdaptiveThrottling is set.
@@ -72,9 +79,11 @@ type Options struct {
 // System is a ready-to-run instance of the paper's full stack.
 type System struct {
 	m       *machine.Machine
-	reader  *rapl.MSRReader
+	reader  rapl.Reader
+	guard   *rapl.Guard
 	bb      *rcr.Blackboard
 	sampler *rcr.Sampler
+	sup     *rcr.Supervisor
 	rt      *qthreads.Runtime
 	daemon  *maestro.Daemon
 	cap     *maestro.PowerCap
@@ -102,23 +111,46 @@ func New(opts Options) (*System, error) {
 	if opts.Warm {
 		m.WarmAll(workloads.WarmTemp)
 	}
-	if sys.reader, err = rapl.NewMSRReader(m.MSR()); err != nil {
+	if opts.Telemetry {
+		// The registry exists before the guard and sampler so their
+		// instruments are registered from the first read.
+		sys.reg = telemetry.NewRegistry()
+		sys.journal = telemetry.NewJournal(0, mcfg.Sockets)
+		opts.Qthreads.Telemetry = sys.reg
+		opts.Maestro.Telemetry = sys.reg
+		opts.Maestro.Journal = sys.journal
+	}
+	msrReader, err := rapl.NewMSRReader(m.MSR())
+	if err != nil {
 		return fail(err)
+	}
+	sys.reader = msrReader
+	if opts.FaultTolerant {
+		// The sampler calls the guard with the machine lock released, so
+		// virtual time is a safe backoff clock here.
+		if sys.guard, err = rapl.NewGuard(msrReader, rapl.GuardConfig{Clock: m.Now, Telemetry: sys.reg}); err != nil {
+			return fail(err)
+		}
+		sys.reader = sys.guard
 	}
 	if sys.bb, err = rcr.NewBlackboard(mcfg.Sockets, mcfg.CoresPerSocket); err != nil {
 		return fail(err)
 	}
-	if sys.sampler, err = rcr.StartSampler(m, sys.reader, sys.bb, opts.SamplePeriod); err != nil {
-		return fail(err)
+	if opts.FaultTolerant {
+		if sys.sup, err = rcr.StartSupervisor(m, sys.reader, sys.bb, rcr.SupervisorConfig{
+			SamplePeriod: opts.SamplePeriod,
+			Telemetry:    sys.reg,
+		}); err != nil {
+			return fail(err)
+		}
+	} else {
+		if sys.sampler, err = rcr.StartSampler(m, sys.reader, sys.bb, opts.SamplePeriod); err != nil {
+			return fail(err)
+		}
+		sys.sampler.Instrument(sys.reg) // no-op when reg is nil
 	}
-	if opts.Telemetry {
-		sys.reg = telemetry.NewRegistry()
-		sys.journal = telemetry.NewJournal(0, mcfg.Sockets)
+	if sys.reg != nil {
 		sys.bb.Instrument(sys.reg)
-		sys.sampler.Instrument(sys.reg)
-		opts.Qthreads.Telemetry = sys.reg
-		opts.Maestro.Telemetry = sys.reg
-		opts.Maestro.Journal = sys.journal
 	}
 	qcfg := opts.Qthreads
 	if qcfg.SpawnCost == 0 && qcfg.DequeueCost == 0 && qcfg.StealCost == 0 {
@@ -166,8 +198,17 @@ func (s *System) Runtime() *qthreads.Runtime { return s.rt }
 // Blackboard returns the RCR measurement blackboard.
 func (s *System) Blackboard() *rcr.Blackboard { return s.bb }
 
-// Reader returns the RAPL energy reader.
+// Reader returns the RAPL energy reader the stack measures through —
+// the fault-containment Guard when FaultTolerant is set.
 func (s *System) Reader() rapl.Reader { return s.reader }
+
+// Guard returns the RAPL fault-containment wrapper, or nil when
+// FaultTolerant was not set.
+func (s *System) Guard() *rapl.Guard { return s.guard }
+
+// Supervisor returns the sampler supervisor, or nil when FaultTolerant
+// was not set.
+func (s *System) Supervisor() *rcr.Supervisor { return s.sup }
 
 // Throttling reports whether adaptive throttling is installed and its
 // statistics so far.
@@ -254,6 +295,9 @@ func (s *System) Close() {
 	}
 	if s.rt != nil {
 		s.rt.Shutdown()
+	}
+	if s.sup != nil {
+		s.sup.Stop()
 	}
 	if s.sampler != nil {
 		s.sampler.Stop()

@@ -265,3 +265,47 @@ func TestTelemetryOffByDefault(t *testing.T) {
 		t.Error("telemetry installed without Options.Telemetry")
 	}
 }
+
+func TestFaultTolerantOption(t *testing.T) {
+	sys := newSystem(t, Options{FaultTolerant: true, Telemetry: true})
+	if sys.Guard() == nil || sys.Supervisor() == nil {
+		t.Fatal("FaultTolerant system missing guard or supervisor")
+	}
+	if sys.Reader() != sys.Guard() {
+		t.Error("system does not measure through the guard")
+	}
+	rep, err := sys.Run("kernel", func(tc *qthreads.TC) {
+		tc.ParallelFor(320, 20, func(tc *qthreads.TC, lo, hi int) {
+			tc.Compute(float64(hi-lo) * 1e6)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Energy <= 0 {
+		t.Error("no energy measured through the guarded reader")
+	}
+	if got := sys.Guard().Quarantined(); got != 0 {
+		t.Errorf("%d domains quarantined on a healthy run", got)
+	}
+	if sys.Supervisor().Restarts() != 0 {
+		t.Error("supervisor restarted a healthy sampler")
+	}
+	// The guard's instruments are in the shared registry.
+	found := false
+	for _, m := range sys.Telemetry().Snapshot() {
+		if m.Name == "rapl_guard_faults_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("guard counters not registered")
+	}
+}
+
+func TestFaultTolerantOffByDefault(t *testing.T) {
+	sys := newSystem(t, Options{})
+	if sys.Guard() != nil || sys.Supervisor() != nil {
+		t.Error("zero-value options grew a guard or supervisor")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// ChaosFailure is one chaos run that violated an invariant.
+type ChaosFailure struct {
+	Seed       uint64
+	Violations []string
+}
+
+// ChaosSummary aggregates a fleet of seeded chaos runs (see
+// internal/faults.RunChaos and docs/robustness.md): how many passed,
+// which seeds failed and why, and how much fault traffic the corpus
+// actually generated — so a green summary demonstrably tested something.
+type ChaosSummary struct {
+	Runs     int
+	Passed   int
+	Failures []ChaosFailure
+	// Injected counts faults delivered per kind across the corpus.
+	Injected [faults.NumKinds]uint64
+	// Aggregate recovery activity across the corpus.
+	Activations     uint64
+	FailsafeEntries uint64
+	Recoveries      uint64
+	SamplerRestarts uint64
+	Quarantines     uint64
+}
+
+// Ok reports whether every run passed.
+func (s ChaosSummary) Ok() bool { return s.Passed == s.Runs }
+
+// String renders the summary as a short report.
+func (s ChaosSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d/%d runs passed\n", s.Passed, s.Runs)
+	fmt.Fprintf(&b, "  injected:")
+	for k := faults.Kind(0); k < faults.NumKinds; k++ {
+		fmt.Fprintf(&b, " %s=%d", k, s.Injected[k])
+	}
+	fmt.Fprintf(&b, "\n  activations=%d failsafe=%d recoveries=%d restarts=%d quarantines=%d\n",
+		s.Activations, s.FailsafeEntries, s.Recoveries, s.SamplerRestarts, s.Quarantines)
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "  seed %d FAILED:\n", f.Seed)
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// Chaos replays runs seeded fault schedules against the full
+// RAPL→RCR→MAESTRO→qthreads pipeline, fanned out across the Lab's worker
+// pool. Seeds are lab.Seed, lab.Seed+1, … so a failing seed reported in
+// the summary reproduces standalone via faults.RunChaos.
+func (lab *Lab) Chaos(runs int) (ChaosSummary, error) {
+	if runs <= 0 {
+		runs = 32
+	}
+	reports := make([]*faults.ChaosReport, runs)
+	base := uint64(lab.Seed)
+	err := lab.runCells(runs, func(i int) error {
+		rep, err := faults.RunChaos(faults.ChaosConfig{Seed: base + uint64(i)})
+		if err != nil {
+			return fmt.Errorf("chaos seed %d: %w", base+uint64(i), err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return ChaosSummary{}, err
+	}
+	sum := ChaosSummary{Runs: runs}
+	for _, rep := range reports {
+		if rep.Passed() {
+			sum.Passed++
+		} else {
+			sum.Failures = append(sum.Failures, ChaosFailure{Seed: rep.Seed, Violations: rep.Violations})
+		}
+		for k := range rep.Injected {
+			sum.Injected[k] += rep.Injected[k]
+		}
+		sum.Activations += rep.Daemon.Activations
+		sum.FailsafeEntries += rep.Daemon.FailsafeEntries
+		sum.Recoveries += rep.Daemon.Recoveries
+		sum.SamplerRestarts += rep.SamplerRestarts
+		sum.Quarantines += rep.Quarantines
+	}
+	return sum, nil
+}

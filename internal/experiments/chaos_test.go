@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabChaos fans a small chaos corpus across the Lab's worker pool
+// and checks the aggregation: every run must pass, the summary must
+// show real fault traffic, and the report must render.
+func TestLabChaos(t *testing.T) {
+	lab := NewLab()
+	lab.Seed = 100
+	sum, err := lab.Chaos(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() {
+		t.Fatalf("chaos corpus failed:\n%s", sum)
+	}
+	if sum.Runs != 8 || sum.Passed != 8 {
+		t.Errorf("runs/passed = %d/%d, want 8/8", sum.Runs, sum.Passed)
+	}
+	total := uint64(0)
+	for _, n := range sum.Injected {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no faults injected across the corpus")
+	}
+	if !strings.Contains(sum.String(), "8/8 runs passed") {
+		t.Errorf("summary rendering:\n%s", sum)
+	}
+}

@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSingleSeed exercises one full chaos run end to end and spells
+// out each invariant separately, so a regression names what broke
+// instead of just which seed.
+func TestChaosSingleSeed(t *testing.T) {
+	rep, err := RunChaos(ChaosConfig{Seed: 7})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Steps == 0 {
+		t.Error("no engine steps recorded")
+	}
+	if rep.Events == 0 {
+		t.Error("schedule generated no events")
+	}
+	t.Logf("seed 7: %dx%d, %d events, injected %v, daemon %+v, restarts %d, quarantines %d",
+		rep.Sockets, rep.Cores, rep.Events, rep.Injected, rep.Daemon, rep.SamplerRestarts, rep.Quarantines)
+}
+
+// TestChaosCorpus replays a corpus of seeded fault schedules against the
+// full pipeline — the acceptance gate: every run must satisfy the
+// physics audit, never deadlock, never decide on stale data, and
+// converge after its faults clear. Across the corpus the schedules must
+// also collectively reach every fault kind and provoke both throttling
+// and fail-safe entries somewhere, so the invariants are known to have
+// been tested under fire rather than vacuously.
+func TestChaosCorpus(t *testing.T) {
+	runs := 256
+	if testing.Short() {
+		runs = 64
+	}
+	var totalInjected [NumKinds]uint64
+	var activations, failsafes, restarts, quarantines uint64
+	for seed := 0; seed < runs; seed++ {
+		rep, err := RunChaos(ChaosConfig{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: RunChaos: %v", seed, err)
+		}
+		if !rep.Passed() {
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			continue
+		}
+		for k := range rep.Injected {
+			totalInjected[k] += rep.Injected[k]
+		}
+		activations += rep.Daemon.Activations
+		failsafes += rep.Daemon.FailsafeEntries
+		restarts += rep.SamplerRestarts
+		quarantines += rep.Quarantines
+	}
+	if t.Failed() {
+		return
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if totalInjected[k] == 0 {
+			t.Errorf("fault kind %v never fired across %d seeds", k, runs)
+		}
+	}
+	if activations == 0 {
+		t.Error("no run ever engaged throttling: the corpus never exercised the actuation path")
+	}
+	if failsafes == 0 {
+		t.Error("no run ever entered fail-safe: the corpus never exercised the watchdog")
+	}
+	if restarts == 0 {
+		t.Error("no run ever restarted the sampler: the corpus never exercised the supervisor")
+	}
+	if quarantines == 0 {
+		t.Error("no run ever quarantined a domain: the corpus never exercised the guard")
+	}
+	t.Logf("%d runs: injected %v, activations %d, failsafes %d, restarts %d, quarantines %d",
+		runs, totalInjected, activations, failsafes, restarts, quarantines)
+}
+
+// TestChaosDeterministic: the same seed must produce the same schedule,
+// the same topology and the same step count — the reproducibility that
+// makes a failing seed debuggable.
+func TestChaosDeterministic(t *testing.T) {
+	a := GenerateSchedule(42, 400*time.Millisecond, 2)
+	b := GenerateSchedule(42, 400*time.Millisecond, 2)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Recovery property tests live in faults_test (external test package):
+// gomax imports faults for the FailSafe latch, so importing gomax from
+// an internal test would cycle.
+package faults_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gomax"
+	"repro/internal/machine"
+	"repro/internal/maestro"
+	"repro/internal/qthreads"
+	"repro/internal/rapl"
+	"repro/internal/rcr"
+	"repro/internal/units"
+)
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+// TestGomaxFailsafeRecovery: the property of ISSUE satellite #3 for the
+// wall-clock throttler — however the fail-safe latch trips (externally
+// or by the throttler's own consecutive-error tracking), the pool
+// always returns to its unthrottled limit while the latch is engaged,
+// and classification resumes after it clears, all under a concurrent
+// task-churn load.
+func TestGomaxFailsafeRecovery(t *testing.T) {
+	const workers = 8
+	p, err := gomax.NewPool(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	fake := rapl.NewFake(1)
+	var fs faults.FailSafe
+	th, err := gomax.StartThrottler(p, fake, gomax.ThrottlerConfig{
+		Period:         time.Millisecond,
+		LowPower:       10,
+		HighPower:      100,
+		ThrottledLimit: 3,
+		FailSafe:       &fs,
+		FailSafeAfter:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Stop()
+
+	// Concurrent churn: a steady task stream keeps the pool's worker
+	// gate hot while the latch flips underneath it.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = p.Submit(func() { time.Sleep(20 * time.Microsecond) })
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	// Feed high power until the throttler engages.
+	feed := func() {
+		fake.Add(0, units.Joules(5))
+	}
+	feedUntil := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			feed()
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("condition never held: %s", what)
+	}
+
+	for round := 0; round < 3; round++ {
+		feedUntil("throttler engages on high power", func() bool { return p.Limit() == 3 })
+
+		// External trip: the pool must open back up to full concurrency
+		// even though power still classifies High.
+		fs.Trip("test: external trip")
+		feedUntil("pool released while latch engaged", func() bool { return p.Limit() == workers })
+		fs.Clear()
+
+		feedUntil("throttler re-engages after clear", func() bool { return p.Limit() == 3 })
+
+		// Self trip: a dead sensor must open the pool, and recovery must
+		// clear the latch the throttler itself tripped.
+		fake.SetError(errors.New("injected: rdmsr failed"))
+		eventually(t, 10*time.Second, "self-trip opens the pool", func() bool {
+			return fs.Engaged() && p.Limit() == workers
+		})
+		fake.SetError(nil)
+		feedUntil("self-tripped latch clears on recovery", func() bool { return !fs.Engaged() })
+	}
+	if trips := fs.Trips(); trips < 6 {
+		t.Errorf("latch tripped %d times across 3 rounds, want >= 6", trips)
+	}
+}
+
+// TestQthreadsFailsafeRecovery: the same property on the simulator side
+// — when the MAESTRO daemon's staleness watchdog fires, the qthreads
+// runtime's throttle flag must drop to unthrottled even when every
+// normal actuation is being dropped by an injected fault (the release
+// takes the direct lock-free bypass), and normal operation must resume
+// once fresh data returns. Worker churn runs throughout.
+func TestQthreadsFailsafeRecovery(t *testing.T) {
+	mcfg := machine.M620()
+	mcfg.Sockets = 1
+	mcfg.CoresPerSocket = 2
+	mcfg.MaxStep = 500 * time.Microsecond
+	m, err := machine.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	bb, err := rcr.NewBlackboard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := qthreads.DefaultConfig()
+	qcfg.Workers = 2
+	rt, err := qthreads.New(m, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	// Meter feeder: publishes fresh High/High rows while healthy, stops
+	// publishing (meters age past the horizon) while faulty.
+	var healthy sync.Mutex
+	isHealthy := true
+	setHealthy := func(v bool) { healthy.Lock(); isHealthy = v; healthy.Unlock() }
+	if _, err := m.AddTicker(2*time.Millisecond, func(now time.Duration, _ *machine.Snapshot) {
+		healthy.Lock()
+		ok := isHealthy
+		healthy.Unlock()
+		if !ok {
+			return
+		}
+		bb.SetSocket(0, rcr.MeterPower, 100, now)                // High (default threshold 65)
+		bb.SetSocket(0, rcr.MeterMemConcurrency, 0.9*28, now)    // High (0.75 × knee)
+		bb.SetSocket(0, rcr.MeterMemBandwidth, 1e9, now)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	daemon, err := maestro.Start(rt, bb, maestro.Config{
+		Period:           5 * time.Millisecond,
+		StalenessHorizon: 10 * time.Millisecond,
+		RecoveryPolls:    2,
+		// Worst-case actuation fault: every normal release is dropped.
+		// Only the fail-safe bypass can open the runtime back up.
+		ActuationHook: func(now time.Duration, engage bool) (time.Duration, bool) {
+			return 0, !engage
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Stop()
+
+	// Concurrent churn on the runtime while the daemon flips state.
+	stopChurn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			_ = rt.Run(func(tc *qthreads.TC) {
+				tc.ParallelFor(4, 0, func(tc *qthreads.TC, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						tc.Execute(machine.Work{Ops: 50e3, Bytes: 1e5})
+					}
+				})
+			})
+		}
+	}()
+	defer func() { close(stopChurn); wg.Wait() }()
+
+	for round := 0; round < 3; round++ {
+		eventually(t, 10*time.Second, "daemon engages throttling on High/High", func() bool {
+			return rt.Throttled()
+		})
+		setHealthy(false)
+		eventually(t, 10*time.Second, "watchdog fires and throttle releases through the bypass", func() bool {
+			return daemon.Failsafe() && !rt.Throttled()
+		})
+		setHealthy(true)
+		eventually(t, 10*time.Second, "daemon recovers once data is fresh again", func() bool {
+			return !daemon.Failsafe()
+		})
+	}
+	st := daemon.Stats()
+	if st.FailsafeEntries < 3 || st.Recoveries < 3 {
+		t.Errorf("daemon stats %+v: want >= 3 fail-safe entries and recoveries", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/maestro"
 	"repro/internal/rapl"
 	"repro/internal/telemetry"
@@ -33,6 +34,18 @@ type ThrottlerConfig struct {
 	// ThrottledLimit is the pool limit while engaged; zero selects 3/4
 	// of the pool.
 	ThrottledLimit int
+	// FailSafe, when non-nil, is the shared fail-safe latch: while it
+	// is engaged — tripped externally, or by the throttler itself after
+	// FailSafeAfter consecutive energy-read failures — the pool limit
+	// is released to the full worker count and classification is
+	// suspended. A self-tripped latch clears on the first successful
+	// read (with the power baseline resynchronized so the outage window
+	// is not booked); an externally tripped one is the owner's to
+	// clear.
+	FailSafe *faults.FailSafe
+	// FailSafeAfter is how many consecutive read failures trip the
+	// FailSafe. Zero selects 3; it is ignored when FailSafe is nil.
+	FailSafeAfter int
 	// Telemetry, when non-nil, receives the daemon's gomax_* counters
 	// and engaged gauge (see docs/observability.md).
 	Telemetry *telemetry.Registry
@@ -69,6 +82,12 @@ type Throttler struct {
 
 	lastEnergy units.Joules
 	lastTime   time.Time
+
+	// Loop-goroutine fail-safe state: consecutive read failures, and
+	// whether this throttler tripped the shared latch itself (and so
+	// owns clearing it on recovery).
+	consecErrors int
+	selfTripped  bool
 }
 
 // StartThrottler launches the daemon against a pool.
@@ -90,6 +109,9 @@ func StartThrottler(p *Pool, reader rapl.Reader, cfg ThrottlerConfig) (*Throttle
 		if cfg.ThrottledLimit < 1 {
 			cfg.ThrottledLimit = 1
 		}
+	}
+	if cfg.FailSafeAfter <= 0 {
+		cfg.FailSafeAfter = 3
 	}
 	e, err := rapl.Total(reader)
 	if err != nil {
@@ -160,6 +182,18 @@ func (t *Throttler) loop() {
 	}
 }
 
+// release drops any active throttle, restoring the pool's full limit.
+func (t *Throttler) release() {
+	if t.engaged.Swap(false) {
+		t.deactivations.Add(1)
+		if t.met != nil {
+			t.met.deactivations.Inc()
+			t.met.engaged.Set(0)
+		}
+		t.pool.SetLimit(t.pool.Workers())
+	}
+}
+
 // sample reads the counters, computes windowed power, classifies, and
 // toggles the pool limit.
 func (t *Throttler) sample() {
@@ -168,12 +202,43 @@ func (t *Throttler) sample() {
 	if met != nil {
 		met.samples.Inc()
 	}
+	fs := t.cfg.FailSafe
 	e, err := rapl.Total(t.reader)
 	if err != nil {
 		if met != nil {
 			met.readErrors.Inc()
 		}
+		t.consecErrors++
+		if fs != nil && t.consecErrors >= t.cfg.FailSafeAfter {
+			// Persistent sensor outage: never keep workers parked on the
+			// word of a dead counter. Trip the latch and open the pool.
+			if !t.selfTripped && !fs.Engaged() {
+				t.selfTripped = true
+			}
+			fs.Trip(fmt.Sprintf("gomax: %d consecutive energy read failures", t.consecErrors))
+			t.release()
+		}
 		return // transient read failure: hold
+	}
+	if t.consecErrors > 0 {
+		// First success after an outage: resynchronize the power
+		// baseline instead of booking the whole gap into one window
+		// (which would misclassify the next sample), and clear a
+		// self-tripped latch.
+		t.consecErrors = 0
+		t.lastEnergy, t.lastTime = e, time.Now()
+		if t.selfTripped {
+			t.selfTripped = false
+			fs.Clear()
+		}
+		return
+	}
+	if fs != nil && fs.Engaged() {
+		// Externally tripped latch: release to full concurrency, keep
+		// the baseline fresh, and wait for the owner to clear it.
+		t.release()
+		t.lastEnergy, t.lastTime = e, time.Now()
+		return
 	}
 	now := time.Now()
 	dt := now.Sub(t.lastTime)

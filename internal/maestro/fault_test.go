@@ -1,0 +1,232 @@
+package maestro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/qthreads"
+	"repro/internal/rcr"
+	"repro/internal/telemetry"
+)
+
+// faultStack builds machine + blackboard + runtime with a controllable
+// meter feeder instead of a real sampler: a 2 ms ticker publishes fresh
+// High/High rows while healthy and goes silent (meters age) otherwise.
+// Churn on the runtime keeps virtual time moving fast.
+func faultStack(t *testing.T, dcfg Config) (*Daemon, func(bool)) {
+	t.Helper()
+	mcfg := machine.M620()
+	mcfg.Sockets = 1
+	mcfg.CoresPerSocket = 2
+	mcfg.MaxStep = 500 * time.Microsecond
+	mcfg.VirtualTimeLimit = 10 * time.Minute
+	m, err := machine.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	bb, err := rcr.NewBlackboard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := qthreads.DefaultConfig()
+	qcfg.Workers = 2
+	rt, err := qthreads.New(m, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+
+	var mu sync.Mutex
+	healthy := true
+	setHealthy := func(v bool) { mu.Lock(); healthy = v; mu.Unlock() }
+	if _, err := m.AddTicker(2*time.Millisecond, func(now time.Duration, _ *machine.Snapshot) {
+		mu.Lock()
+		ok := healthy
+		mu.Unlock()
+		if !ok {
+			return
+		}
+		bb.SetSocket(0, rcr.MeterPower, 100, now)             // High (default 65)
+		bb.SetSocket(0, rcr.MeterMemConcurrency, 0.9*28, now) // High (0.75 × knee)
+		bb.SetSocket(0, rcr.MeterMemBandwidth, 1e9, now)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Start(rt, bb, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	stopChurn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			_ = rt.Run(func(tc *qthreads.TC) {
+				tc.ParallelFor(4, 0, func(tc *qthreads.TC, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						tc.Execute(machine.Work{Ops: 50e3, Bytes: 1e5})
+					}
+				})
+			})
+		}
+	}()
+	t.Cleanup(func() { close(stopChurn); wg.Wait() })
+	return d, setHealthy
+}
+
+// await polls cond for up to 10 s of host time.
+func await(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+// TestDaemonFailsafeJournalAndCounters walks one full
+// fault→fail-safe→recovery cycle and checks the observable record: the
+// journal carries fault_detected, failsafe_entered and recovered events
+// in order, and the maestro_* fault counters and gauge track the cycle.
+func TestDaemonFailsafeJournalAndCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	jnl := telemetry.NewJournal(4096, 1)
+	d, setHealthy := faultStack(t, Config{
+		Period:           5 * time.Millisecond,
+		StalenessHorizon: 10 * time.Millisecond,
+		RecoveryPolls:    2,
+		Telemetry:        reg,
+		Journal:          jnl,
+	})
+
+	await(t, "daemon engages on High/High", func() bool { return d.Stats().Activations > 0 })
+	setHealthy(false)
+	await(t, "watchdog enters fail-safe", d.Failsafe)
+	if v := reg.Gauge("maestro_failsafe").Value(); v != 1 {
+		t.Errorf("maestro_failsafe gauge = %v during outage, want 1", v)
+	}
+	setHealthy(true)
+	await(t, "daemon recovers", func() bool { return !d.Failsafe() })
+
+	st := d.Stats()
+	if st.FaultsSeen == 0 || st.FailsafeEntries != 1 || st.Recoveries != 1 {
+		t.Errorf("stats %+v: want faults > 0, exactly one entry and one recovery", st)
+	}
+	if v := reg.Counter("maestro_fault_detected_total").Value(); v != st.FaultsSeen {
+		t.Errorf("fault counter %v != stats %d", v, st.FaultsSeen)
+	}
+	if v := reg.Counter("maestro_failsafe_entered_total").Value(); v != 1 {
+		t.Errorf("failsafe counter = %v, want 1", v)
+	}
+	if v := reg.Counter("maestro_recovered_total").Value(); v != 1 {
+		t.Errorf("recovered counter = %v, want 1", v)
+	}
+	if v := reg.Gauge("maestro_failsafe").Value(); v != 0 {
+		t.Errorf("maestro_failsafe gauge = %v after recovery, want 0", v)
+	}
+
+	// Event records appear in causal order, and the entry released the
+	// throttle (Engaged false from the failsafe_entered record on).
+	var order []string
+	for _, e := range jnl.Entries() {
+		switch e.Kind {
+		case telemetry.KindFaultDetected, telemetry.KindFailsafeEntered, telemetry.KindRecovered:
+			order = append(order, e.Kind)
+			if e.Kind == telemetry.KindFailsafeEntered && e.Engaged {
+				t.Error("failsafe_entered record still shows engaged")
+			}
+		}
+	}
+	want := []string{telemetry.KindFaultDetected, telemetry.KindFailsafeEntered, telemetry.KindRecovered}
+	if len(order) < 3 {
+		t.Fatalf("journal events %v, want at least %v", order, want)
+	}
+	for i, k := range want {
+		if order[i] != k {
+			t.Fatalf("journal events %v, want prefix %v", order, want)
+		}
+	}
+}
+
+// TestDaemonCadenceUnderActuationDelay is the regression test for the
+// poll-ticker drift fix (ISSUE satellite #2): with every actuation
+// delayed by 2.5 polling periods, the daemon's decision cadence must
+// stay on the absolute k×Period grid — overlapped polls are missed and
+// counted, never shifted. Under relative re-arming (next = now + period)
+// each delay would push every subsequent poll off the grid.
+func TestDaemonCadenceUnderActuationDelay(t *testing.T) {
+	const period = 10 * time.Millisecond
+	reg := telemetry.NewRegistry()
+	jnl := telemetry.NewJournal(8192, 1)
+	var mu sync.Mutex
+	delayed := 0
+	d, _ := faultStack(t, Config{
+		Period:           period,
+		StalenessHorizon: -1, // watchdog off: this test is about cadence
+		ActuationHook: func(now time.Duration, engage bool) (time.Duration, bool) {
+			mu.Lock()
+			delayed++
+			mu.Unlock()
+			return 25 * time.Millisecond, false
+		},
+		Telemetry: reg,
+		Journal:   jnl,
+	})
+
+	// The engage actuation is deferred 2.5 periods: the polls inside the
+	// busy window must be missed (counted), not shifted.
+	await(t, "first activation", func() bool { return d.Stats().Activations > 0 })
+	await(t, "delayed actuation applies", func() bool { return d.rt.Throttled() })
+	await(t, "missed polls accumulate", func() bool { return d.Stats().MissedPolls > 0 })
+	await(t, "several more polls land", func() bool { return d.Stats().Samples > 40 })
+
+	mu.Lock()
+	nDelayed := delayed
+	mu.Unlock()
+	if nDelayed == 0 {
+		t.Fatal("actuation hook never invoked")
+	}
+	if v := reg.Counter("maestro_actuation_delayed_total").Value(); v == 0 {
+		t.Error("maestro_actuation_delayed_total never incremented")
+	}
+	st := d.Stats()
+	if st.MissedPolls == 0 {
+		t.Error("no missed polls: the busy window never overlapped the grid")
+	}
+
+	// Every journal record — decisions and events alike — must sit
+	// exactly on the k×Period grid.
+	entries := jnl.Entries()
+	if len(entries) == 0 {
+		t.Fatal("empty journal")
+	}
+	for _, e := range entries {
+		if e.T%period != 0 {
+			t.Fatalf("record at %v is off the %v grid: cadence drifted", e.T, period)
+		}
+	}
+	// And the grid must be contiguous enough: gaps between consecutive
+	// decisions are exact multiples of the period (missed polls skip
+	// slots, they do not shift them).
+	for i := 1; i < len(entries); i++ {
+		gap := entries[i].T - entries[i-1].T
+		if gap < 0 || gap%period != 0 {
+			t.Fatalf("gap %v between records %d and %d is not a whole number of periods", gap, i-1, i)
+		}
+	}
+}

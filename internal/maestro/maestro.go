@@ -230,6 +230,28 @@ type Config struct {
 	// FrequencyGear is the DVFS scale applied while ScaleFrequency is
 	// engaged; zero selects 0.6.
 	FrequencyGear float64
+	// StalenessHorizon bounds how old the blackboard inputs behind a
+	// decision may be. When any input meter is older (or missing), the
+	// daemon refuses to classify, releases any active throttle, and
+	// enters fail-safe until the sensors look healthy again — it never
+	// leaves threads parked on the word of a dead or frozen sampler.
+	// Zero selects 3× Period; negative disables the watchdog.
+	StalenessHorizon time.Duration
+	// RecoveryPolls is how many consecutive fresh polls the daemon
+	// requires before leaving fail-safe and classifying again (debounce
+	// against a sampler that flaps). Zero selects 2.
+	RecoveryPolls int
+	// ActuationHook, when non-nil, intercepts mechanism actuation: it
+	// may return a delay to defer the actuation by (the daemon's control
+	// thread is busy for that long and misses overlapped polls, though
+	// its cadence stays on the absolute Period grid) and drop=true to
+	// lose the actuation entirely. The daemon treats actuation as
+	// desired-state reconciliation — a dropped or delayed actuation is
+	// retried every poll until the applied state matches the desired
+	// one — so this is a fault-injection seam (internal/faults), not a
+	// correctness risk. Fail-safe releases bypass it: they flip the
+	// runtime's lock-free throttle flag directly.
+	ActuationHook func(now time.Duration, engage bool) (delay time.Duration, drop bool)
 	// Telemetry, when non-nil, receives the daemon's maestro_* counters,
 	// gauges and staleness histogram (see docs/observability.md for the
 	// catalog). The poll path records through pre-registered instruments
@@ -252,9 +274,35 @@ type Daemon struct {
 	cfg      Config
 	tickerID int
 
-	// engaged tracks whether the mechanism is currently applied; only
-	// the poll callback (engine goroutine) touches it.
+	// Engine-goroutine control state (poll and firePending callbacks
+	// only). engaged is the desired mechanism state from classification;
+	// applied is what has actually been actuated — they diverge while an
+	// actuation is delayed or after one is dropped, and every poll
+	// reconciles applied toward engaged.
 	engaged bool
+	applied bool
+	// failsafe is the watchdog latch: while set, classification is
+	// suspended and the throttle is released. freshPolls counts
+	// consecutive healthy polls toward recovery.
+	failsafe   bool
+	freshPolls int
+	// horizon is the resolved staleness bound (0 = watchdog disabled).
+	horizon time.Duration
+	// busyUntil marks the end of an in-flight delayed actuation; polls
+	// landing inside the window are missed (the control thread is busy),
+	// but the ticker keeps the absolute-deadline grid, so cadence holds.
+	busyUntil time.Duration
+	// pendingID/pendingOn track the one-shot ticker of a delayed
+	// actuation (-1 when none).
+	pendingID int
+	pendingOn bool
+
+	failsafeA       atomic.Bool
+	stopped         atomic.Bool
+	faultsSeen      atomic.Uint64
+	failsafeEntries atomic.Uint64
+	recoveries      atomic.Uint64
+	missedPolls     atomic.Uint64
 
 	// met and journal are fixed at Start. The scratch slices below are
 	// reused every poll (engine goroutine only) so classification and
@@ -300,7 +348,16 @@ func Start(rt *qthreads.Runtime, bb *rcr.Blackboard, cfg Config) (*Daemon, error
 	if cfg.FrequencyGear <= 0 || cfg.FrequencyGear > 1 {
 		cfg.FrequencyGear = 0.6
 	}
-	d := &Daemon{rt: rt, bb: bb, cfg: cfg, journal: cfg.Journal}
+	if cfg.RecoveryPolls <= 0 {
+		cfg.RecoveryPolls = 2
+	}
+	d := &Daemon{rt: rt, bb: bb, cfg: cfg, journal: cfg.Journal, pendingID: -1}
+	switch {
+	case cfg.StalenessHorizon == 0:
+		d.horizon = 3 * cfg.Period
+	case cfg.StalenessHorizon > 0:
+		d.horizon = cfg.StalenessHorizon
+	}
 	if cfg.Telemetry != nil {
 		d.met = newDaemonMetrics(cfg.Telemetry)
 	}
@@ -321,8 +378,10 @@ func Start(rt *qthreads.Runtime, bb *rcr.Blackboard, cfg Config) (*Daemon, error
 }
 
 // Stop halts the daemon and releases any active throttle or frequency
-// reduction.
+// reduction. A delayed actuation still in flight is neutralized: its
+// one-shot callback observes the stopped flag and applies nothing.
 func (d *Daemon) Stop() {
+	d.stopped.Store(true)
 	d.rt.Machine().RemoveTicker(d.tickerID)
 	d.rt.SetThrottle(false, d.cfg.ThrottleLimit)
 	if d.cfg.Mechanism == ScaleFrequency {
@@ -339,22 +398,48 @@ type Stats struct {
 	Activations   uint64
 	Deactivations uint64
 	ThrottledTime time.Duration
+	// Fail-safe accounting: sensor faults observed, fail-safe windows
+	// entered, recoveries back to normal operation, polls missed while
+	// an actuation stalled the control thread, and whether fail-safe is
+	// active right now.
+	FaultsSeen      uint64
+	FailsafeEntries uint64
+	Recoveries      uint64
+	MissedPolls     uint64
+	Failsafe        bool
 }
 
 // Stats returns a snapshot of the daemon counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
-		Samples:       d.samples.Load(),
-		Activations:   d.activations.Load(),
-		Deactivations: d.deactivations.Load(),
-		ThrottledTime: time.Duration(d.throttledTime.Load()),
+		Samples:         d.samples.Load(),
+		Activations:     d.activations.Load(),
+		Deactivations:   d.deactivations.Load(),
+		ThrottledTime:   time.Duration(d.throttledTime.Load()),
+		FaultsSeen:      d.faultsSeen.Load(),
+		FailsafeEntries: d.failsafeEntries.Load(),
+		Recoveries:      d.recoveries.Load(),
+		MissedPolls:     d.missedPolls.Load(),
+		Failsafe:        d.failsafeA.Load(),
 	}
 }
+
+// Failsafe reports whether the staleness watchdog currently holds the
+// daemon in fail-safe (throttle released, classification suspended).
+func (d *Daemon) Failsafe() bool { return d.failsafeA.Load() }
 
 // poll runs on the machine's engine goroutine every Period. It reads the
 // blackboard (never the machine) and flips the runtime's throttle flag
 // through atomics only.
+//
+// The machine re-arms tickers against absolute deadlines (next += period,
+// never now + period), so however long a poll or an injected actuation
+// delay takes, the daemon's cadence stays on the k×Period grid — polls
+// overlapping a busy window are missed, not shifted.
 func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
+	if d.stopped.Load() {
+		return
+	}
 	d.samples.Add(1)
 	met := d.met
 	if met != nil {
@@ -363,9 +448,18 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 	if prev := d.lastSample.Swap(int64(now)); prev != 0 && d.engaged {
 		d.throttledTime.Add(int64(now) - prev)
 	}
+	if now < d.busyUntil {
+		// The control thread is still inside a delayed actuation.
+		d.missedPolls.Add(1)
+		if met != nil {
+			met.missedPolls.Inc()
+		}
+		return
+	}
 	nSock := d.bb.Sockets()
 	d.power, d.conc = d.power[:0], d.conc[:0]
 	staleness := time.Duration(0)
+	missing := false
 	for s := 0; s < nSock; s++ {
 		p, okP := d.bb.Socket(s, rcr.MeterPower)
 		c, okC := d.bb.Socket(s, rcr.MeterMemConcurrency)
@@ -373,7 +467,8 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 			if met != nil {
 				met.incomplete.Inc()
 			}
-			return // not enough data yet; hold
+			missing = true
+			break
 		}
 		if age := now - p.Updated; age > staleness {
 			staleness = age
@@ -389,6 +484,31 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 		} else {
 			d.conc = append(d.conc, c.Value)
 		}
+	}
+	if d.horizon > 0 && (missing || staleness > d.horizon) {
+		// Watchdog: the sensors are dead, frozen or lagging beyond the
+		// horizon. Never classify — and never stay throttled — on their
+		// word.
+		d.noteFault(now, staleness, missing)
+		return
+	}
+	if missing {
+		return // watchdog disabled: hold, as before
+	}
+	if d.failsafe {
+		d.freshPolls++
+		if d.freshPolls < d.cfg.RecoveryPolls {
+			return // still debouncing; keep fail-safe
+		}
+		d.failsafe = false
+		d.failsafeA.Store(false)
+		d.recoveries.Add(1)
+		if met != nil {
+			met.recovered.Inc()
+			met.failsafeG.Set(0)
+		}
+		d.recordEvent(now, telemetry.KindRecovered, "fresh", staleness)
+		// This poll's data is fresh; fall through and classify it.
 	}
 	// Classify once per socket and derive the decision from the levels —
 	// the same dual-condition rule as Thresholds.Decide, with the levels
@@ -432,7 +552,6 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 			if met != nil {
 				met.transitions.Inc()
 			}
-			d.engage(true)
 		}
 	case Disable:
 		outcome = "disable"
@@ -445,7 +564,6 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 			if met != nil {
 				met.transitions.Inc()
 			}
-			d.engage(false)
 		}
 	default:
 		// Hysteresis band: leave the mechanism as-is.
@@ -453,6 +571,7 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 			met.decHold.Inc()
 		}
 	}
+	d.reconcile(now)
 	if met != nil {
 		if d.engaged {
 			met.engaged.Set(1)
@@ -491,8 +610,130 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 	}
 }
 
-// engage applies or releases the configured mechanism.
-func (d *Daemon) engage(on bool) {
+// noteFault handles a poll whose inputs are missing or older than the
+// staleness horizon: record the fault, enter fail-safe (releasing any
+// active throttle immediately and directly — the release is a lock-free
+// flag flip that no injected actuation fault can lose), and keep
+// re-asserting the release while the outage lasts.
+func (d *Daemon) noteFault(now, staleness time.Duration, missing bool) {
+	d.faultsSeen.Add(1)
+	d.freshPolls = 0
+	met := d.met
+	if met != nil {
+		met.faultDetected.Inc()
+		met.stalePolls.Inc()
+	}
+	detail := "stale"
+	if missing {
+		detail = "missing"
+	}
+	if !d.failsafe {
+		d.recordEvent(now, telemetry.KindFaultDetected, detail, staleness)
+		d.failsafe = true
+		d.failsafeA.Store(true)
+		d.failsafeEntries.Add(1)
+		if met != nil {
+			met.failsafeEntered.Inc()
+			met.failsafeG.Set(1)
+		}
+		if d.engaged {
+			d.engaged = false
+			d.deactivations.Add(1)
+			if met != nil {
+				met.transitions.Inc()
+			}
+		}
+		d.cancelPending()
+		d.applyNow(false)
+		d.recordEvent(now, telemetry.KindFailsafeEntered, detail, staleness)
+		return
+	}
+	// Already in fail-safe: keep asserting the release in case a
+	// concurrent fault path flipped the mechanism back.
+	if d.applied {
+		d.applyNow(false)
+	}
+}
+
+// recordEvent journals one fail-safe transition record.
+func (d *Daemon) recordEvent(now time.Duration, kind, detail string, staleness time.Duration) {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(telemetry.Decision{
+		T:         now,
+		Kind:      kind,
+		Detail:    detail,
+		Engaged:   d.engaged,
+		Limit:     d.cfg.ThrottleLimit,
+		Staleness: staleness,
+	})
+}
+
+// reconcile drives the applied mechanism state toward the desired one.
+// With no ActuationHook this is a direct call; with one, the actuation
+// may be deferred (a one-shot ticker applies it later while overlapped
+// polls are missed) or dropped (nothing happens now — the next poll
+// finds applied != engaged and retries).
+func (d *Daemon) reconcile(now time.Duration) {
+	if d.pendingID >= 0 {
+		if d.pendingOn == d.engaged {
+			return // the right actuation is already in flight
+		}
+		d.cancelPending()
+	}
+	if d.applied == d.engaged {
+		return
+	}
+	on := d.engaged
+	if h := d.cfg.ActuationHook; h != nil {
+		delay, drop := h(now, on)
+		if drop {
+			if d.met != nil {
+				d.met.actDropped.Inc()
+			}
+			return
+		}
+		if delay > 0 {
+			if d.met != nil {
+				d.met.actDelayed.Inc()
+			}
+			d.busyUntil = now + delay
+			d.pendingOn = on
+			if id, err := d.rt.Machine().AddTicker(delay, d.firePending); err == nil {
+				d.pendingID = id
+			}
+			return
+		}
+	}
+	d.applyNow(on)
+}
+
+// firePending is the one-shot completion of a delayed actuation. It runs
+// on the engine goroutine, like poll, so no extra synchronization is
+// needed.
+func (d *Daemon) firePending(time.Duration, *machine.Snapshot) {
+	// Make the periodic ticker one-shot before anything else; removing a
+	// ticker from inside its own callback is supported.
+	d.rt.Machine().RemoveTicker(d.pendingID)
+	d.pendingID = -1
+	if d.stopped.Load() {
+		return
+	}
+	d.applyNow(d.pendingOn)
+}
+
+// cancelPending discards an in-flight delayed actuation.
+func (d *Daemon) cancelPending() {
+	if d.pendingID >= 0 {
+		d.rt.Machine().RemoveTicker(d.pendingID)
+		d.pendingID = -1
+	}
+}
+
+// applyNow actuates the configured mechanism immediately.
+func (d *Daemon) applyNow(on bool) {
+	d.applied = on
 	switch d.cfg.Mechanism {
 	case ScaleFrequency:
 		if on {

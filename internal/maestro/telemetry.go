@@ -19,6 +19,16 @@ type daemonMetrics struct {
 	engaged     *telemetry.Gauge     // 1 while the mechanism is applied
 	duty        *telemetry.Gauge     // fraction of virtual time spent engaged
 	staleness   *telemetry.Histogram // age of the oldest meter read, ns
+
+	// Fail-safe / fault-tolerance instruments.
+	faultDetected   *telemetry.Counter // stale or missing inputs noticed
+	failsafeEntered *telemetry.Counter // fail-safe latch engagements
+	recovered       *telemetry.Counter // fail-safe releases after fresh data
+	stalePolls      *telemetry.Counter // polls refused on stale/missing data
+	missedPolls     *telemetry.Counter // polls swallowed by a busy actuator
+	actDelayed      *telemetry.Counter // actuations deferred by the hook
+	actDropped      *telemetry.Counter // actuations lost by the hook
+	failsafeG       *telemetry.Gauge   // 1 while the fail-safe latch holds
 }
 
 func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
@@ -46,6 +56,14 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 		// the sampler has stalled.
 		staleness: reg.Histogram("maestro_staleness_ns",
 			1e6, 2.5e6, 5e6, 1e7, 2.5e7, 1e8, 1e9),
+		faultDetected:   reg.Counter("maestro_fault_detected_total"),
+		failsafeEntered: reg.Counter("maestro_failsafe_entered_total"),
+		recovered:       reg.Counter("maestro_recovered_total"),
+		stalePolls:      reg.Counter("maestro_stale_polls_total"),
+		missedPolls:     reg.Counter("maestro_missed_polls_total"),
+		actDelayed:      reg.Counter("maestro_actuation_delayed_total"),
+		actDropped:      reg.Counter("maestro_actuation_dropped_total"),
+		failsafeG:       reg.Gauge("maestro_failsafe"),
 	}
 }
 

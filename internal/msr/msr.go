@@ -100,6 +100,8 @@ type File struct {
 	sockets int
 	cores   int // total cores across all sockets
 
+	hooks // fault-injection read/write hooks (see hook.go)
+
 	mu sync.Mutex
 	// Raw register storage.
 	pkgRegs  []map[uint32]uint64
@@ -145,7 +147,8 @@ func (f *File) Sockets() int { return f.sockets }
 // Cores returns the total number of cores in the file.
 func (f *File) Cores() int { return f.cores }
 
-// ReadPackage reads a package-scoped register of the given socket.
+// ReadPackage reads a package-scoped register of the given socket. An
+// installed read hook sees the value last and may substitute a fault.
 func (f *File) ReadPackage(socket int, addr uint32) (uint64, error) {
 	if socket < 0 || socket >= f.sockets {
 		return 0, &RangeError{Kind: "socket", Index: socket, Limit: f.sockets}
@@ -154,21 +157,26 @@ func (f *File) ReadPackage(socket int, addr uint32) (uint64, error) {
 		return 0, &AddrError{Addr: addr, Op: "read"}
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	v, ok := f.pkgRegs[socket][addr]
+	f.mu.Unlock()
 	if !ok {
 		return 0, &AddrError{Addr: addr, Op: "read"}
 	}
-	return v, nil
+	return f.hookRead(Access{Index: socket, Addr: addr, Value: v})
 }
 
-// WritePackage writes a package-scoped register of the given socket.
+// WritePackage writes a package-scoped register of the given socket. An
+// installed write hook sees the value first and may rewrite or drop it.
 func (f *File) WritePackage(socket int, addr uint32, v uint64) error {
 	if socket < 0 || socket >= f.sockets {
 		return &RangeError{Kind: "socket", Index: socket, Limit: f.sockets}
 	}
 	if registerScopes[addr] != scopePackage {
 		return &AddrError{Addr: addr, Op: "write"}
+	}
+	v, store := f.hookWrite(Access{Index: socket, Addr: addr, Value: v})
+	if !store {
+		return nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -177,7 +185,8 @@ func (f *File) WritePackage(socket int, addr uint32, v uint64) error {
 }
 
 // ReadCore reads a core-scoped register of the given core (node-wide core
-// index).
+// index). An installed read hook sees the value last and may substitute
+// a fault.
 func (f *File) ReadCore(core int, addr uint32) (uint64, error) {
 	if core < 0 || core >= f.cores {
 		return 0, &RangeError{Kind: "core", Index: core, Limit: f.cores}
@@ -186,21 +195,26 @@ func (f *File) ReadCore(core int, addr uint32) (uint64, error) {
 		return 0, &AddrError{Addr: addr, Op: "read"}
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	v, ok := f.coreRegs[core][addr]
+	f.mu.Unlock()
 	if !ok {
 		return 0, &AddrError{Addr: addr, Op: "read"}
 	}
-	return v, nil
+	return f.hookRead(Access{Core: true, Index: core, Addr: addr, Value: v})
 }
 
-// WriteCore writes a core-scoped register of the given core.
+// WriteCore writes a core-scoped register of the given core. An
+// installed write hook sees the value first and may rewrite or drop it.
 func (f *File) WriteCore(core int, addr uint32, v uint64) error {
 	if core < 0 || core >= f.cores {
 		return &RangeError{Kind: "core", Index: core, Limit: f.cores}
 	}
 	if registerScopes[addr] != scopeCore {
 		return &AddrError{Addr: addr, Op: "write"}
+	}
+	v, store := f.hookWrite(Access{Core: true, Index: core, Addr: addr, Value: v})
+	if !store {
+		return nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -231,13 +245,16 @@ func (f *File) AddPackageEnergy(socket int, e units.Joules) error {
 
 // PackageEnergyCounter returns the current raw 32-bit energy counter of a
 // socket. It panics on range errors (callers obtain the socket count from
-// this File).
+// this File). Unlike ReadPackage this accessor bypasses any installed
+// read hook: it is the simulation engine's own diagnostic view of the
+// counter, which injected sensor faults must never corrupt.
 func (f *File) PackageEnergyCounter(socket int) uint32 {
-	v, err := f.ReadPackage(socket, MSRPkgEnergyStatus)
-	if err != nil {
-		panic(err)
+	if socket < 0 || socket >= f.sockets {
+		panic(&RangeError{Kind: "socket", Index: socket, Limit: f.sockets})
 	}
-	return uint32(v)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return uint32(f.pkgRegs[socket][MSRPkgEnergyStatus])
 }
 
 // AddCoreCycles advances a core's time-stamp counter.

@@ -27,6 +27,11 @@ const (
 	MeterMemConcurrency = "memconc" // outstanding memory references
 	MeterTemperature    = "temp"    // °C
 	MeterDutyCycle      = "duty"    // effective clock fraction (core scope)
+	// MeterHeartbeat is the sampler's liveness beacon (system scope): its
+	// value counts completed sample ticks, and — more importantly — its
+	// Updated stamp is the last instant the sampler was alive. The
+	// supervisor restarts a sampler whose heartbeat goes stale.
+	MeterHeartbeat = "heartbeat"
 )
 
 // Meter is one measured value with its last-update timestamp (virtual

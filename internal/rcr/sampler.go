@@ -21,7 +21,43 @@ const DefaultSamplePeriod = 10 * time.Millisecond
 type samplerMetrics struct {
 	ticks      *telemetry.Counter
 	readErrors *telemetry.Counter
+	missed     *telemetry.Counter   // windows skipped by an injected stall
+	drops      *telemetry.Counter   // meter publishes suppressed (torn rows)
+	deaths     *telemetry.Counter   // injected sampler crashes
 	tickNS     *telemetry.Histogram // host nanoseconds per sample tick
+}
+
+// TickAction tells the sampler what to do with one of its ticks; it is
+// the return value of an installed TickGate.
+type TickAction int
+
+// Tick actions.
+const (
+	// TickRun samples normally.
+	TickRun TickAction = iota
+	// TickSkip misses this window: nothing is published, meters age.
+	TickSkip
+	// TickDie crashes the sampler: it unregisters its ticker and goes
+	// permanently dead, as if the measurement daemon segfaulted. Only a
+	// supervisor restart (StartSupervisor) brings sampling back.
+	TickDie
+)
+
+// TickGate decides the fate of a sample tick at virtual time now, and
+// MeterGate decides whether one socket-meter publish goes through
+// (false suppresses it, modeling a torn row). Both are fault-injection
+// seams (internal/faults); the signatures are primitive so this package
+// carries no dependency on the injector. Gates run on the machine's
+// engine goroutine and must not block or call into the machine.
+type (
+	TickGate  func(now time.Duration) TickAction
+	MeterGate func(now time.Duration, socket int, meter string) bool
+)
+
+// samplerGates pairs the two gates for atomic installation.
+type samplerGates struct {
+	tick  TickGate
+	meter MeterGate
 }
 
 // Sampler periodically reads the RAPL counters and the machine's uncore
@@ -34,7 +70,10 @@ type Sampler struct {
 	period   time.Duration
 	tickerID int
 
-	met atomic.Pointer[samplerMetrics]
+	met   atomic.Pointer[samplerMetrics]
+	gates atomic.Pointer[samplerGates]
+	dead  atomic.Bool
+	ticks atomic.Uint64 // completed (non-skipped) sample ticks
 
 	// Engine-goroutine state (only touched inside the ticker callback,
 	// except for the baseline seeding in StartSampler, which completes
@@ -103,10 +142,27 @@ func (s *Sampler) Instrument(reg *telemetry.Registry) {
 	s.met.Store(&samplerMetrics{
 		ticks:      reg.Counter("rcr_sampler_ticks_total"),
 		readErrors: reg.Counter("rcr_sampler_read_errors_total"),
+		missed:     reg.Counter("rcr_sampler_missed_windows_total"),
+		drops:      reg.Counter("rcr_sampler_dropped_publishes_total"),
+		deaths:     reg.Counter("rcr_sampler_deaths_total"),
 		// Host-side cost of one sample tick: 250 ns to 1 ms.
 		tickNS: reg.Histogram("rcr_sampler_tick_ns", 250, 1000, 4000, 16000, 64000, 250000, 1e6),
 	})
 }
+
+// SetFaultGates installs (or, with nils, removes) the sampler's fault
+// gates. Safe to call while sampling is in flight.
+func (s *Sampler) SetFaultGates(tick TickGate, meter MeterGate) {
+	if tick == nil && meter == nil {
+		s.gates.Store(nil)
+		return
+	}
+	s.gates.Store(&samplerGates{tick: tick, meter: meter})
+}
+
+// Alive reports whether the sampler is still ticking (false after an
+// injected crash).
+func (s *Sampler) Alive() bool { return !s.dead.Load() }
 
 // Blackboard returns the blackboard this sampler writes.
 func (s *Sampler) Blackboard() *Blackboard { return s.bb }
@@ -123,6 +179,25 @@ func (s *Sampler) Stop() { s.m.RemoveTicker(s.tickerID) }
 // sample runs on the machine's engine goroutine at each period.
 func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
 	met := s.met.Load()
+	gates := s.gates.Load()
+	if gates != nil && gates.tick != nil {
+		switch gates.tick(now) {
+		case TickSkip:
+			if met != nil {
+				met.missed.Inc()
+			}
+			return
+		case TickDie:
+			s.dead.Store(true)
+			// Removing our own ticker from inside its callback is legal;
+			// the engine skips the re-arm of a ticker removed mid-fire.
+			s.m.RemoveTicker(s.tickerID)
+			if met != nil {
+				met.deaths.Inc()
+			}
+			return
+		}
+	}
 	var t0 time.Time
 	if met != nil {
 		t0 = time.Now()
@@ -140,11 +215,11 @@ func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
 			}
 			continue
 		}
-		s.bb.SetSocket(d, MeterEnergy, float64(e), now)
+		s.putSocket(gates, met, d, MeterEnergy, float64(e), now)
 		totalE += float64(e)
 		if dt := now - s.lastTime[d]; s.haveBase[d] && dt > 0 {
 			p := (float64(e) - s.lastEnergy[d]) / dt.Seconds()
-			s.bb.SetSocket(d, MeterPower, p, now)
+			s.putSocket(gates, met, d, MeterPower, p, now)
 			totalP += p
 			havePower = true
 		}
@@ -153,15 +228,29 @@ func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
 		s.haveBase[d] = true
 	}
 	for d, sock := range snap.Sockets {
-		s.bb.SetSocket(d, MeterMemBandwidth, float64(sock.Bandwidth), now)
-		s.bb.SetSocket(d, MeterMemConcurrency, sock.OutstandingRefs, now)
-		s.bb.SetSocket(d, MeterTemperature, float64(sock.Temperature), now)
+		s.putSocket(gates, met, d, MeterMemBandwidth, float64(sock.Bandwidth), now)
+		s.putSocket(gates, met, d, MeterMemConcurrency, sock.OutstandingRefs, now)
+		s.putSocket(gates, met, d, MeterTemperature, float64(sock.Temperature), now)
 	}
 	s.bb.SetSystem(MeterEnergy, totalE, now)
 	if havePower {
 		s.bb.SetSystem(MeterPower, totalP, now)
 	}
+	s.bb.SetSystem(MeterHeartbeat, float64(s.ticks.Add(1)), now)
 	if met != nil {
 		met.tickNS.Observe(float64(time.Since(t0)))
 	}
+}
+
+// putSocket publishes one socket meter unless a meter gate suppresses it
+// (a torn row: some meters of the socket land, others keep their old
+// stamp).
+func (s *Sampler) putSocket(gates *samplerGates, met *samplerMetrics, socket int, meter string, v float64, now time.Duration) {
+	if gates != nil && gates.meter != nil && !gates.meter(now, socket, meter) {
+		if met != nil {
+			met.drops.Inc()
+		}
+		return
+	}
+	s.bb.SetSocket(socket, meter, v, now)
 }

@@ -20,6 +20,18 @@ const (
 	LevelHigh   int8 = 2
 )
 
+// Record kinds used in Decision.Kind. The empty string marks a normal
+// classification record; the fail-safe kinds trace the daemon's fault
+// handling (docs/robustness.md): a sensor fault first seen, fail-safe
+// entered (throttle released, classification suspended), and recovery
+// back to normal operation.
+const (
+	KindDecision        = ""
+	KindFaultDetected   = "fault_detected"
+	KindFailsafeEntered = "failsafe_entered"
+	KindRecovered       = "recovered"
+)
+
 // LevelName returns the human name of a recorded level.
 func LevelName(l int8) string {
 	switch l {
@@ -63,6 +75,14 @@ type Decision struct {
 	// Staleness is the age of the oldest input meter at poll time — how
 	// out-of-date the data behind this decision was.
 	Staleness time.Duration `json:"staleness_ns"`
+	// Kind distinguishes record types: KindDecision (empty) for normal
+	// classification records, or one of the fail-safe kinds
+	// (fault_detected / failsafe_entered / recovered).
+	Kind string `json:"kind,omitempty"`
+	// Detail carries the fault or recovery reason on fail-safe records
+	// ("stale", "missing"); empty on classification records. Values are
+	// constant strings so recording stays allocation-free.
+	Detail string `json:"detail,omitempty"`
 }
 
 // Journal is a bounded ring buffer of Decisions. Record copies the
@@ -216,7 +236,7 @@ func ReadJSONL(r io.Reader) ([]Decision, error) {
 func (j *Journal) WriteCSV(w io.Writer) error {
 	entries := j.Entries()
 	cw := csv.NewWriter(w)
-	header := []string{"t_seconds", "outcome", "engaged", "limit", "staleness_ms"}
+	header := []string{"t_seconds", "kind", "outcome", "engaged", "limit", "staleness_ms"}
 	for s := 0; s < j.Sockets(); s++ {
 		header = append(header,
 			fmt.Sprintf("pkg%d_watts", s),
@@ -241,8 +261,13 @@ func (j *Journal) WriteCSV(w io.Writer) error {
 		return ""
 	}
 	for _, d := range entries {
+		kind := d.Kind
+		if kind == KindDecision {
+			kind = "decision"
+		}
 		rec := []string{
 			strconv.FormatFloat(d.T.Seconds(), 'f', 6, 64),
+			kind,
 			d.Outcome,
 			strconv.FormatBool(d.Engaged),
 			strconv.Itoa(d.Limit),

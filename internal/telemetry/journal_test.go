@@ -88,11 +88,40 @@ func TestJournalWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "t_seconds,outcome,engaged,limit,staleness_ms,pkg0_watts") {
+	if !strings.HasPrefix(lines[0], "t_seconds,kind,outcome,engaged,limit,staleness_ms,pkg0_watts") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "enable") || !strings.Contains(lines[1], "High") {
+	if !strings.Contains(lines[1], "decision") || !strings.Contains(lines[1], "enable") || !strings.Contains(lines[1], "High") {
 		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+// TestJournalKindRoundTrip: fail-safe records (fault_detected /
+// failsafe_entered / recovered) keep their kind and detail through the
+// ring and the JSONL sidecar, and normal decisions omit the fields.
+func TestJournalKindRoundTrip(t *testing.T) {
+	j := NewJournal(8, 2)
+	d := decisionAt(0)
+	d.Kind = KindFailsafeEntered
+	d.Detail = "stale"
+	j.Record(d)
+	j.Record(decisionAt(1))
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"failsafe_entered"`) {
+		t.Errorf("JSONL missing kind field:\n%s", buf.String())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Kind != KindFailsafeEntered || got[0].Detail != "stale" {
+		t.Errorf("record 0 round-tripped as kind=%q detail=%q", got[0].Kind, got[0].Detail)
+	}
+	if got[1].Kind != KindDecision || got[1].Detail != "" {
+		t.Errorf("decision record gained kind=%q detail=%q", got[1].Kind, got[1].Detail)
 	}
 }
 
