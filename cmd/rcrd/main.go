@@ -13,17 +13,39 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 	"repro/internal/workloads/suite"
 )
+
+// restoreFreshness bounds how old a state snapshot may be and still be
+// restored on startup; older files are rejected as stale (the guard
+// quarantines and history they describe are ancient) and the daemon
+// cold-starts instead.
+const restoreFreshness = time.Minute
+
+// serveConfig collects the daemon-mode settings.
+type serveConfig struct {
+	socket       string
+	load         string
+	duration     time.Duration
+	statePath    string
+	drainTimeout time.Duration
+	maxConns     int
+	shed         bool
+}
 
 func main() {
 	var (
@@ -33,6 +55,10 @@ func main() {
 		asJSON   = flag.Bool("json", false, "with -query, print the snapshot as JSON")
 		load     = flag.String("load", "lulesh", "benchmark to loop as background load while serving")
 		duration = flag.Duration("duration", 30*time.Second, "how long (host time) to serve before exiting")
+		state    = flag.String("state", "", "crash-safe state file: restored on start (if fresh), checkpointed while serving, written on shutdown")
+		drainTO  = flag.Duration("drain-timeout", time.Second, "how long shutdown lets in-flight queries finish before cutting them off")
+		maxConns = flag.Int("max-conns", 0, "cap on concurrently served connections (0 = server default)")
+		shed     = flag.Bool("shed", true, "answer overload with a cheap BUSY response instead of queueing clients")
 	)
 	flag.Parse()
 
@@ -50,7 +76,15 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*socket, *load, *duration); err != nil {
+	if err := serve(serveConfig{
+		socket:       *socket,
+		load:         *load,
+		duration:     *duration,
+		statePath:    *state,
+		drainTimeout: *drainTO,
+		maxConns:     *maxConns,
+		shed:         *shed,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rcrd:", err)
 		os.Exit(1)
 	}
@@ -101,27 +135,77 @@ func printMeters(label string, ms []rcr.MeterValue) {
 	}
 }
 
-func serve(socket, load string, duration time.Duration) error {
-	if err := os.Remove(socket); err != nil && !os.IsNotExist(err) {
+// restoreState loads a prior state snapshot into sys, journaling the
+// outcome. Corrupt or stale files are rejected — the daemon cold-starts
+// rather than trust a torn or ancient snapshot — and a missing file is
+// simply the first boot.
+func restoreState(sys *core.System, path string) {
+	st, err := resilience.LoadState(path, restoreFreshness, time.Now())
+	jnl := sys.Journal()
+	now := sys.Machine().Now()
+	switch {
+	case err == nil:
+		sys.RestoreCheckpoint(st)
+		jnl.Record(telemetry.Decision{T: now, Kind: telemetry.KindStateRestored, Detail: "fresh"})
+		fmt.Printf("rcrd: restored state from %s (saved %v ago)\n",
+			path, time.Since(time.Unix(0, st.SavedAtUnixNano)).Round(time.Millisecond))
+	case errors.Is(err, os.ErrNotExist):
+		// First boot: nothing to restore.
+	case errors.Is(err, resilience.ErrStateCorrupt):
+		jnl.Record(telemetry.Decision{T: now, Kind: telemetry.KindStateRejected, Detail: "corrupt"})
+		fmt.Fprintf(os.Stderr, "rcrd: state file %s rejected (%v); cold start\n", path, err)
+	case errors.Is(err, resilience.ErrStateStale):
+		jnl.Record(telemetry.Decision{T: now, Kind: telemetry.KindStateRejected, Detail: "stale"})
+		fmt.Fprintf(os.Stderr, "rcrd: state file %s rejected (%v); cold start\n", path, err)
+	default:
+		jnl.Record(telemetry.Decision{T: now, Kind: telemetry.KindStateRejected, Detail: "unreadable"})
+		fmt.Fprintf(os.Stderr, "rcrd: state file %s unreadable (%v); cold start\n", path, err)
+	}
+}
+
+func serve(cfg serveConfig) error {
+	if err := os.Remove(cfg.socket); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	// A long-lived daemon runs fault-tolerant: guarded RAPL reads and a
-	// supervised sampler (docs/robustness.md).
-	sys, err := core.New(core.Options{Warm: true, Telemetry: true, FaultTolerant: true})
+	// supervised sampler (docs/robustness.md). With a state file it also
+	// records history, so restarts resume the time series.
+	sys, err := core.New(core.Options{
+		Warm:          true,
+		Telemetry:     true,
+		FaultTolerant: true,
+		RecordHistory: cfg.statePath != "",
+	})
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
 
-	ln, err := net.Listen("unix", socket)
+	// Crash-safe state: restore a fresh prior snapshot (guard quarantine
+	// survives a restart; corrupt or stale files are rejected), then keep
+	// checkpointing while serving.
+	var keeper *resilience.Keeper
+	if cfg.statePath != "" {
+		restoreState(sys, cfg.statePath)
+		keeper, err = resilience.StartKeeper(sys.Machine(), cfg.statePath, 0, sys.Checkpoint, sys.Telemetry())
+		if err != nil {
+			return err
+		}
+		defer keeper.Stop()
+	}
+
+	ln, err := net.Listen("unix", cfg.socket)
 	if err != nil {
 		return err
 	}
 	srv := rcr.NewServer(sys.Blackboard(), sys.Machine(), ln)
+	srv.MaxConns = cfg.maxConns
+	srv.Shed = cfg.shed
+	srv.DrainTimeout = cfg.drainTimeout
 	srv.Instrument(sys.Telemetry())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
-	fmt.Printf("rcrd: serving %s for %v with background load %q\n", socket, duration, load)
+	fmt.Printf("rcrd: serving %s for %v with background load %q\n", cfg.socket, cfg.duration, cfg.load)
 
 	// Loop the load until the serving window closes.
 	loadErr := make(chan error, 1)
@@ -134,7 +218,7 @@ func serve(socket, load string, duration time.Duration) error {
 				return
 			default:
 			}
-			wl, err := suite.New(load)
+			wl, err := suite.New(cfg.load)
 			if err != nil {
 				loadErr <- err
 				return
@@ -150,18 +234,35 @@ func serve(socket, load string, duration time.Duration) error {
 		}
 	}()
 
+	// SIGTERM/SIGINT begin the same graceful drain the duration timer
+	// does: stop the load, let in-flight queries finish within the drain
+	// timeout, and write a final state snapshot.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
 	var firstErr error
 	select {
 	case firstErr = <-loadErr:
-	case <-time.After(duration):
+	case sig := <-sigCh:
+		fmt.Printf("rcrd: %v: draining (timeout %v)\n", sig, cfg.drainTimeout)
 		close(stop)
 		firstErr = <-loadErr // let the in-flight run finish cleanly
+	case <-time.After(cfg.duration):
+		close(stop)
+		firstErr = <-loadErr
 	}
 	if err := srv.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if err := <-serveErr; err != nil && firstErr == nil {
 		firstErr = err
+	}
+	if keeper != nil {
+		keeper.Stop() // final synchronous snapshot (idempotent with the defer)
+		if err := keeper.LastErr(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }

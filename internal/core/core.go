@@ -24,6 +24,7 @@ import (
 	"repro/internal/qthreads"
 	"repro/internal/rapl"
 	"repro/internal/rcr"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -241,6 +242,35 @@ func (s *System) Telemetry() *telemetry.Registry { return s.reg }
 // is enabled — the journal records classifications, and only the daemon
 // classifies.
 func (s *System) Journal() *telemetry.Journal { return s.journal }
+
+// Checkpoint captures the crash-safe daemon state (internal/resilience):
+// the RAPL guard's fail-safe machine and the recorded history timeline.
+// The keeper stamps the wall-clock save instant itself.
+func (s *System) Checkpoint() resilience.DaemonState {
+	st := resilience.DaemonState{VirtualNow: s.m.Now()}
+	if s.guard != nil {
+		st.Guard = s.guard.Checkpoint()
+	}
+	if s.history != nil {
+		st.History = s.history.Points()
+	}
+	return st
+}
+
+// RestoreCheckpoint installs a previously saved daemon state: quarantined
+// RAPL domains stay quarantined (a restart is not evidence the hardware
+// healed) and the history ring resumes its timeline. Components the
+// system was built without (no guard, no history) silently skip their
+// part, so a state file from a differently-configured run degrades
+// instead of failing.
+func (s *System) RestoreCheckpoint(st resilience.DaemonState) {
+	if s.guard != nil && len(st.Guard) > 0 {
+		s.guard.Restore(st.Guard)
+	}
+	if s.history != nil && len(st.History) > 0 {
+		s.history.Restore(st.History)
+	}
+}
 
 // Run executes task as a root task on the runtime, measured as an RCR
 // region.

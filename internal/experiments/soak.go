@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/resilience/soak"
+)
+
+// SoakFailure is one soak run that violated an invariant.
+type SoakFailure struct {
+	Seed       uint64
+	Violations []string
+}
+
+// SoakSummary aggregates a fleet of seeded service-soak runs (see
+// internal/resilience/soak and docs/robustness.md §Service resilience):
+// how many passed, which seeds failed and why, and how much fault and
+// query traffic the corpus actually generated.
+type SoakSummary struct {
+	Runs     int
+	Passed   int
+	Failures []SoakFailure
+	// Client traffic across the corpus.
+	Queries     uint64
+	Live        uint64
+	CacheServed uint64
+	Converged   uint64
+	// Fault traffic across the corpus.
+	Restarts   uint64
+	Resets     uint64
+	LorisConns uint64
+}
+
+// Ok reports whether every run passed.
+func (s SoakSummary) Ok() bool { return s.Passed == s.Runs }
+
+// String renders the summary as a short report.
+func (s SoakSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: %d/%d runs passed\n", s.Passed, s.Runs)
+	fmt.Fprintf(&b, "  queries=%d live=%d cached=%d converged=%d\n",
+		s.Queries, s.Live, s.CacheServed, s.Converged)
+	fmt.Fprintf(&b, "  restarts=%d resets=%d loris=%d\n", s.Restarts, s.Resets, s.LorisConns)
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "  seed %d FAILED:\n", f.Seed)
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// Soak replays runs seeded service-fault schedules against a real
+// client/server pair, fanned out across the Lab's worker pool. Seeds
+// are lab.Seed, lab.Seed+1, … so a failing seed reproduces standalone
+// via soak.Run. Budget is the per-run wall budget (zero selects
+// 300 ms). Per-run resource audits are off — soak runs share the
+// process here; leak gating belongs to the dedicated test suites.
+func (lab *Lab) Soak(runs int, budget time.Duration) (SoakSummary, error) {
+	if runs <= 0 {
+		runs = 16
+	}
+	if budget <= 0 {
+		budget = 300 * time.Millisecond
+	}
+	reports := make([]*soak.Report, runs)
+	base := uint64(lab.Seed)
+	err := lab.runCells(runs, func(i int) error {
+		rep, err := soak.Run(soak.Config{
+			Seed:              base + uint64(i),
+			Budget:            budget,
+			StalenessHorizon:  80 * time.Millisecond,
+			SkipResourceAudit: true,
+		})
+		if err != nil {
+			return fmt.Errorf("soak seed %d: %w", base+uint64(i), err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return SoakSummary{}, err
+	}
+	sum := SoakSummary{Runs: runs}
+	for _, rep := range reports {
+		if rep.Passed() {
+			sum.Passed++
+		} else {
+			sum.Failures = append(sum.Failures, SoakFailure{Seed: rep.Seed, Violations: rep.Violations})
+		}
+		sum.Queries += rep.Queries
+		sum.Live += rep.Live
+		sum.CacheServed += rep.CacheServed
+		sum.Converged += rep.Converged
+		sum.Restarts += uint64(rep.Restarts)
+		sum.Resets += rep.Resets
+		sum.LorisConns += rep.LorisConns
+	}
+	return sum, nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLabSoak fans a small service-soak corpus across the Lab's worker
+// pool and checks the aggregation: every run must pass, the summary
+// must show real query and fault traffic, and the report must render.
+func TestLabSoak(t *testing.T) {
+	lab := NewLab()
+	lab.Seed = 100
+	sum, err := lab.Soak(6, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() {
+		t.Fatalf("soak corpus failed:\n%s", sum)
+	}
+	if sum.Runs != 6 || sum.Passed != 6 {
+		t.Errorf("runs/passed = %d/%d, want 6/6", sum.Runs, sum.Passed)
+	}
+	if sum.Queries == 0 || sum.Live == 0 {
+		t.Errorf("no traffic across the corpus: %+v", sum)
+	}
+	if sum.Restarts+sum.Resets+sum.LorisConns == 0 {
+		t.Error("no service faults injected across the corpus")
+	}
+	if !strings.Contains(sum.String(), "6/6 runs passed") {
+		t.Errorf("summary rendering:\n%s", sum)
+	}
+}

@@ -162,8 +162,8 @@ func TestQthreadsFailsafeRecovery(t *testing.T) {
 		if !ok {
 			return
 		}
-		bb.SetSocket(0, rcr.MeterPower, 100, now)                // High (default threshold 65)
-		bb.SetSocket(0, rcr.MeterMemConcurrency, 0.9*28, now)    // High (0.75 × knee)
+		bb.SetSocket(0, rcr.MeterPower, 100, now)             // High (default threshold 65)
+		bb.SetSocket(0, rcr.MeterMemConcurrency, 0.9*28, now) // High (0.75 × knee)
 		bb.SetSocket(0, rcr.MeterMemBandwidth, 1e9, now)
 	}); err != nil {
 		t.Fatal(err)

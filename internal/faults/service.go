@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// ServiceKind enumerates the service-level fault classes the soak
+// harness (internal/resilience/soak) injects between rcrd clients and
+// the server — network and process faults, as opposed to the sensor and
+// actuation faults of Kind.
+type ServiceKind int
+
+// Service fault kinds.
+const (
+	// ServerRestart kills the daemon's listener mid-window and restarts
+	// it at the window's end: every in-flight query fails, and queries
+	// during the window get connection-refused.
+	ServerRestart ServiceKind = iota
+	// ConnReset tears down accepted connections mid-exchange — the
+	// classic RST after the request was written but before the reply
+	// lands.
+	ConnReset
+	// SlowLoris throttles a connection to a crawl: bytes trickle so
+	// slowly that only deadline enforcement frees the server's worker.
+	SlowLoris
+
+	// NumServiceKinds is the number of service fault kinds.
+	NumServiceKinds
+)
+
+// String returns the kind name.
+func (k ServiceKind) String() string {
+	switch k {
+	case ServerRestart:
+		return "server-restart"
+	case ConnReset:
+		return "conn-reset"
+	case SlowLoris:
+		return "slow-loris"
+	default:
+		return fmt.Sprintf("ServiceKind(%d)", int(k))
+	}
+}
+
+// ServiceEvent is one service fault window, active for host times in
+// [Start, End) measured from the soak run's beginning. Service faults
+// run on the host clock, not virtual time: the IPC path under test is
+// real sockets between real goroutines.
+type ServiceEvent struct {
+	Kind       ServiceKind
+	Start, End time.Duration
+}
+
+// Covers reports whether the event is active at elapsed host time now.
+func (e *ServiceEvent) Covers(now time.Duration) bool {
+	return now >= e.Start && now < e.End
+}
+
+// ServiceSchedule is a seeded set of service fault windows.
+type ServiceSchedule struct {
+	Seed   uint64
+	Events []ServiceEvent
+}
+
+// ClearTime returns the instant the last window closes (zero when
+// empty); after it the client/server pair must converge back to healthy
+// service.
+func (s ServiceSchedule) ClearTime() time.Duration {
+	var t time.Duration
+	for i := range s.Events {
+		if s.Events[i].End > t {
+			t = s.Events[i].End
+		}
+	}
+	return t
+}
+
+// Active returns the kinds active at elapsed time now.
+func (s ServiceSchedule) Active(now time.Duration) []ServiceKind {
+	var out []ServiceKind
+	for i := range s.Events {
+		if s.Events[i].Covers(now) {
+			out = append(out, s.Events[i].Kind)
+		}
+	}
+	return out
+}
+
+// GenerateServiceSchedule derives a deterministic service fault schedule
+// from a seed, mirroring GenerateSchedule's envelope: 2–5 events, each
+// starting in the first 60% of horizon and closed by 80% of it, so every
+// soak run ends with a convergence window in which queries must succeed
+// again. ServerRestart windows are kept short (≤ horizon/5) so a restart
+// always has time to come back.
+func GenerateServiceSchedule(seed uint64, horizon time.Duration) ServiceSchedule {
+	if horizon <= 0 {
+		horizon = 2 * time.Second
+	}
+	state := seed
+	next := func() uint64 {
+		state = splitmix64(state)
+		return state
+	}
+	n := 2 + int(next()%4)
+	sched := ServiceSchedule{Seed: seed, Events: make([]ServiceEvent, 0, n)}
+	latest := horizon * 4 / 5
+	for i := 0; i < n; i++ {
+		ev := ServiceEvent{Kind: ServiceKind(next() % uint64(NumServiceKinds))}
+		ev.Start = time.Duration(next() % uint64(horizon*3/5))
+		maxDur := horizon / 4
+		if ev.Kind == ServerRestart {
+			maxDur = horizon / 5
+		}
+		dur := horizon/50 + time.Duration(next()%uint64(maxDur))
+		ev.End = ev.Start + dur
+		if ev.End > latest {
+			ev.End = latest
+		}
+		if ev.End <= ev.Start {
+			ev.Start = latest - horizon/50
+			ev.End = latest
+		}
+		sched.Events = append(sched.Events, ev)
+	}
+	return sched
+}

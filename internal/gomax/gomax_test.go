@@ -7,10 +7,12 @@ import (
 	"time"
 
 	"repro/internal/rapl"
+	"repro/internal/resilience/leak"
 	"repro/internal/units"
 )
 
 func TestPoolRunsEverything(t *testing.T) {
+	leak.Check(t)
 	p, err := NewPool(8)
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +31,7 @@ func TestPoolRunsEverything(t *testing.T) {
 }
 
 func TestPoolRespectsLimit(t *testing.T) {
+	leak.Check(t)
 	p, err := NewPool(8)
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +62,7 @@ func TestPoolRespectsLimit(t *testing.T) {
 }
 
 func TestPoolLimitRestores(t *testing.T) {
+	leak.Check(t)
 	p, err := NewPool(8)
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +109,7 @@ func TestPoolSetLimitClamps(t *testing.T) {
 }
 
 func TestPoolSubmitAfterClose(t *testing.T) {
+	leak.Check(t)
 	p, err := NewPool(2)
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +128,7 @@ func TestNewPoolValidation(t *testing.T) {
 }
 
 func TestThrottlerEngagesOnHighPower(t *testing.T) {
+	leak.Check(t)
 	p, err := NewPool(8)
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +177,7 @@ func TestThrottlerEngagesOnHighPower(t *testing.T) {
 }
 
 func TestThrottlerDualConditionWithPressure(t *testing.T) {
+	leak.Check(t)
 	p, err := NewPool(8)
 	if err != nil {
 		t.Fatal(err)

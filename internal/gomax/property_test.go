@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/rapl"
+	"repro/internal/resilience/leak"
 	"repro/internal/units"
 )
 
@@ -21,6 +22,7 @@ import (
 // released at least once, so both transition directions run under the
 // same concurrency.
 func TestThrottlerLimitBoundsUnderChaos(t *testing.T) {
+	leak.Check(t)
 	const workers = 8
 	p, err := NewPool(workers)
 	if err != nil {
@@ -134,9 +136,9 @@ func TestThrottlerLimitBoundsUnderChaos(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("throttler never completed an engage/release cycle: %+v", th.Stats())
 		}
-		runPhase(5, 1.0, 6)  // High/High -> engage
-		runPhase(5, 0.5, 4)  // High power, Medium pressure -> hold
-		runPhase(0, 0.0, 6)  // Low/Low -> release
+		runPhase(5, 1.0, 6) // High/High -> engage
+		runPhase(5, 0.5, 4) // High power, Medium pressure -> hold
+		runPhase(0, 0.0, 6) // Low/Low -> release
 	}
 
 	close(stop)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/qthreads"
 	"repro/internal/rcr"
+	"repro/internal/resilience/leak"
 	"repro/internal/telemetry"
 )
 
@@ -104,6 +105,7 @@ func await(t *testing.T, what string, cond func() bool) {
 // journal carries fault_detected, failsafe_entered and recovered events
 // in order, and the maestro_* fault counters and gauge track the cycle.
 func TestDaemonFailsafeJournalAndCounters(t *testing.T) {
+	leak.Check(t)
 	reg := telemetry.NewRegistry()
 	jnl := telemetry.NewJournal(4096, 1)
 	d, setHealthy := faultStack(t, Config{
@@ -170,6 +172,7 @@ func TestDaemonFailsafeJournalAndCounters(t *testing.T) {
 // counted, never shifted. Under relative re-arming (next = now + period)
 // each delay would push every subsequent poll off the grid.
 func TestDaemonCadenceUnderActuationDelay(t *testing.T) {
+	leak.Check(t)
 	const period = 10 * time.Millisecond
 	reg := telemetry.NewRegistry()
 	jnl := telemetry.NewJournal(8192, 1)

@@ -428,6 +428,14 @@ func (d *Daemon) Stats() Stats {
 // daemon in fail-safe (throttle released, classification suspended).
 func (d *Daemon) Failsafe() bool { return d.failsafeA.Load() }
 
+// Horizon returns the resolved staleness bound of the watchdog (0 when
+// it is disabled). External feeders — a resilience.Client mirroring a
+// remote daemon's meters into the local blackboard — size their own
+// cache horizons off this, so the two staleness policies cannot drift
+// apart. The field is set once at Start and never written again, so the
+// read is safe from any goroutine.
+func (d *Daemon) Horizon() time.Duration { return d.horizon }
+
 // poll runs on the machine's engine goroutine every Period. It reads the
 // blackboard (never the machine) and flips the runtime's throttle flag
 // through atomics only.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/qthreads"
 	"repro/internal/rapl"
 	"repro/internal/rcr"
+	"repro/internal/resilience/leak"
 	"repro/internal/units"
 )
 
@@ -162,6 +163,7 @@ func hotMemoryLoad(rt *qthreads.Runtime, d time.Duration) error {
 }
 
 func TestDaemonActivatesOnHotMemoryLoad(t *testing.T) {
+	leak.Check(t)
 	_, rt, d := fullStack(t, 16, Config{})
 	if err := hotMemoryLoad(rt, 1200*time.Millisecond); err != nil {
 		t.Fatal(err)
@@ -183,6 +185,7 @@ func TestDaemonActivatesOnHotMemoryLoad(t *testing.T) {
 }
 
 func TestDaemonStaysOffForComputeOnly(t *testing.T) {
+	leak.Check(t)
 	// Compute-bound load: power goes High but memory concurrency stays
 	// Low: dual condition must keep throttling off (paper §IV-A: power
 	// alone would throttle efficient programs and waste energy).
@@ -208,6 +211,7 @@ func TestDaemonStaysOffForComputeOnly(t *testing.T) {
 }
 
 func TestDaemonDeactivatesWhenLoadDrops(t *testing.T) {
+	leak.Check(t)
 	m, rt, d := fullStack(t, 16, Config{})
 	if err := hotMemoryLoad(rt, time.Second); err != nil {
 		t.Fatal(err)
@@ -270,6 +274,7 @@ func TestStartValidation(t *testing.T) {
 }
 
 func TestStopReleasesThrottle(t *testing.T) {
+	leak.Check(t)
 	_, rt, d := fullStack(t, 16, Config{})
 	rt.SetThrottle(true, 6)
 	d.Stop()

@@ -234,6 +234,20 @@ func (g *Guard) Energy(domain int) (units.Joules, error) {
 	if !d.haveBase {
 		d.haveBase = true
 		d.last = cur
+		if d.faults > 0 || d.state == GuardQuarantined {
+			// A restored checkpoint (Restore clears the baseline) can put a
+			// faulted domain here: this successful read both seeds the
+			// baseline and completes the recovery transition.
+			if d.state == GuardQuarantined && g.met != nil {
+				g.met.quarantined.Add(-1)
+			}
+			d.state = GuardRecovered
+			d.faults = 0
+			d.zeroRuns = 0
+			if g.met != nil {
+				g.met.recoveries.Inc()
+			}
+		}
 		return units.Joules(d.acc), nil
 	}
 	delta := cur - d.last
@@ -284,6 +298,111 @@ func (g *Guard) Energy(domain int) (units.Joules, error) {
 	d.last = cur
 	d.state = GuardSensing
 	return units.Joules(d.acc), nil
+}
+
+// DomainCheckpoint is the serializable fail-safe state of one guarded
+// domain — what a crash-safe daemon persists so a restart resumes with
+// warm guard state instead of re-trusting a quarantined sensor
+// (internal/resilience, docs/robustness.md).
+type DomainCheckpoint struct {
+	State    GuardState
+	Faults   int
+	ZeroRuns int
+	// Acc is the guarded cumulative energy booked so far (Joules).
+	Acc float64
+	// Backoff is the quarantine retry interval in force; RetryIn is how
+	// much of the current backoff window remained at checkpoint time.
+	Backoff time.Duration
+	RetryIn time.Duration
+}
+
+// Checkpoint snapshots every domain's fail-safe state. Quarantine
+// deadlines are stored as remaining durations so they survive a clock
+// restart (the restoring process re-anchors them to its own clock).
+func (g *Guard) Checkpoint() []DomainCheckpoint {
+	now := g.cfg.Clock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]DomainCheckpoint, len(g.doms))
+	for i := range g.doms {
+		d := &g.doms[i]
+		cp := DomainCheckpoint{
+			State:    d.state,
+			Faults:   d.faults,
+			ZeroRuns: d.zeroRuns,
+			Acc:      d.acc,
+			Backoff:  d.backoff,
+		}
+		if d.state == GuardQuarantined && d.retryAt > now {
+			cp.RetryIn = d.retryAt - now
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// Restore installs a checkpoint taken by a previous incarnation:
+// quarantined domains stay quarantined (their remaining backoff
+// re-anchored to the current clock) and the guarded energy accumulators
+// resume where they left off. The counter baseline is deliberately NOT
+// restored — haveBase is cleared so the first read after restore
+// resynchronizes against the live counter without booking the
+// cross-outage delta (the resync rule of docs/robustness.md). Extra
+// checkpoint domains beyond the reader's are ignored; out-of-range
+// values are clamped, so a corrupt-but-decodable checkpoint degrades to
+// a cold start rather than poisoning the state machine.
+func (g *Guard) Restore(doms []DomainCheckpoint) {
+	now := g.cfg.Clock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(doms)
+	if n > len(g.doms) {
+		n = len(g.doms)
+	}
+	for i := 0; i < n; i++ {
+		cp := doms[i]
+		d := &g.doms[i]
+		if cp.State < GuardSensing || cp.State > GuardRecovered {
+			cp.State = GuardSensing
+		}
+		d.state = cp.State
+		d.faults = cp.Faults
+		d.zeroRuns = cp.ZeroRuns
+		d.acc = cp.Acc
+		d.haveBase = false
+		d.last = 0
+		d.backoff = cp.Backoff
+		if d.backoff < 0 {
+			d.backoff = 0
+		}
+		if d.backoff > g.cfg.BackoffMax {
+			d.backoff = g.cfg.BackoffMax
+		}
+		if d.state == GuardQuarantined {
+			if d.backoff <= 0 {
+				d.backoff = g.cfg.Backoff
+			}
+			retry := cp.RetryIn
+			if retry < 0 {
+				retry = 0
+			}
+			if retry > g.cfg.BackoffMax {
+				retry = g.cfg.BackoffMax
+			}
+			d.retryAt = now + retry
+		} else {
+			d.retryAt = 0
+		}
+	}
+	if g.met != nil {
+		q := 0
+		for i := range g.doms {
+			if g.doms[i].state == GuardQuarantined {
+				q++
+			}
+		}
+		g.met.quarantined.Set(float64(q))
+	}
 }
 
 // faultLocked advances the state machine on a fault at time now.

@@ -93,6 +93,24 @@ func (h *History) record(now time.Duration, _ *machine.Snapshot) {
 	h.mu.Unlock()
 }
 
+// Restore replaces the recorded series with points (oldest-first) — the
+// crash-safe state path (internal/resilience): a restarted daemon
+// resumes its timeline instead of starting an empty ring. When points
+// exceeds the ring capacity only the newest capacity points are kept.
+func (h *History) Restore(points []HistoryPoint) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(points) > len(h.points) {
+		points = points[len(points)-len(h.points):]
+	}
+	n := copy(h.points, points)
+	h.filled = n == len(h.points)
+	h.next = 0
+	if !h.filled {
+		h.next = n
+	}
+}
+
 // Points returns the recorded series oldest-first.
 func (h *History) Points() []HistoryPoint {
 	h.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -22,21 +23,51 @@ import (
 //	request:  "MET\n"  response: uint32 little-endian length, then metrics text
 //	                   (telemetry.Registry.WriteText form; empty when the
 //	                   server is not instrumented)
+//
+// An overloaded server may answer any request with the 4-byte BUSY
+// header (0xFFFFFFFF) and close the connection — a cheap load-shed
+// response that costs the server one write and tells the client to back
+// off instead of letting it hang in the listener backlog. Clients map it
+// to ErrBusy; pre-BUSY clients reject it as an implausible length, which
+// still fails fast.
 
 // maxSnapshotBytes bounds the response size a client will accept.
 const maxSnapshotBytes = 16 << 20
+
+// busyHeader is the length-field sentinel of a load-shed response. It is
+// deliberately far above maxSnapshotBytes so no real payload can collide
+// with it.
+const busyHeader = ^uint32(0)
+
+// ErrBusy reports a request shed by an overloaded server (the BUSY
+// response). It is transient: the client should back off and retry.
+var ErrBusy = errors.New("rcr: server busy (load shed)")
 
 // Defaults for the server's per-connection protections. The protocol is
 // a single tiny request and one bounded response, so anything slower
 // than these is a stalled or hostile peer, not a slow link.
 const (
-	DefaultIPCTimeout = 2 * time.Second
-	DefaultMaxConns   = 64
+	DefaultIPCTimeout  = 2 * time.Second
+	DefaultMaxConns    = 64
+	DefaultAcceptQueue = 128
 )
 
 // DefaultQueryTimeout bounds Query's whole dial/request/response
 // exchange when the caller supplies no context.
 const DefaultQueryTimeout = 5 * time.Second
+
+// Accept-loop backoff bounds: transient Accept errors (EMFILE, ENFILE,
+// ECONNABORTED, timeouts) back off exponentially between these instead
+// of killing Serve.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// maxRateBuckets bounds the per-client token-bucket table; past it the
+// table is reset rather than grown without bound (an attacker cycling
+// source addresses buys amnesia, not memory).
+const maxRateBuckets = 4096
 
 // Server serves blackboard snapshots over a listener. Configure the
 // exported fields (if desired) and Instrument before calling Serve.
@@ -50,20 +81,57 @@ type Server struct {
 	// malicious client can hold a handler (and one connection slot) no
 	// longer than their sum.
 	ReadTimeout, WriteTimeout time.Duration
-	// MaxConns caps concurrently served connections; further clients
-	// queue in the listener backlog. Zero selects DefaultMaxConns.
+	// MaxConns caps concurrently served connections (the handler worker
+	// pool size). Zero selects DefaultMaxConns.
 	MaxConns int
+	// AcceptQueue bounds how many accepted connections may wait for a
+	// free handler. Zero selects DefaultAcceptQueue.
+	AcceptQueue int
+	// Shed selects the overload policy once the accept queue is full:
+	// true answers further clients with a cheap BUSY response and closes
+	// them (load shedding — clients fail fast and retry); false blocks
+	// the accept loop, letting clients pile up in the listener backlog
+	// (the legacy behavior).
+	Shed bool
+	// RateLimit, when positive, applies a token-bucket limit of this
+	// many requests per second per client address (RateBurst deep,
+	// default 2× the rate). Clients over their budget get the BUSY
+	// response. Unix-socket peers usually share one anonymous address —
+	// and thus one bucket — so this is chiefly for TCP listeners.
+	RateLimit float64
+	// RateBurst is the token-bucket depth when RateLimit is set. Zero
+	// selects 2× RateLimit (minimum 1).
+	RateBurst int
+	// DrainTimeout is how long Close lets in-flight and queued handlers
+	// finish naturally before expiring their deadlines. Zero expires
+	// immediately (fastest shutdown; handlers unwind via I/O errors).
+	DrainTimeout time.Duration
 
-	reg      *telemetry.Registry
-	requests *telemetry.Counter
-	errors   *telemetry.Counter
-	rejected *telemetry.Counter
-	active   *telemetry.Gauge
+	reg         *telemetry.Registry
+	requests    *telemetry.Counter
+	errors      *telemetry.Counter
+	rejected    *telemetry.Counter
+	shed        *telemetry.Counter
+	ratelimited *telemetry.Counter
+	acceptRetry *telemetry.Counter
+	active      *telemetry.Gauge
+	queueDepth  *telemetry.Gauge
+
+	aborting atomic.Bool // Close is past its drain window: expire everything
+
+	rateMu  sync.Mutex
+	buckets map[string]*tokenBucket
 
 	mu      sync.Mutex
 	closed  bool
 	conns   map[net.Conn]struct{}
 	serving sync.WaitGroup
+}
+
+// tokenBucket is one client's request budget.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
 }
 
 // NewServer creates a snapshot server; call Serve to run it.
@@ -79,48 +147,177 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.requests = reg.Counter("rcr_ipc_requests_total")
 	s.errors = reg.Counter("rcr_ipc_errors_total")
 	s.rejected = reg.Counter("rcr_ipc_bad_requests_total")
+	s.shed = reg.Counter("rcr_ipc_shed_total")
+	s.ratelimited = reg.Counter("rcr_ipc_ratelimited_total")
+	s.acceptRetry = reg.Counter("rcr_ipc_accept_retries_total")
 	s.active = reg.Gauge("rcr_ipc_active_conns")
+	s.queueDepth = reg.Gauge("rcr_ipc_queue_depth")
+}
+
+// transientAcceptError reports whether an Accept failure is worth
+// retrying: timeouts and the kernel's transient refusals (EMFILE,
+// ECONNABORTED, ...) surface as net.Errors that are temporary, not as
+// listener death.
+func transientAcceptError(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
 }
 
 // Serve accepts connections until Close. It returns nil after Close.
+//
+// Admission control: accepted connections are handed to a fixed pool of
+// MaxConns handler workers through a bounded queue of AcceptQueue; when
+// both are full the server either sheds (BUSY response, Shed=true) or
+// lets the listener backlog absorb the burst (Shed=false). Transient
+// Accept errors back off exponentially and continue — they never kill
+// the daemon.
 func (s *Server) Serve() error {
-	readTO, writeTO, maxConns := s.ReadTimeout, s.WriteTimeout, s.MaxConns
+	readTO, writeTO := s.ReadTimeout, s.WriteTimeout
 	if readTO <= 0 {
 		readTO = DefaultIPCTimeout
 	}
 	if writeTO <= 0 {
 		writeTO = DefaultIPCTimeout
 	}
+	maxConns := s.MaxConns
 	if maxConns <= 0 {
 		maxConns = DefaultMaxConns
 	}
-	sem := make(chan struct{}, maxConns)
+	queueCap := s.AcceptQueue
+	if queueCap <= 0 {
+		queueCap = DefaultAcceptQueue
+	}
+	queue := make(chan net.Conn, queueCap)
+	var workers sync.WaitGroup
+	workers.Add(maxConns)
+	for i := 0; i < maxConns; i++ {
+		go func() {
+			defer workers.Done()
+			for conn := range queue {
+				s.queueDepth.Set(float64(len(queue)))
+				s.handle(conn, readTO, writeTO)
+				s.untrack(conn)
+				s.serving.Done()
+			}
+		}()
+	}
+	defer func() {
+		close(queue)
+		workers.Wait()
+	}()
+	backoff := acceptBackoffMin
 	for {
-		sem <- struct{}{} // cap in-flight handlers before accepting more
 		conn, err := s.ln.Accept()
 		if err != nil {
-			<-sem
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
 			if closed {
 				return nil
 			}
+			if transientAcceptError(err) {
+				// EMFILE, ECONNABORTED, accept timeouts: back off and keep
+				// serving. Returning here would kill the daemon over a
+				// transient kernel refusal.
+				s.acceptRetry.Inc()
+				time.Sleep(backoff)
+				backoff *= 2
+				if backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				continue
+			}
 			return fmt.Errorf("rcr: accept: %w", err)
+		}
+		backoff = acceptBackoffMin
+		if !s.admitRate(conn, writeTO) {
+			continue // over the client's token budget; BUSY already sent
 		}
 		if !s.track(conn) {
 			// Closed while accepting: drop the straggler.
 			conn.Close()
-			<-sem
 			return nil
 		}
-		go func() {
-			defer func() { <-sem }()
-			defer s.serving.Done()
-			defer s.untrack(conn)
-			s.handle(conn, readTO, writeTO)
-		}()
+		select {
+		case queue <- conn:
+			s.queueDepth.Set(float64(len(queue)))
+		default:
+			if s.Shed {
+				// Queue full: answer cheaply instead of hanging the client.
+				s.shedConn(conn, writeTO)
+				continue
+			}
+			queue <- conn // legacy policy: block; backlog absorbs the burst
+			s.queueDepth.Set(float64(len(queue)))
+		}
 	}
+}
+
+// admitRate enforces the per-client token bucket. A client over budget
+// gets the BUSY response and false.
+func (s *Server) admitRate(conn net.Conn, writeTO time.Duration) bool {
+	if s.RateLimit <= 0 {
+		return true
+	}
+	burst := float64(s.RateBurst)
+	if burst < 1 {
+		burst = 2 * s.RateLimit
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	key := conn.RemoteAddr().String()
+	now := time.Now()
+	s.rateMu.Lock()
+	if s.buckets == nil || len(s.buckets) > maxRateBuckets {
+		s.buckets = make(map[string]*tokenBucket)
+	}
+	b := s.buckets[key]
+	if b == nil {
+		b = &tokenBucket{tokens: burst, last: now}
+		s.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.RateLimit
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	s.rateMu.Unlock()
+	if !ok {
+		s.ratelimited.Inc()
+		s.replyBusy(conn, writeTO)
+	}
+	return ok
+}
+
+// shedConn answers an over-capacity connection with BUSY and closes it.
+func (s *Server) shedConn(conn net.Conn, writeTO time.Duration) {
+	s.shed.Inc()
+	s.replyBusy(conn, writeTO)
+	s.untrack(conn)
+	s.serving.Done()
+}
+
+// replyBusy writes the BUSY header under a short deadline and closes the
+// connection. Failures are ignored — the client learns of the overload
+// either way.
+func (s *Server) replyBusy(conn net.Conn, writeTO time.Duration) {
+	if writeTO > 100*time.Millisecond {
+		writeTO = 100 * time.Millisecond
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(writeTO))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], busyHeader)
+	_, _ = conn.Write(hdr[:])
+	_ = conn.Close()
 }
 
 // track registers a live connection; it reports false when the server
@@ -144,24 +341,51 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// Close stops the server: no new connections are accepted, in-flight
-// handlers are hastened by expiring their deadlines, and Close returns
-// only after every handler has drained.
+// deadline returns the I/O deadline for a handler step: the normal
+// timeout while serving, the epoch once Close has decided to abort
+// stragglers (so a handler that re-arms its deadline mid-drain still
+// unwinds immediately).
+func (s *Server) deadline(to time.Duration) time.Time {
+	if s.aborting.Load() {
+		return time.Unix(1, 0)
+	}
+	return time.Now().Add(to)
+}
+
+// Close stops the server: no new connections are accepted, in-flight and
+// queued handlers get DrainTimeout to finish naturally, stragglers are
+// then hastened by expiring their deadlines, and Close returns only
+// after every handler has drained.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
-	// Expire deadlines on live connections so stalled handlers unwind
-	// immediately instead of waiting out their timeouts.
-	past := time.Unix(1, 0)
-	for conn := range s.conns {
-		_ = conn.SetDeadline(past)
-	}
 	s.mu.Unlock()
 	var err error
 	if !alreadyClosed {
 		err = s.ln.Close()
 	}
+	if d := s.DrainTimeout; d > 0 {
+		// Graceful phase: wait for the WaitGroup under the drain deadline.
+		drained := make(chan struct{})
+		go func() {
+			s.serving.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(d):
+		}
+	}
+	// Force phase: expire deadlines on whatever is still alive so stalled
+	// handlers unwind immediately instead of waiting out their timeouts.
+	s.aborting.Store(true)
+	past := time.Unix(1, 0)
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.SetDeadline(past)
+	}
+	s.mu.Unlock()
 	s.serving.Wait()
 	return err
 }
@@ -175,7 +399,7 @@ func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration) {
 		}
 	}()
 	s.requests.Inc()
-	if err := conn.SetReadDeadline(time.Now().Add(readTO)); err != nil {
+	if err := conn.SetReadDeadline(s.deadline(readTO)); err != nil {
 		s.errors.Inc()
 		return
 	}
@@ -201,7 +425,7 @@ func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration) {
 		s.rejected.Inc()
 		return
 	}
-	if err := conn.SetWriteDeadline(time.Now().Add(writeTO)); err != nil {
+	if err := conn.SetWriteDeadline(s.deadline(writeTO)); err != nil {
 		s.errors.Inc()
 		return
 	}
@@ -272,6 +496,9 @@ func roundTrip(ctx context.Context, network, addr, req string) ([]byte, error) {
 		return nil, fmt.Errorf("rcr: response header: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == busyHeader {
+		return nil, ErrBusy
+	}
 	if n > maxSnapshotBytes {
 		return nil, fmt.Errorf("rcr: implausible snapshot size %d", n)
 	}

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/resilience/leak"
 )
 
 func startServer(t *testing.T, bb *Blackboard, clock Clock) string {
@@ -31,6 +33,7 @@ func startServer(t *testing.T, bb *Blackboard, clock Clock) string {
 }
 
 func TestServerQueryRoundTrip(t *testing.T) {
+	leak.Check(t)
 	bb, _ := NewBlackboard(2, 2)
 	bb.SetSystem(MeterPower, 141.7, 3*time.Second)
 	bb.SetSocket(0, MeterEnergy, 6860, 3*time.Second)
@@ -48,6 +51,7 @@ func TestServerQueryRoundTrip(t *testing.T) {
 }
 
 func TestServerMultipleClients(t *testing.T) {
+	leak.Check(t)
 	bb, _ := NewBlackboard(1, 1)
 	bb.SetSystem(MeterEnergy, 42, 0)
 	sock := startServer(t, bb, &fakeClock{})
@@ -63,6 +67,7 @@ func TestServerMultipleClients(t *testing.T) {
 }
 
 func TestServerIgnoresBadRequest(t *testing.T) {
+	leak.Check(t)
 	bb, _ := NewBlackboard(1, 1)
 	sock := startServer(t, bb, &fakeClock{})
 	conn, err := net.Dial("unix", sock)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/rapl"
+	"repro/internal/resilience/leak"
 	"repro/internal/telemetry"
 )
 
@@ -16,6 +17,7 @@ import (
 // a still-open crash window kills the replacement too) and end with a
 // live sampler and a fresh heartbeat once the window closes.
 func TestSupervisorRestartsCrashedSampler(t *testing.T) {
+	leak.Check(t)
 	cfg := machine.M620()
 	cfg.VirtualTimeLimit = 5 * time.Minute
 	m, err := machine.New(cfg)
@@ -89,6 +91,7 @@ func TestSupervisorRestartsCrashedSampler(t *testing.T) {
 // figure; all of them must stay at node scale rather than showing the
 // outage-sized spike a naive restart would publish.
 func TestSupervisorResyncsBaselineAcrossOutage(t *testing.T) {
+	leak.Check(t)
 	cfg := machine.M620()
 	cfg.VirtualTimeLimit = 5 * time.Minute
 	m, err := machine.New(cfg)

@@ -1,0 +1,63 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: Delay is a pure function of (config, attempt).
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 160 * time.Millisecond, Seed: 42}
+	for attempt := 0; attempt < 10; attempt++ {
+		if d1, d2 := b.Delay(attempt), b.Delay(attempt); d1 != d2 {
+			t.Fatalf("attempt %d: %v then %v", attempt, d1, d2)
+		}
+	}
+}
+
+// TestBackoffEnvelope: every delay sits in [grown/2, grown] where grown
+// is the unjittered exponential, capped at Max.
+func TestBackoffEnvelope(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Seed: 7}
+	for attempt := 0; attempt < 12; attempt++ {
+		grown := 10 * time.Millisecond << attempt
+		if grown > b.Max || grown <= 0 {
+			grown = b.Max
+		}
+		d := b.Delay(attempt)
+		if d < grown/2 || d > grown {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, grown/2, grown)
+		}
+	}
+	if d := b.Delay(-5); d <= 0 {
+		t.Errorf("negative attempt gave non-positive delay %v", d)
+	}
+}
+
+// TestBackoffSeedsDecorrelate: different seeds produce different
+// timelines (clients retrying in lockstep is the thundering herd the
+// jitter exists to prevent).
+func TestBackoffSeedsDecorrelate(t *testing.T) {
+	a := Backoff{Base: 10 * time.Millisecond, Seed: 1}
+	b := Backoff{Base: 10 * time.Millisecond, Seed: 2}
+	same := 0
+	for attempt := 0; attempt < 16; attempt++ {
+		if a.Delay(attempt) == b.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("seeds 1 and 2 produced identical 16-delay timelines")
+	}
+}
+
+// TestBackoffDefaults: the zero value still yields sane delays.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0); d < 5*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("zero-value first delay %v outside the 10ms default envelope", d)
+	}
+	if d := b.Delay(30); d > 160*time.Millisecond {
+		t.Errorf("zero-value delay %v escaped the 16x default cap", d)
+	}
+}

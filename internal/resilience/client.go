@@ -1,0 +1,223 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/telemetry"
+)
+
+// ErrStaleCache reports a query that could not be served live and whose
+// last-known-good snapshot was older than the staleness horizon. The
+// client never silently returns stale data — past the horizon the caller
+// gets this error (wrapping the live failure) and must degrade itself,
+// exactly as the maestro watchdog does on stale meters.
+var ErrStaleCache = errors.New("resilience: cached snapshot beyond staleness horizon")
+
+// QueryFunc is the transport seam: rcr.QueryContext in production, a
+// scripted fake in tests and fault harnesses.
+type QueryFunc func(ctx context.Context, network, addr string) (rcr.Snapshot, error)
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// Network and Addrs locate the daemon: Addrs is an ordered replica
+	// list, primary first; a query that fails on one address fails over
+	// to the next within the same attempt. At least one address is
+	// required. Network zero selects "unix".
+	Network string
+	Addrs   []string
+	// Attempts is how many full sweeps of the replica list one Query
+	// makes before giving up; zero selects 3. Between sweeps the client
+	// sleeps Backoff.Delay(sweep).
+	Attempts int
+	// Backoff shapes the inter-attempt delay (deterministic jitter).
+	Backoff Backoff
+	// Breaker tunes the circuit breaker; its Clock/Journal/Telemetry
+	// default to the client's.
+	Breaker BreakerConfig
+	// StalenessHorizon bounds how old a cached snapshot may be and still
+	// be served when live queries fail. Zero selects 1 s; negative
+	// disables the cache entirely.
+	StalenessHorizon time.Duration
+	// Clock supplies the time base for cache age and breaker cooldowns.
+	// Required.
+	Clock func() time.Duration
+	// Sleep, when non-nil, replaces time.Sleep for inter-attempt delays —
+	// the test seam that keeps retry tests instant.
+	Sleep func(time.Duration)
+	// Query replaces the transport; nil selects rcr.QueryContext.
+	Query QueryFunc
+	// Journal receives breaker-transition records.
+	Journal *telemetry.Journal
+	// Telemetry receives the client's resilience_client_* instruments.
+	Telemetry *telemetry.Registry
+}
+
+// clientMetrics is the client's instrument set.
+type clientMetrics struct {
+	queries   *telemetry.Counter
+	retries   *telemetry.Counter
+	failovers *telemetry.Counter
+	cacheHits *telemetry.Counter
+	staleErrs *telemetry.Counter
+	rejected  *telemetry.Counter // refused by the open breaker
+}
+
+// Client is a self-healing rcrd client: every Query retries with
+// deterministic-jitter exponential backoff across an ordered replica
+// list, a circuit breaker stops hammering a dead daemon, and a bounded
+// last-known-good cache bridges short outages — but only within
+// StalenessHorizon, past which the failure is surfaced. All methods are
+// safe for concurrent use.
+type Client struct {
+	cfg     ClientConfig
+	breaker *Breaker
+	met     *clientMetrics
+
+	cacheMu   sync.Mutex
+	cache     rcr.Snapshot
+	cacheAt   time.Duration
+	haveCache bool
+}
+
+// NewClient builds a client; ClientConfig.Clock and at least one address
+// are required.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("resilience: client requires a clock")
+	}
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("resilience: client requires at least one address")
+	}
+	if cfg.Network == "" {
+		cfg.Network = "unix"
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.StalenessHorizon == 0 {
+		cfg.StalenessHorizon = time.Second
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Query == nil {
+		cfg.Query = rcr.QueryContext
+	}
+	bcfg := cfg.Breaker
+	if bcfg.Clock == nil {
+		bcfg.Clock = cfg.Clock
+	}
+	if bcfg.Journal == nil {
+		bcfg.Journal = cfg.Journal
+	}
+	if bcfg.Telemetry == nil {
+		bcfg.Telemetry = cfg.Telemetry
+	}
+	br, err := NewBreaker(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg, breaker: br}
+	if reg := cfg.Telemetry; reg != nil {
+		c.met = &clientMetrics{
+			queries:   reg.Counter("resilience_client_queries_total"),
+			retries:   reg.Counter("resilience_client_retries_total"),
+			failovers: reg.Counter("resilience_client_failovers_total"),
+			cacheHits: reg.Counter("resilience_client_cache_served_total"),
+			staleErrs: reg.Counter("resilience_client_stale_errors_total"),
+			rejected:  reg.Counter("resilience_client_breaker_rejects_total"),
+		}
+	}
+	return c, nil
+}
+
+// Breaker exposes the client's circuit breaker for inspection.
+func (c *Client) Breaker() *Breaker { return c.breaker }
+
+// Query fetches a snapshot. Live success refreshes the cache and the
+// breaker; total failure (or an open breaker) is bridged by the cache
+// when it is fresh enough, and surfaced as an error otherwise. The
+// returned error wraps both the decision (ErrBreakerOpen / ErrStaleCache)
+// and the last transport failure, so errors.Is works on either.
+func (c *Client) Query(ctx context.Context) (rcr.Snapshot, error) {
+	if c.met != nil {
+		c.met.queries.Inc()
+	}
+	if err := c.breaker.Allow(); err != nil {
+		if c.met != nil {
+			c.met.rejected.Inc()
+		}
+		return c.fromCache(err)
+	}
+	var lastErr error
+sweeps:
+	for sweep := 0; sweep < c.cfg.Attempts; sweep++ {
+		if sweep > 0 {
+			if c.met != nil {
+				c.met.retries.Inc()
+			}
+			c.cfg.Sleep(c.cfg.Backoff.Delay(sweep - 1))
+		}
+		for i, addr := range c.cfg.Addrs {
+			if ctx.Err() != nil {
+				lastErr = ctx.Err()
+				break sweeps
+			}
+			snap, err := c.cfg.Query(ctx, c.cfg.Network, addr)
+			if err == nil {
+				if i > 0 && c.met != nil {
+					c.met.failovers.Inc()
+				}
+				c.breaker.Success()
+				c.store(snap)
+				return snap, nil
+			}
+			lastErr = err
+		}
+	}
+	// The whole Query failed: one breaker failure per Query, so the
+	// FailureThreshold counts outages in poll units, not per-dial.
+	c.breaker.Failure()
+	return c.fromCache(lastErr)
+}
+
+// store refreshes the last-known-good cache.
+func (c *Client) store(snap rcr.Snapshot) {
+	if c.cfg.StalenessHorizon < 0 {
+		return
+	}
+	now := c.cfg.Clock()
+	c.cacheMu.Lock()
+	c.cache = snap
+	c.cacheAt = now
+	c.haveCache = true
+	c.cacheMu.Unlock()
+}
+
+// fromCache serves the last-known-good snapshot if it is within the
+// staleness horizon, and otherwise surfaces cause wrapped in
+// ErrStaleCache.
+func (c *Client) fromCache(cause error) (rcr.Snapshot, error) {
+	now := c.cfg.Clock()
+	c.cacheMu.Lock()
+	snap, at, have := c.cache, c.cacheAt, c.haveCache
+	c.cacheMu.Unlock()
+	if have && c.cfg.StalenessHorizon >= 0 && now-at <= c.cfg.StalenessHorizon {
+		if c.met != nil {
+			c.met.cacheHits.Inc()
+		}
+		return snap, nil
+	}
+	if c.met != nil {
+		c.met.staleErrs.Inc()
+	}
+	if cause == nil {
+		return rcr.Snapshot{}, ErrStaleCache
+	}
+	return rcr.Snapshot{}, fmt.Errorf("%w (last failure: %w)", ErrStaleCache, cause)
+}

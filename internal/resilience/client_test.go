@@ -1,0 +1,270 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/telemetry"
+)
+
+// scriptedTransport is a QueryFunc whose health is toggled per address.
+type scriptedTransport struct {
+	down  map[string]bool
+	calls []string // addresses in dial order
+	now   func() time.Duration
+}
+
+func (s *scriptedTransport) query(_ context.Context, _, addr string) (rcr.Snapshot, error) {
+	s.calls = append(s.calls, addr)
+	if s.down[addr] {
+		return rcr.Snapshot{}, errors.New("dial: connection refused")
+	}
+	return rcr.Snapshot{Now: s.now()}, nil
+}
+
+func newTestClient(t *testing.T, clk *fakeClock, tr *scriptedTransport, tune func(*ClientConfig)) (*Client, *telemetry.Registry, *telemetry.Journal) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	j := telemetry.NewJournal(64, 1)
+	cfg := ClientConfig{
+		Addrs:            []string{"primary", "replica"},
+		Attempts:         3,
+		Backoff:          Backoff{Base: 10 * time.Millisecond, Seed: 1},
+		StalenessHorizon: 300 * time.Millisecond,
+		Clock:            clk.now,
+		Sleep:            func(time.Duration) {},
+		Query:            tr.query,
+		Journal:          j,
+		Telemetry:        reg,
+		Breaker: BreakerConfig{
+			FailureThreshold: 3,
+			OpenFor:          100 * time.Millisecond,
+		},
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, reg, j
+}
+
+// TestClientHealthyPath: a healthy primary answers on the first dial,
+// no retries, no failovers.
+func TestClientHealthyPath(t *testing.T) {
+	clk := &fakeClock{at: 50 * time.Millisecond}
+	tr := &scriptedTransport{down: map[string]bool{}, now: clk.now}
+	c, reg, _ := newTestClient(t, clk, tr, nil)
+	snap, err := c.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Now != 50*time.Millisecond {
+		t.Errorf("snapshot Now = %v", snap.Now)
+	}
+	if len(tr.calls) != 1 || tr.calls[0] != "primary" {
+		t.Errorf("dial sequence %v", tr.calls)
+	}
+	if n := reg.Counter("resilience_client_retries_total").Value(); n != 0 {
+		t.Errorf("retries = %d", n)
+	}
+}
+
+// TestClientFailover: a dead primary fails over to the replica within
+// the same attempt sweep.
+func TestClientFailover(t *testing.T) {
+	clk := &fakeClock{}
+	tr := &scriptedTransport{down: map[string]bool{"primary": true}, now: clk.now}
+	c, reg, _ := newTestClient(t, clk, tr, nil)
+	if _, err := c.Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.calls) != 2 || tr.calls[1] != "replica" {
+		t.Errorf("dial sequence %v, want primary then replica", tr.calls)
+	}
+	if n := reg.Counter("resilience_client_failovers_total").Value(); n != 1 {
+		t.Errorf("failovers = %d, want 1", n)
+	}
+	if c.Breaker().State() != BreakerClosed {
+		t.Errorf("breaker %v after a served-by-replica query", c.Breaker().State())
+	}
+}
+
+// TestClientRetrySweeps: both replicas down for the first two sweeps,
+// healthy on the third — the Query still succeeds, with jittered sleeps
+// between sweeps.
+func TestClientRetrySweeps(t *testing.T) {
+	clk := &fakeClock{}
+	var slept []time.Duration
+	sweep := 0
+	tr := &scriptedTransport{down: map[string]bool{"primary": true, "replica": true}, now: clk.now}
+	c, reg, _ := newTestClient(t, clk, tr, func(cfg *ClientConfig) {
+		cfg.Sleep = func(d time.Duration) {
+			slept = append(slept, d)
+			sweep++
+			if sweep == 2 {
+				tr.down["replica"] = false
+			}
+		}
+	})
+	if _, err := c.Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %v, want two inter-sweep delays", slept)
+	}
+	want := c.cfg.Backoff.Delay(0)
+	if slept[0] != want {
+		t.Errorf("first sleep %v, want deterministic %v", slept[0], want)
+	}
+	if n := reg.Counter("resilience_client_retries_total").Value(); n != 2 {
+		t.Errorf("retries = %d, want 2", n)
+	}
+}
+
+// TestClientOutageBreakerAndCache walks a full outage: fresh cache
+// bridges the first failures, the breaker opens after three failed
+// polls, the cache expires past the horizon, and recovery closes the
+// loop — with the breaker transitions journaled throughout.
+func TestClientOutageBreakerAndCache(t *testing.T) {
+	clk := &fakeClock{}
+	tr := &scriptedTransport{down: map[string]bool{}, now: clk.now}
+	c, reg, j := newTestClient(t, clk, tr, nil)
+
+	// Healthy poll seeds the cache.
+	if _, err := c.Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Total outage. Three failed polls: each served from cache (fresh),
+	// each counting one breaker failure.
+	tr.down["primary"], tr.down["replica"] = true, true
+	for poll := 1; poll <= 3; poll++ {
+		clk.at = time.Duration(poll) * 50 * time.Millisecond
+		snap, err := c.Query(context.Background())
+		if err != nil {
+			t.Fatalf("poll %d not bridged by fresh cache: %v", poll, err)
+		}
+		if snap.Now != 0 {
+			t.Fatalf("poll %d returned %v, want the cached snapshot from t=0", poll, snap.Now)
+		}
+	}
+	if c.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker %v after 3 failed polls, want open", c.Breaker().State())
+	}
+	if n := reg.Counter("resilience_client_cache_served_total").Value(); n != 3 {
+		t.Errorf("cache serves = %d, want 3", n)
+	}
+
+	// Breaker open + cache still fresh: served without dialing.
+	dials := len(tr.calls)
+	clk.at = 200 * time.Millisecond
+	if _, err := c.Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.calls) != dials {
+		t.Error("open breaker still dialed the daemon")
+	}
+	if n := reg.Counter("resilience_client_breaker_rejects_total").Value(); n != 1 {
+		t.Errorf("breaker rejects = %d, want 1", n)
+	}
+
+	// Past the horizon (cache from t=0, horizon 300ms) and past the
+	// cooldown: the half-open probe fails, the breaker re-opens, and the
+	// caller gets an explicit error — never a silent stale answer.
+	clk.at = 350 * time.Millisecond
+	_, err := c.Query(context.Background())
+	if !errors.Is(err, ErrStaleCache) {
+		t.Fatalf("stale cache served silently: %v", err)
+	}
+	if c.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker %v after failed probe, want re-opened", c.Breaker().State())
+	}
+	if n := reg.Counter("resilience_client_stale_errors_total").Value(); n == 0 {
+		t.Error("stale error not counted")
+	}
+
+	// While re-opened with a stale cache, the refusal wraps both causes.
+	clk.at = 360 * time.Millisecond
+	_, err = c.Query(context.Background())
+	if !errors.Is(err, ErrStaleCache) || !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("error %v does not surface both stale-cache and breaker causes", err)
+	}
+
+	// Daemon heals; once the doubled 200ms cooldown (re-opened at 350ms)
+	// elapses, the half-open probe succeeds and the breaker closes.
+	tr.down["primary"], tr.down["replica"] = false, false
+	clk.at = 600 * time.Millisecond
+	snap, err := c.Query(context.Background())
+	if err != nil {
+		t.Fatalf("recovery query failed: %v", err)
+	}
+	if snap.Now != 600*time.Millisecond {
+		t.Errorf("recovery served %v, want a live snapshot", snap.Now)
+	}
+	if c.Breaker().State() != BreakerClosed {
+		t.Errorf("breaker %v after recovery, want closed", c.Breaker().State())
+	}
+
+	want := []string{
+		telemetry.KindBreakerOpen,     // outage trips it
+		telemetry.KindBreakerHalfOpen, // 350ms: cooldown elapsed
+		telemetry.KindBreakerOpen,     // 350ms: probe failed
+		telemetry.KindBreakerHalfOpen, // 600ms: doubled cooldown elapsed
+		telemetry.KindBreakerClosed,   // 600ms: probe succeeded
+	}
+	got := kinds(j)
+	if len(got) != len(want) {
+		t.Fatalf("journal kinds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("journal kinds %v, want %v", got, want)
+		}
+	}
+}
+
+// TestClientNoCacheNoSilentZero: with no successful poll ever, an outage
+// yields an error, not a zero-value snapshot.
+func TestClientNoCacheNoSilentZero(t *testing.T) {
+	clk := &fakeClock{}
+	tr := &scriptedTransport{down: map[string]bool{"primary": true, "replica": true}, now: clk.now}
+	c, _, _ := newTestClient(t, clk, tr, nil)
+	if _, err := c.Query(context.Background()); !errors.Is(err, ErrStaleCache) {
+		t.Fatalf("cold-cache outage returned %v, want ErrStaleCache", err)
+	}
+}
+
+// TestClientContextCancel: a cancelled context stops the sweep loop
+// promptly instead of burning the full retry budget.
+func TestClientContextCancel(t *testing.T) {
+	clk := &fakeClock{}
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := &scriptedTransport{down: map[string]bool{"primary": true, "replica": true}, now: clk.now}
+	c, _, _ := newTestClient(t, clk, tr, func(cfg *ClientConfig) {
+		cfg.Sleep = func(time.Duration) { cancel() }
+	})
+	if _, err := c.Query(ctx); err == nil {
+		t.Fatal("cancelled query succeeded")
+	}
+	// One full sweep (2 addrs) before the sleep cancelled; nothing after.
+	if len(tr.calls) != 2 {
+		t.Errorf("dialed %d times after cancel, want 2", len(tr.calls))
+	}
+}
+
+// TestClientConfigValidation: clock and addresses are required.
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{Addrs: []string{"a"}}); err == nil {
+		t.Error("client without clock constructed")
+	}
+	clk := &fakeClock{}
+	if _, err := NewClient(ClientConfig{Clock: clk.now}); err == nil {
+		t.Error("client without addresses constructed")
+	}
+}

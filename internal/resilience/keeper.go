@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+)
+
+// DefaultKeeperPeriod is how often the keeper checkpoints state (virtual
+// time). Half a second keeps the restore freshness window tight without
+// the write traffic mattering next to the 10 ms sample cadence.
+const DefaultKeeperPeriod = 500 * time.Millisecond
+
+// Keeper periodically persists daemon state with SaveState, driven by
+// the simulated machine's virtual-time ticker. The actual file write
+// happens on a dedicated goroutine — the ticker callback only nudges
+// it — so disk latency never stalls the engine. Stop performs a final
+// synchronous save, which is the shutdown-path snapshot cmd/rcrd relies
+// on.
+type Keeper struct {
+	m        *machine.Machine
+	tickerID int
+	path     string
+	capture  func() DaemonState
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu      sync.Mutex
+	lastErr error
+	saved   int
+
+	saves  *telemetry.Counter
+	errsCt *telemetry.Counter
+}
+
+// StartKeeper begins checkpointing to path every period of virtual time.
+// capture assembles the state to persist (it runs off the engine
+// goroutine and must be safe to call concurrently with the daemon);
+// the keeper stamps SavedAtUnixNano itself. period <= 0 selects
+// DefaultKeeperPeriod.
+func StartKeeper(m *machine.Machine, path string, period time.Duration, capture func() DaemonState, reg *telemetry.Registry) (*Keeper, error) {
+	if path == "" {
+		return nil, errors.New("resilience: keeper requires a path")
+	}
+	if capture == nil {
+		return nil, errors.New("resilience: keeper requires a capture func")
+	}
+	if period <= 0 {
+		period = DefaultKeeperPeriod
+	}
+	k := &Keeper{
+		m:       m,
+		path:    path,
+		capture: capture,
+		kick:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if reg != nil {
+		k.saves = reg.Counter("resilience_keeper_saves_total")
+		k.errsCt = reg.Counter("resilience_keeper_errors_total")
+	}
+	go k.run()
+	id, err := m.AddTicker(period, func(time.Duration, *machine.Snapshot) {
+		select {
+		case k.kick <- struct{}{}:
+		default: // a save is already pending; coalesce
+		}
+	})
+	if err != nil {
+		close(k.quit)
+		<-k.done
+		return nil, err
+	}
+	k.tickerID = id
+	return k, nil
+}
+
+// run is the writer goroutine.
+func (k *Keeper) run() {
+	defer close(k.done)
+	for {
+		select {
+		case <-k.quit:
+			return
+		case <-k.kick:
+			k.save()
+		}
+	}
+}
+
+// save captures and persists one checkpoint.
+func (k *Keeper) save() {
+	st := k.capture()
+	st.SavedAtUnixNano = time.Now().UnixNano()
+	err := SaveState(k.path, st)
+	k.mu.Lock()
+	k.lastErr = err
+	if err == nil {
+		k.saved++
+	}
+	k.mu.Unlock()
+	if err == nil {
+		k.saves.Inc()
+	} else {
+		k.errsCt.Inc()
+	}
+}
+
+// Stop halts periodic checkpointing and writes one final snapshot,
+// returning that save's error. Idempotent: later calls return the
+// recorded last error without saving again.
+func (k *Keeper) Stop() error {
+	k.once.Do(func() {
+		k.m.RemoveTicker(k.tickerID)
+		close(k.quit)
+		<-k.done
+		k.save()
+	})
+	return k.LastErr()
+}
+
+// LastErr returns the most recent save's error (nil after a success).
+func (k *Keeper) LastErr() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.lastErr
+}
+
+// Saves reports how many checkpoints have been written successfully.
+func (k *Keeper) Saves() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.saved
+}

@@ -1,0 +1,64 @@
+// Package leak is a goroutine-leak gate for test suites: Check(t)
+// records the goroutine population at call time and, when the test ends,
+// fails it if the population has not settled back. It imports only the
+// standard library so that internal test packages anywhere in the tree
+// (including ones the rest of internal/resilience depends on) can use it
+// without an import cycle.
+package leak
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settle bounds how long Check waits for goroutines to drain before
+// declaring a leak. Teardown paths legitimately take a few scheduler
+// rounds (connection handlers noticing a closed listener, tickers
+// observing a stop flag), so the gate retries rather than sampling once.
+const settle = 2 * time.Second
+
+// Check arms the leak gate for t: at cleanup time the goroutine count
+// must return to (or below) the count observed now. Call it first thing
+// in a test, before anything that spawns goroutines. Tests that already
+// failed are not piled on, and known-forever runtime goroutines are
+// excluded from the reported dump.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if t.Failed() || t.Skipped() {
+			return
+		}
+		deadline := time.Now().Add(settle)
+		after := runtime.NumGoroutine()
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after <= before {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("leak: %d goroutines before, %d after (waited %v)\n%s",
+			before, after, settle, interesting(string(buf[:n])))
+	})
+}
+
+// interesting drops stacks that are part of the test harness itself from
+// a full runtime.Stack dump, keeping the report focused on suspects.
+func interesting(dump string) string {
+	var keep []string
+	for _, g := range strings.Split(dump, "\n\n") {
+		if strings.Contains(g, "testing.(*T).Run") ||
+			strings.Contains(g, "testing.tRunner") ||
+			strings.Contains(g, "testing.(*M).Run") ||
+			strings.Contains(g, "resilience/leak.Check") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	return strings.Join(keep, "\n\n")
+}

@@ -1,0 +1,469 @@
+// Package soak drives N concurrent self-healing clients against a real
+// rcrd IPC server through seeded service-fault schedules — daemon
+// crash/restart mid-query, connection resets, slow-loris peers — for a
+// wall budget, and audits the outcome: zero goroutine leaks, bounded
+// memory growth, convergence after the last fault clears, and the
+// staleness invariant (no client ever receives a snapshot older than
+// the staleness horizon; past it the client must see an error instead).
+//
+// Unlike the chaos harness (internal/faults), which runs in virtual
+// time, a soak run is host-time against real unix sockets: the subjects
+// are the accept loop, the breaker, the drain path and the goroutine
+// hygiene of the service boundary itself.
+package soak
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+)
+
+// Config tunes one soak run.
+type Config struct {
+	// Seed determines the service-fault schedule and every client's
+	// retry jitter.
+	Seed uint64
+	// Clients is the concurrent client count. Zero selects 4.
+	Clients int
+	// Budget is the wall-time length of the run. Zero selects 2 s; the
+	// schedule closes all fault windows by 80% of it, leaving a
+	// convergence tail.
+	Budget time.Duration
+	// FeedPeriod is how often the server's blackboard is refreshed.
+	// Zero selects 2 ms.
+	FeedPeriod time.Duration
+	// StalenessHorizon bounds both the clients' caches and the audited
+	// snapshot age. Zero selects 300 ms (maestro's default watchdog
+	// bound at the paper's 0.1 s poll period).
+	StalenessHorizon time.Duration
+	// Dir hosts the unix socket; empty selects a fresh temp dir,
+	// removed afterwards.
+	Dir string
+	// SkipResourceAudit disables the per-run goroutine/heap audit.
+	// runtime.NumGoroutine is process-global, so runs executing
+	// concurrently (the corpus fan-out) must skip it and let the caller
+	// audit once at the end; a run that owns the process keeps it on.
+	SkipResourceAudit bool
+	// Telemetry, when non-nil, receives every component's instruments;
+	// nil creates a private registry.
+	Telemetry *telemetry.Registry
+}
+
+// Report is the audited outcome of one soak run.
+type Report struct {
+	Seed      uint64
+	Events    int
+	ClearTime time.Duration
+
+	// Client-side traffic.
+	Queries     uint64 // total Query calls
+	Live        uint64 // answered with a live snapshot
+	CacheServed uint64 // bridged by a fresh last-known-good cache
+	Failures    uint64 // surfaced as errors (breaker open + stale, outage)
+	Converged   uint64 // live answers after ClearTime
+
+	// Faults exercised.
+	Restarts   int // server kill/restart cycles performed
+	Resets     uint64
+	LorisConns uint64
+
+	// Invariant audit.
+	StalenessViolations uint64
+	GoroutineGrowth     int
+	HeapGrowthBytes     int64
+
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as one line.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("seed %d: %d events, %d queries (%d live, %d cached, %d failed, %d converged), %d restarts, %d resets, %d loris, %d stale-violations, goroutines %+d, heap %+d B",
+		r.Seed, r.Events, r.Queries, r.Live, r.CacheServed, r.Failures, r.Converged,
+		r.Restarts, r.Resets, r.LorisConns, r.StalenessViolations, r.GoroutineGrowth, r.HeapGrowthBytes)
+}
+
+// hostClock adapts the host monotonic clock (measured from a run's
+// start) to the rcr.Clock interface and the resilience time base, so
+// server timestamps and client staleness checks share one timeline.
+type hostClock struct{ t0 time.Time }
+
+func (c *hostClock) Now() time.Duration { return time.Since(c.t0) }
+
+// heapGrowthBound is the accepted HeapAlloc delta across a run. A soak
+// run's steady state allocates (snapshots, conns), but growth past this
+// after a final GC indicates a real accumulation.
+const heapGrowthBound = 16 << 20
+
+// Run executes one soak run and audits it.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2 * time.Second
+	}
+	if cfg.FeedPeriod <= 0 {
+		cfg.FeedPeriod = 2 * time.Millisecond
+	}
+	if cfg.StalenessHorizon <= 0 {
+		cfg.StalenessHorizon = 300 * time.Millisecond
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "soak"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	socket := filepath.Join(dir, "rcrd.sock")
+
+	sched := faults.GenerateServiceSchedule(cfg.Seed, cfg.Budget*4/5)
+	rep := &Report{Seed: cfg.Seed, Events: len(sched.Events), ClearTime: sched.ClearTime()}
+
+	var goroutinesBefore int
+	var msBefore runtime.MemStats
+	if !cfg.SkipResourceAudit {
+		goroutinesBefore = runtime.NumGoroutine()
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+	}
+
+	clock := &hostClock{t0: time.Now()}
+	bb, err := rcr.NewBlackboard(2, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Feeder: keeps the blackboard fresh on the host cadence, standing in
+	// for the sampler (the soak subject is the service boundary, not the
+	// sensing stack).
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		tick := time.NewTicker(cfg.FeedPeriod)
+		defer tick.Stop()
+		beat := 0.0
+		for {
+			select {
+			case <-stopFeed:
+				return
+			case <-tick.C:
+				now := clock.Now()
+				beat++
+				bb.SetSystem(rcr.MeterHeartbeat, beat, now)
+				bb.SetSystem(rcr.MeterPower, 140+10*float64(int(beat)%5), now)
+				for s := 0; s < bb.Sockets(); s++ {
+					bb.SetSocket(s, rcr.MeterPower, 70, now)
+					bb.SetSocket(s, rcr.MeterMemConcurrency, 12, now)
+				}
+			}
+		}
+	}()
+
+	// Server manager: runs the server, and kills/restarts it across the
+	// schedule's ServerRestart windows. Reset/loris windows are injected
+	// at the listener/attacker level below.
+	mgr := &serverManager{
+		socket: socket,
+		bb:     bb,
+		clock:  clock,
+		reg:    reg,
+		sched:  sched,
+		rep:    rep,
+	}
+	if err := mgr.start(); err != nil {
+		stopFeed <- struct{}{}
+		feedWG.Wait()
+		return nil, err
+	}
+	mgrDone := make(chan struct{})
+	go func() { defer close(mgrDone); mgr.run(cfg.Budget) }()
+
+	// Slow-loris attackers: during SlowLoris windows, dial and dribble.
+	lorisDone := make(chan struct{})
+	go func() { defer close(lorisDone); runLoris(clock, socket, sched, cfg.Budget, rep) }()
+
+	// Clients. Breaker cooldowns scale with the budget so short corpus
+	// runs still fit probe cycles into the convergence tail.
+	openFor := cfg.Budget / 40
+	if openFor < 5*time.Millisecond {
+		openFor = 5 * time.Millisecond
+	}
+	openForMax := cfg.Budget / 10
+	if openForMax < 4*openFor {
+		openForMax = 4 * openFor
+	}
+	slack := cfg.StalenessHorizon/2 + 4*cfg.FeedPeriod
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := resilience.NewClient(resilience.ClientConfig{
+				Addrs:            []string{socket},
+				Attempts:         2,
+				Backoff:          resilience.Backoff{Base: 5 * time.Millisecond, Max: 40 * time.Millisecond, Seed: cfg.Seed ^ uint64(id)<<16},
+				StalenessHorizon: cfg.StalenessHorizon,
+				Clock:            clock.Now,
+				Telemetry:        reg,
+				Breaker: resilience.BreakerConfig{
+					FailureThreshold: 3,
+					OpenFor:          openFor,
+					OpenForMax:       openForMax,
+				},
+			})
+			if err != nil {
+				atomic.AddUint64(&rep.Failures, 1)
+				return
+			}
+			for clock.Now() < cfg.Budget {
+				ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+				snap, err := cl.Query(ctx)
+				cancel()
+				atomic.AddUint64(&rep.Queries, 1)
+				now := clock.Now()
+				if err != nil {
+					atomic.AddUint64(&rep.Failures, 1)
+				} else {
+					// The invariant: a served snapshot is never older than
+					// the horizon (plus feed/transport slack). Errors are
+					// the correct behavior past it — only served data can
+					// violate.
+					if now-snap.Now > cfg.StalenessHorizon+slack {
+						atomic.AddUint64(&rep.StalenessViolations, 1)
+					}
+					if now-snap.Now <= 2*cfg.FeedPeriod+50*time.Millisecond {
+						atomic.AddUint64(&rep.Live, 1)
+						if now > rep.ClearTime {
+							atomic.AddUint64(&rep.Converged, 1)
+						}
+					} else {
+						atomic.AddUint64(&rep.CacheServed, 1)
+					}
+				}
+				time.Sleep(2 * time.Millisecond) // client poll cadence
+			}
+		}(i)
+	}
+	wg.Wait()
+	<-mgrDone
+	<-lorisDone
+	mgr.stop()
+	close(stopFeed)
+	feedWG.Wait()
+
+	if !cfg.SkipResourceAudit {
+		// Leak audit: wait for teardown goroutines to drain.
+		deadline := time.Now().Add(2 * time.Second)
+		growth := runtime.NumGoroutine() - goroutinesBefore
+		for growth > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			growth = runtime.NumGoroutine() - goroutinesBefore
+		}
+		rep.GoroutineGrowth = growth
+
+		var msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msAfter)
+		rep.HeapGrowthBytes = int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+	}
+
+	rep.audit()
+	return rep, nil
+}
+
+// audit fills Violations.
+func (r *Report) audit() {
+	if r.StalenessViolations > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d snapshots served beyond the staleness horizon", r.StalenessViolations))
+	}
+	if r.Converged == 0 {
+		r.Violations = append(r.Violations,
+			"no live answer after the last fault window cleared: the service never converged")
+	}
+	if r.GoroutineGrowth > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("goroutine leak: %+d after teardown", r.GoroutineGrowth))
+	}
+	if r.HeapGrowthBytes > heapGrowthBound {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("heap grew %d bytes (bound %d)", r.HeapGrowthBytes, heapGrowthBound))
+	}
+	if r.Queries == 0 {
+		r.Violations = append(r.Violations, "no queries issued")
+	}
+}
+
+// serverManager owns the server lifecycle across restart windows.
+type serverManager struct {
+	socket string
+	bb     *rcr.Blackboard
+	clock  *hostClock
+	reg    *telemetry.Registry
+	sched  faults.ServiceSchedule
+	rep    *Report
+
+	mu       sync.Mutex
+	srv      *rcr.Server
+	serveErr chan error
+}
+
+// start brings the server up on the unix socket.
+func (m *serverManager) start() error {
+	if err := os.Remove(m.socket); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	ln, err := net.Listen("unix", m.socket)
+	if err != nil {
+		return err
+	}
+	srv := rcr.NewServer(m.bb, m.clock, &chaosListener{Listener: ln, clock: m.clock, sched: m.sched, rep: m.rep})
+	srv.MaxConns = 8
+	srv.AcceptQueue = 16
+	srv.Shed = true
+	srv.DrainTimeout = 50 * time.Millisecond
+	srv.ReadTimeout = 100 * time.Millisecond
+	srv.WriteTimeout = 100 * time.Millisecond
+	srv.Instrument(m.reg)
+	ch := make(chan error, 1)
+	go func() { ch <- srv.Serve() }()
+	m.mu.Lock()
+	m.srv, m.serveErr = srv, ch
+	m.mu.Unlock()
+	return nil
+}
+
+// stop closes the current server and waits for Serve to return.
+func (m *serverManager) stop() {
+	m.mu.Lock()
+	srv, ch := m.srv, m.serveErr
+	m.srv, m.serveErr = nil, nil
+	m.mu.Unlock()
+	if srv == nil {
+		return
+	}
+	_ = srv.Close()
+	<-ch
+}
+
+// run executes the restart windows: the daemon dies at each window's
+// start and comes back at its end.
+func (m *serverManager) run(budget time.Duration) {
+	type window struct{ start, end time.Duration }
+	var wins []window
+	for _, ev := range m.sched.Events {
+		if ev.Kind == faults.ServerRestart {
+			wins = append(wins, window{ev.Start, ev.End})
+		}
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].start < wins[j].start })
+	for _, w := range wins {
+		if d := w.start - m.clock.Now(); d > 0 {
+			time.Sleep(d)
+		}
+		if m.clock.Now() >= budget {
+			return
+		}
+		m.stop()
+		if d := w.end - m.clock.Now(); d > 0 {
+			time.Sleep(d)
+		}
+		if err := m.start(); err != nil {
+			// The old socket path can linger briefly; one retry covers it.
+			time.Sleep(5 * time.Millisecond)
+			if err := m.start(); err != nil {
+				return
+			}
+		}
+		m.rep.Restarts++
+	}
+}
+
+// chaosListener wraps Accept to inject ConnReset windows: connections
+// accepted inside one get a wrapper whose writes abort, the
+// server-side view of a peer resetting mid-exchange.
+type chaosListener struct {
+	net.Listener
+	clock *hostClock
+	sched faults.ServiceSchedule
+	rep   *Report
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range l.sched.Active(l.clock.Now()) {
+		if k == faults.ConnReset {
+			atomic.AddUint64(&l.rep.Resets, 1)
+			return &resetConn{Conn: c}, nil
+		}
+	}
+	return c, nil
+}
+
+// resetConn fails every write as if the peer reset the connection.
+type resetConn struct{ net.Conn }
+
+func (c *resetConn) Write([]byte) (int, error) {
+	c.Conn.Close()
+	return 0, fmt.Errorf("write: connection reset by peer (injected)")
+}
+
+// runLoris dials slow-loris connections during SlowLoris windows: each
+// trickles one byte of a request then holds the connection, so only the
+// server's read deadlines free the occupied workers.
+func runLoris(clock *hostClock, socket string, sched faults.ServiceSchedule, budget time.Duration, rep *Report) {
+	var conns []net.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for clock.Now() < budget {
+		active := false
+		for _, k := range sched.Active(clock.Now()) {
+			if k == faults.SlowLoris {
+				active = true
+			}
+		}
+		if active && len(conns) < 16 {
+			if c, err := net.DialTimeout("unix", socket, 20*time.Millisecond); err == nil {
+				conns = append(conns, c)
+				atomic.AddUint64(&rep.LorisConns, 1)
+				_, _ = c.Write([]byte("G")) // one byte, then silence
+			}
+		}
+		if !active && len(conns) > 0 {
+			for _, c := range conns {
+				c.Close()
+			}
+			conns = conns[:0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

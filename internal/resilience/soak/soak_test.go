@@ -1,0 +1,164 @@
+package soak
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/resilience/leak"
+)
+
+// TestSoakSingleSeed runs one full-length soak with the strict resource
+// audit and spells out each invariant, so a regression names what broke.
+func TestSoakSingleSeed(t *testing.T) {
+	leak.Check(t)
+	rep, err := Run(Config{Seed: 7, Budget: 1500 * time.Millisecond, StalenessHorizon: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Queries == 0 {
+		t.Error("no queries issued")
+	}
+	if rep.Live == 0 {
+		t.Error("no live answer ever served")
+	}
+	t.Log(rep.Summary())
+}
+
+// TestSoakCorpus fans a seeded corpus of service-fault schedules across
+// a worker pool: every run must hold the staleness invariant and
+// converge after its faults clear. Per-run resource audits are off (the
+// process is shared); one leak gate covers the whole corpus instead.
+// Collectively the corpus must exercise every service-fault kind —
+// daemon restarts included — so the invariants are known to have been
+// tested under fire rather than vacuously.
+func TestSoakCorpus(t *testing.T) {
+	leak.Check(t)
+	runs := 256
+	if testing.Short() {
+		runs = 64
+	}
+	budget := 300 * time.Millisecond
+	// Soak runs are sleep-dominated (wall budgets, poll cadences), so a
+	// few of them overlap productively even on a single CPU; more than
+	// that and scheduling delay starts eating the convergence tail.
+	workers := 4
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = n
+	}
+	if workers > 16 {
+		workers = 16
+	}
+	var (
+		mu                              sync.Mutex
+		restarts, resets, loris         uint64
+		queries, live, cached, failures uint64
+		converged                       uint64
+		seedCh                          = make(chan int)
+		wg                              sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				rep, err := Run(Config{
+					Seed:              uint64(seed),
+					Budget:            budget,
+					StalenessHorizon:  80 * time.Millisecond,
+					SkipResourceAudit: true,
+				})
+				if err != nil {
+					mu.Lock()
+					t.Errorf("seed %d: %v", seed, err)
+					mu.Unlock()
+					continue
+				}
+				if !rep.Passed() {
+					mu.Lock()
+					for _, v := range rep.Violations {
+						t.Errorf("seed %d: %s", seed, v)
+					}
+					mu.Unlock()
+					continue
+				}
+				atomic.AddUint64(&restarts, uint64(rep.Restarts))
+				atomic.AddUint64(&resets, rep.Resets)
+				atomic.AddUint64(&loris, rep.LorisConns)
+				atomic.AddUint64(&queries, rep.Queries)
+				atomic.AddUint64(&live, rep.Live)
+				atomic.AddUint64(&cached, rep.CacheServed)
+				atomic.AddUint64(&failures, rep.Failures)
+				atomic.AddUint64(&converged, rep.Converged)
+			}
+		}()
+	}
+	for seed := 0; seed < runs; seed++ {
+		seedCh <- seed
+	}
+	close(seedCh)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if restarts == 0 {
+		t.Error("no run ever killed and restarted the daemon: the corpus never exercised crash recovery")
+	}
+	if resets == 0 {
+		t.Error("no run ever reset a connection")
+	}
+	if loris == 0 {
+		t.Error("no run ever attached a slow-loris peer")
+	}
+	if failures == 0 {
+		t.Error("no query ever failed: the corpus never stressed the error path")
+	}
+	if cached == 0 {
+		t.Error("no query was ever bridged by the cache")
+	}
+	t.Logf("%d runs: %d queries (%d live, %d cached, %d failed, %d converged), %d restarts, %d resets, %d loris",
+		runs, queries, live, cached, failures, converged, restarts, resets, loris)
+}
+
+// TestServiceScheduleDeterministic: same seed, same schedule — the
+// reproducibility that makes a failing soak seed debuggable.
+func TestServiceScheduleDeterministic(t *testing.T) {
+	a := faults.GenerateServiceSchedule(42, 2*time.Second)
+	b := faults.GenerateServiceSchedule(42, 2*time.Second)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestServiceScheduleEnvelope: every generated window closes by 80% of
+// the horizon, leaving the convergence tail the soak audit relies on.
+func TestServiceScheduleEnvelope(t *testing.T) {
+	for seed := 0; seed < 256; seed++ {
+		s := faults.GenerateServiceSchedule(uint64(seed), 2*time.Second)
+		if len(s.Events) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		for i, ev := range s.Events {
+			if ev.Start < 0 || ev.End <= ev.Start {
+				t.Errorf("seed %d event %d: degenerate window %+v", seed, i, ev)
+			}
+			if ev.End > 2*time.Second*4/5 {
+				t.Errorf("seed %d event %d: window %+v escapes the 80%% envelope", seed, i, ev)
+			}
+			if ev.Kind < 0 || ev.Kind >= faults.NumServiceKinds {
+				t.Errorf("seed %d event %d: unknown kind %v", seed, i, ev.Kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/rapl"
+	"repro/internal/rcr"
+)
+
+// State-file errors. Loaders distinguish "the file is damaged" (torn
+// write survived the atomic rename somehow, disk corruption, a different
+// format entirely) from "the file is intact but too old to trust"; both
+// mean cold start, but they are journaled differently.
+var (
+	ErrStateCorrupt = errors.New("resilience: state file corrupt")
+	ErrStateStale   = errors.New("resilience: state file too old")
+)
+
+// stateMagic and stateVersion head every state file. The CRC covers the
+// payload only, so a flipped header byte fails the magic/version check
+// and a flipped payload byte fails the checksum — either way the file is
+// rejected before json ever sees it.
+var stateMagic = [4]byte{'R', 'S', 'D', '1'}
+
+const stateVersion uint16 = 1
+
+// stateHeaderSize is magic + version + payload CRC32 + payload length.
+const stateHeaderSize = 4 + 2 + 4 + 4
+
+// maxStatePayload bounds the declared payload length so a corrupt
+// length field cannot drive a giant allocation (mirrors maxMeters in
+// the rcr wire decoder).
+const maxStatePayload = 64 << 20
+
+// DaemonState is everything a crash-safe rcrd persists across restarts:
+// the RAPL guard's fail-safe machine (a quarantined sensor must stay
+// quarantined through a daemon crash — restarting is not evidence the
+// hardware healed), the blackboard history ring, and the save instant
+// used for the freshness bound on restore.
+type DaemonState struct {
+	// SavedAtUnixNano is the wall-clock save instant; LoadState compares
+	// it against its caller's notion of now for the freshness bound.
+	SavedAtUnixNano int64 `json:"saved_at_unix_nano"`
+	// VirtualNow is the simulated-machine time at save. Informational:
+	// a restarted daemon runs a fresh machine from t=0.
+	VirtualNow time.Duration `json:"virtual_now_ns"`
+	// Guard is the per-domain fail-safe checkpoint (rapl.Guard).
+	Guard []rapl.DomainCheckpoint `json:"guard,omitempty"`
+	// History is the recorded measurement timeline, oldest first.
+	History []rcr.HistoryPoint `json:"history,omitempty"`
+}
+
+// EncodeState serializes st with the integrity header.
+func EncodeState(st DaemonState) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: encoding state: %w", err)
+	}
+	out := make([]byte, stateHeaderSize+len(payload))
+	copy(out, stateMagic[:])
+	binary.LittleEndian.PutUint16(out[4:], stateVersion)
+	binary.LittleEndian.PutUint32(out[6:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(out[10:], uint32(len(payload)))
+	copy(out[stateHeaderSize:], payload)
+	return out, nil
+}
+
+// DecodeState parses an EncodeState buffer, rejecting anything torn,
+// truncated, oversized, version-unknown or checksum-mismatched with
+// ErrStateCorrupt.
+func DecodeState(b []byte) (DaemonState, error) {
+	var st DaemonState
+	if len(b) < stateHeaderSize {
+		return st, fmt.Errorf("%w: %d bytes is shorter than the header", ErrStateCorrupt, len(b))
+	}
+	if [4]byte(b[:4]) != stateMagic {
+		return st, fmt.Errorf("%w: bad magic %q", ErrStateCorrupt, b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != stateVersion {
+		return st, fmt.Errorf("%w: version %d, want %d", ErrStateCorrupt, v, stateVersion)
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[6:])
+	n := binary.LittleEndian.Uint32(b[10:])
+	if n > maxStatePayload {
+		return st, fmt.Errorf("%w: payload length %d exceeds bound", ErrStateCorrupt, n)
+	}
+	payload := b[stateHeaderSize:]
+	if uint32(len(payload)) != n {
+		return st, fmt.Errorf("%w: payload is %d bytes, header claims %d", ErrStateCorrupt, len(payload), n)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return st, fmt.Errorf("%w: checksum %08x, want %08x", ErrStateCorrupt, crc, wantCRC)
+	}
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrStateCorrupt, err)
+	}
+	return st, nil
+}
+
+// SaveState writes st to path crash-safely: the bytes land in a
+// same-directory temp file, are fsynced, and replace path by atomic
+// rename, so a crash at any instant leaves either the old complete file
+// or the new complete file — never a torn one.
+func SaveState(path string, st DaemonState) error {
+	b, err := EncodeState(st)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resilience: saving state: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: saving state: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: saving state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: saving state: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("resilience: saving state: %w", err)
+	}
+	// Persist the rename itself; best-effort — some filesystems refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadState reads and validates path. A file saved more than maxAge
+// before now is rejected with ErrStateStale (maxAge <= 0 disables the
+// bound); damage is rejected with ErrStateCorrupt; a missing file
+// surfaces as os.ErrNotExist. Callers treat every error as a cold
+// start — the distinction only matters for the journal.
+func LoadState(path string, maxAge time.Duration, now time.Time) (DaemonState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return DaemonState{}, err
+	}
+	st, err := DecodeState(b)
+	if err != nil {
+		return DaemonState{}, err
+	}
+	if maxAge > 0 {
+		age := now.Sub(time.Unix(0, st.SavedAtUnixNano))
+		if age > maxAge || age < 0 {
+			return DaemonState{}, fmt.Errorf("%w: saved %v ago, bound %v", ErrStateStale, age, maxAge)
+		}
+	}
+	return st, nil
+}

@@ -32,6 +32,18 @@ const (
 	KindRecovered       = "recovered"
 )
 
+// Record kinds written by the resilient rcrd client and the crash-safe
+// state machinery (internal/resilience, docs/robustness.md §Service
+// resilience): every circuit-breaker transition is journaled, as is
+// every accepted or rejected state-snapshot restore.
+const (
+	KindBreakerClosed   = "breaker_closed"
+	KindBreakerOpen     = "breaker_open"
+	KindBreakerHalfOpen = "breaker_half_open"
+	KindStateRestored   = "state_restored"
+	KindStateRejected   = "state_rejected"
+)
+
 // LevelName returns the human name of a recorded level.
 func LevelName(l int8) string {
 	switch l {
