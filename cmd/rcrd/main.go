@@ -8,6 +8,7 @@
 //
 //	rcrd -socket /tmp/rcrd.sock -load lulesh -duration 30s   # serve
 //	rcrd -socket /tmp/rcrd.sock -query                       # query
+//	rcrd -socket /tmp/rcrd.sock -subscribe -duration 5s      # follow the delta stream
 //	rcrd -socket /tmp/rcrd.sock -metrics                     # telemetry text
 package main
 
@@ -51,6 +52,7 @@ func main() {
 	var (
 		socket   = flag.String("socket", "/tmp/rcrd.sock", "unix socket path")
 		query    = flag.Bool("query", false, "query a running daemon instead of serving")
+		subCmd   = flag.Bool("subscribe", false, "follow a running daemon's delta stream for -duration instead of serving")
 		metrics  = flag.Bool("metrics", false, "query a running daemon's telemetry (/metrics-style text)")
 		asJSON   = flag.Bool("json", false, "with -query, print the snapshot as JSON")
 		load     = flag.String("load", "lulesh", "benchmark to loop as background load while serving")
@@ -71,6 +73,13 @@ func main() {
 	}
 	if *query {
 		if err := runQuery(*socket, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "rcrd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *subCmd {
+		if err := runSubscribe(*socket, *duration); err != nil {
 			fmt.Fprintln(os.Stderr, "rcrd:", err)
 			os.Exit(1)
 		}
@@ -123,6 +132,57 @@ func runQuery(socket string, asJSON bool) error {
 		}
 	}
 	return nil
+}
+
+// runSubscribe follows the daemon's delta stream for dur, printing one
+// line per applied frame. Ctrl-C or the duration ends it cleanly; a
+// resync gap is absorbed (the server follows it with a full frame).
+func runSubscribe(socket string, dur time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		select {
+		case <-sigCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	sub, err := rcr.Subscribe(ctx, "unix", socket)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	frames := 0
+	for {
+		if err := sub.Next(ctx); err != nil {
+			if errors.Is(err, rcr.ErrDeltaGap) {
+				fmt.Println("rcrd: stream gap, awaiting resync")
+				continue
+			}
+			if ctx.Err() != nil {
+				fmt.Printf("rcrd: stream closed after %d frames\n", frames)
+				return nil
+			}
+			return err
+		}
+		frames++
+		snap := sub.Snapshot()
+		node := 0.0
+		for _, sock := range snap.Sockets {
+			for _, m := range sock.Meters {
+				if m.Name == rcr.MeterPower {
+					node += m.Value
+				}
+			}
+		}
+		st := sub.State()
+		fmt.Printf("t=%-12v ver=%-8d node=%7.1f W  (%d sockets, %d meters)\n",
+			snap.Now, st.Ver, node, len(snap.Sockets), len(st.Names))
+	}
 }
 
 func printMeters(label string, ms []rcr.MeterValue) {
@@ -203,6 +263,11 @@ func serve(cfg serveConfig) error {
 	srv.Shed = cfg.shed
 	srv.DrainTimeout = cfg.drainTimeout
 	srv.Instrument(sys.Telemetry())
+	// Delta publisher: SUB clients get coalesced frames on the sampler
+	// tick cadence; the attachment survives supervised sampler restarts.
+	srv.Pub = rcr.NewPublisher(sys.Blackboard())
+	srv.Pub.Instrument(sys.Telemetry())
+	sys.AttachPublisher(srv.Pub)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 	fmt.Printf("rcrd: serving %s for %v with background load %q\n", cfg.socket, cfg.duration, cfg.load)

@@ -233,6 +233,20 @@ func (s *System) Capping() (maestro.CapStats, bool) {
 // RecordHistory was not set.
 func (s *System) History() *rcr.History { return s.history }
 
+// AttachPublisher wires a delta publisher into the sampling path so
+// every sampler tick also fans frames out to subscribers. Under
+// FaultTolerant the attachment goes through the supervisor and survives
+// sampler restarts.
+func (s *System) AttachPublisher(p *rcr.Publisher) {
+	if s.sup != nil {
+		s.sup.AttachPublisher(p)
+		return
+	}
+	if s.sampler != nil {
+		s.sampler.AttachPublisher(p)
+	}
+}
+
 // Telemetry returns the stack-wide metrics registry, or nil when
 // Options.Telemetry was not set.
 func (s *System) Telemetry() *telemetry.Registry { return s.reg }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/telemetry"
+)
+
+// MonitoringOverheadResult quantifies what observing the daemon costs in
+// each access mode — the measured numbers behind the docs/observability
+// table. Query mode pays a full snapshot round trip per poll; subscribe
+// mode pays one delta frame per sampler tick, shared across every
+// subscriber.
+type MonitoringOverheadResult struct {
+	// Query (poll) mode: one GET round trip.
+	QueryWireBytes    int     // request + length-prefixed response on the wire
+	QueryMicrosPerOp  float64 // client-observed latency per poll
+	QueryMallocsPerOp float64 // client-side heap allocations per poll
+
+	// Subscribe (push) mode, steady state: one changed meter per tick.
+	SubBytesPerTick   float64 // pushed bytes per publisher tick
+	HeartbeatBytes    int     // pushed bytes for a tick where nothing moved
+	SubMicrosPerOp    float64 // client-observed latency per applied frame
+	SubMallocsPerOp   float64 // client-side heap allocations per applied frame
+	FullSnapshotBytes int     // encoded size of the board, for scale
+}
+
+// monClock is a host-monotonic rcr.Clock for the overhead rig.
+type monClock struct{ t0 time.Time }
+
+func (c *monClock) Now() time.Duration { return time.Since(c.t0) }
+
+// MonitoringOverhead measures query-mode versus subscribe-mode
+// monitoring cost against a live server over a unix socket: wire bytes,
+// client latency, and client heap allocations per operation. The board
+// carries the paper's meter set on a 2-socket topology; steady state
+// writes one meter per tick, the daemon's common case.
+func (lab *Lab) MonitoringOverhead() (MonitoringOverheadResult, error) {
+	var res MonitoringOverheadResult
+	bb, err := rcr.NewBlackboard(2, 8)
+	if err != nil {
+		return res, err
+	}
+	now := time.Second
+	bb.SetSystem(rcr.MeterPower, 141, now)
+	bb.SetSystem(rcr.MeterHeartbeat, 1, now)
+	for s := 0; s < bb.Sockets(); s++ {
+		bb.SetSocket(s, rcr.MeterPower, 70, now)
+		bb.SetSocket(s, rcr.MeterMemConcurrency, 12, now)
+		bb.SetSocket(s, rcr.MeterTemperature, 55, now)
+	}
+	for c := 0; c < bb.Cores(); c++ {
+		bb.SetCore(c, rcr.MeterDutyCycle, 1, now)
+	}
+	res.FullSnapshotBytes = len(rcr.EncodeSnapshot(bb.Snapshot(now)))
+
+	dir, err := os.MkdirTemp("", "monitor")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	socket := filepath.Join(dir, "rcrd.sock")
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		return res, err
+	}
+	clock := &monClock{t0: time.Now()}
+	reg := telemetry.NewRegistry()
+	srv := rcr.NewServer(bb, clock, ln)
+	srv.Pub = rcr.NewPublisher(bb)
+	srv.Pub.Instrument(reg)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	defer func() {
+		_ = srv.Close()
+		<-serveDone
+	}()
+
+	const ops = 400
+
+	// Query mode. The wire cost is the 4-byte "GET\n" request plus the
+	// length-prefixed snapshot reply; latency and allocations are
+	// measured across ops polls after one warm-up.
+	if _, err := rcr.Query("unix", socket); err != nil {
+		return res, fmt.Errorf("warm-up query: %w", err)
+	}
+	res.QueryWireBytes = 4 + 4 + res.FullSnapshotBytes
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := rcr.Query("unix", socket); err != nil {
+			return res, err
+		}
+	}
+	queryTime := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res.QueryMicrosPerOp = float64(queryTime.Microseconds()) / ops
+	res.QueryMallocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / ops
+
+	// Subscribe mode: one stream, one changed meter per tick.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sub, err := rcr.Subscribe(ctx, "unix", socket)
+	if err != nil {
+		return res, err
+	}
+	defer sub.Close()
+	// The SUB handshake crosses goroutines: don't tick until the
+	// publisher has attached the subscriber, or the first frames are
+	// published to nobody.
+	for deadline := time.Now().Add(5 * time.Second); srv.Pub.Subscribers() == 0; {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("subscriber never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tick := func(i int) error {
+		now += 10 * time.Millisecond
+		bb.SetSocket(0, rcr.MeterPower, 70+float64(i%7), now)
+		srv.Pub.Tick(now)
+		return sub.Next(ctx)
+	}
+	// Warm up: initial full frame plus one delta.
+	for i := 0; i < 2; i++ {
+		if err := tick(i); err != nil {
+			return res, fmt.Errorf("warm-up frame: %w", err)
+		}
+	}
+	bytesC := reg.Counter("rcr_sub_bytes_total")
+	b0 := bytesC.Value()
+	runtime.ReadMemStats(&ms0)
+	t0 = time.Now()
+	for i := 0; i < ops; i++ {
+		if err := tick(i); err != nil {
+			return res, err
+		}
+	}
+	subTime := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res.SubBytesPerTick = float64(bytesC.Value()-b0) / ops
+	res.SubMicrosPerOp = float64(subTime.Microseconds()) / ops
+	res.SubMallocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / ops
+
+	// A tick with no writes pushes a fixed-size heartbeat.
+	var hb rcr.DeltaFrame
+	bb.CollectDelta(bb.Version(), &hb)
+	res.HeartbeatBytes = 4 + len(rcr.AppendDeltaFrame(nil, &hb))
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestMonitoringOverhead runs the query-vs-subscribe cost study and
+// checks the structural claims the docs table rests on: a steady-state
+// delta tick moves far fewer bytes than a snapshot poll, heartbeats are
+// the fixed 37 wire bytes (4-byte length prefix + 33-byte frame), and
+// push mode allocates less per op than poll mode.
+func TestMonitoringOverhead(t *testing.T) {
+	lab := NewLab()
+	res, err := lab.MonitoringOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullSnapshotBytes <= 0 || res.QueryWireBytes <= res.FullSnapshotBytes {
+		t.Errorf("query wire bytes %d / snapshot %d malformed", res.QueryWireBytes, res.FullSnapshotBytes)
+	}
+	if res.SubBytesPerTick <= 0 || res.SubBytesPerTick >= float64(res.QueryWireBytes) {
+		t.Errorf("delta tick moves %.1f bytes, poll moves %d — push must be cheaper", res.SubBytesPerTick, res.QueryWireBytes)
+	}
+	if res.HeartbeatBytes != 37 {
+		t.Errorf("heartbeat wire bytes = %d, want 37", res.HeartbeatBytes)
+	}
+	if res.SubMallocsPerOp >= res.QueryMallocsPerOp {
+		t.Errorf("push allocates %.1f objects/op, poll %.1f — push must allocate less", res.SubMallocsPerOp, res.QueryMallocsPerOp)
+	}
+	if res.QueryMicrosPerOp <= 0 || res.SubMicrosPerOp <= 0 {
+		t.Errorf("timings not captured: query %.1fµs, sub %.1fµs", res.QueryMicrosPerOp, res.SubMicrosPerOp)
+	}
+	t.Logf("query: %d B, %.1f µs, %.1f allocs/op; subscribe: %.1f B/tick, %.1f µs, %.1f allocs/op (heartbeat %d B, snapshot %d B)",
+		res.QueryWireBytes, res.QueryMicrosPerOp, res.QueryMallocsPerOp,
+		res.SubBytesPerTick, res.SubMicrosPerOp, res.SubMallocsPerOp,
+		res.HeartbeatBytes, res.FullSnapshotBytes)
+}

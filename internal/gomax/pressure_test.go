@@ -1,0 +1,40 @@
+package gomax
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rcr"
+)
+
+// TestBlackboardPressure: the adapter normalizes the peak socket's
+// memory concurrency against the knee, clamps at 1, fails safe to 0 on
+// missing data, and — riding the seqlock read path — allocates nothing.
+func TestBlackboardPressure(t *testing.T) {
+	bb, err := rcr.NewBlackboard(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := BlackboardPressure(bb, 16)
+	if got := p(); got != 0 {
+		t.Errorf("pressure with no meters = %v, want 0", got)
+	}
+	bb.SetSocket(0, rcr.MeterMemConcurrency, 8, time.Second)
+	bb.SetSocket(1, rcr.MeterMemConcurrency, 4, time.Second)
+	if got := p(); got != 0.5 {
+		t.Errorf("pressure = %v, want 0.5 (peak socket / knee)", got)
+	}
+	bb.SetSocket(1, rcr.MeterMemConcurrency, 40, 2*time.Second)
+	if got := p(); got != 1 {
+		t.Errorf("pressure = %v, want 1 (clamped)", got)
+	}
+	if got := BlackboardPressure(nil, 16)(); got != 0 {
+		t.Errorf("nil board pressure = %v, want 0", got)
+	}
+	if got := BlackboardPressure(bb, 0)(); got != 0 {
+		t.Errorf("zero knee pressure = %v, want 0", got)
+	}
+	if avg := testing.AllocsPerRun(200, func() { _ = p() }); avg != 0 {
+		t.Errorf("pressure read allocates %v objects, want 0", avg)
+	}
+}

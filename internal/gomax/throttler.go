@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/maestro"
 	"repro/internal/rapl"
+	"repro/internal/rcr"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -275,5 +276,32 @@ func (t *Throttler) sample() {
 			}
 			t.pool.SetLimit(t.pool.Workers())
 		}
+	}
+}
+
+// BlackboardPressure adapts a blackboard's per-socket memory
+// concurrency into the [0, 1] Pressure seam: the highest socket's
+// outstanding memory concurrency divided by knee, clamped at 1. knee is
+// the concurrency at which the memory system saturates — the same knee
+// maestro classifies against (paper §III: concurrency above the knee
+// marks a memory-bound phase where throttling is free). Each call is a
+// few lock-free seqlock loads with no allocation, so the throttler can
+// sample it at any cadence; an absent meter reads as zero pressure,
+// which fails safe (no engagement on missing data).
+func BlackboardPressure(bb *rcr.Blackboard, knee float64) func() float64 {
+	if bb == nil || knee <= 0 {
+		return func() float64 { return 0 }
+	}
+	return func() float64 {
+		peak := 0.0
+		for s := 0; s < bb.Sockets(); s++ {
+			if m, ok := bb.Socket(s, rcr.MeterMemConcurrency); ok && m.Value > peak {
+				peak = m.Value
+			}
+		}
+		if p := peak / knee; p < 1 {
+			return p
+		}
+		return 1
 	}
 }

@@ -464,6 +464,9 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 		}
 		return
 	}
+	// Per-socket reads are lock-free seqlock loads: the poll never
+	// contends with the sampler's writes, so classification latency is
+	// independent of write traffic.
 	nSock := d.bb.Sockets()
 	d.power, d.conc = d.power[:0], d.conc[:0]
 	staleness := time.Duration(0)

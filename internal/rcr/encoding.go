@@ -23,7 +23,13 @@ import (
 //	meterList: uint16 count, then per meter:
 //	  uint16 name length, name bytes, float64 value, int64 updated (ns)
 //
-// All integers are little-endian.
+// All integers are little-endian. Snapshot meters are name-sorted (the
+// order is fixed at blackboard registration time), so two snapshots of
+// identical state encode byte-identically.
+//
+// delta.go defines the companion incremental formats ("RCRF" full frame,
+// "RCRD" delta frame) used by the pub/sub stream, where an unchanged
+// board costs a fixed-size heartbeat instead of a full serialization.
 
 var snapshotMagic = [4]byte{'R', 'C', 'R', '1'}
 
@@ -31,21 +37,59 @@ var snapshotMagic = [4]byte{'R', 'C', 'R', '1'}
 // from causing huge allocations.
 const maxMeters = 1 << 12
 
-// EncodeSnapshot serializes a snapshot.
-func EncodeSnapshot(s Snapshot) []byte {
-	var b bytes.Buffer
-	b.Write(snapshotMagic[:])
-	writeInt64(&b, int64(s.Now))
-	writeMeters(&b, s.System)
-	writeUint16(&b, uint16(len(s.Sockets)))
+// snapshotSize returns the exact encoded size of s, so encoders can
+// allocate (or grow) once instead of incrementally.
+func snapshotSize(s Snapshot) int {
+	n := 4 + 8 // magic + now
+	n += meterListSize(s.System)
+	n += 2 // nSock
 	for _, sock := range s.Sockets {
-		writeMeters(&b, sock.Meters)
-		writeUint16(&b, uint16(len(sock.Cores)))
+		n += meterListSize(sock.Meters)
+		n += 2 // nCore
 		for _, core := range sock.Cores {
-			writeMeters(&b, core)
+			n += meterListSize(core)
 		}
 	}
-	return b.Bytes()
+	return n
+}
+
+func meterListSize(ms []MeterValue) int {
+	n := 2 // count
+	for _, m := range ms {
+		n += 2 + len(m.Name) + 8 + 8
+	}
+	return n
+}
+
+// AppendSnapshot serializes s onto dst and returns the extended slice.
+// The exact encoded size is computed up front, so at most one allocation
+// happens (none when dst has capacity) — this is the hot-path form used
+// by the IPC server's per-connection scratch buffers.
+func AppendSnapshot(dst []byte, s Snapshot) []byte {
+	need := snapshotSize(s)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, snapshotMagic[:]...)
+	dst = appendInt64(dst, int64(s.Now))
+	dst = appendMeters(dst, s.System)
+	dst = appendUint16(dst, uint16(len(s.Sockets)))
+	for _, sock := range s.Sockets {
+		dst = appendMeters(dst, sock.Meters)
+		dst = appendUint16(dst, uint16(len(sock.Cores)))
+		for _, core := range sock.Cores {
+			dst = appendMeters(dst, core)
+		}
+	}
+	return dst
+}
+
+// EncodeSnapshot serializes a snapshot into a fresh, exactly-sized
+// buffer (a single allocation).
+func EncodeSnapshot(s Snapshot) []byte {
+	return AppendSnapshot(make([]byte, 0, snapshotSize(s)), s)
 }
 
 // DecodeSnapshot parses a snapshot previously produced by EncodeSnapshot.
@@ -98,14 +142,15 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	return s, nil
 }
 
-func writeMeters(b *bytes.Buffer, ms []MeterValue) {
-	writeUint16(b, uint16(len(ms)))
+func appendMeters(dst []byte, ms []MeterValue) []byte {
+	dst = appendUint16(dst, uint16(len(ms)))
 	for _, m := range ms {
-		writeUint16(b, uint16(len(m.Name)))
-		b.WriteString(m.Name)
-		writeFloat64(b, m.Value)
-		writeInt64(b, int64(m.Updated))
+		dst = appendUint16(dst, uint16(len(m.Name)))
+		dst = append(dst, m.Name...)
+		dst = appendFloat64(dst, m.Value)
+		dst = appendInt64(dst, int64(m.Updated))
 	}
+	return dst
 }
 
 func readMeters(r *bytes.Reader) ([]MeterValue, error) {
@@ -139,20 +184,26 @@ func readMeters(r *bytes.Reader) ([]MeterValue, error) {
 	return ms, nil
 }
 
-func writeUint16(b *bytes.Buffer, v uint16) {
-	var buf [2]byte
-	binary.LittleEndian.PutUint16(buf[:], v)
-	b.Write(buf[:])
+func appendUint16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
 }
 
-func writeInt64(b *bytes.Buffer, v int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	b.Write(buf[:])
+func appendUint32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
-func writeFloat64(b *bytes.Buffer, v float64) {
-	writeInt64(b, int64(math.Float64bits(v)))
+func appendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendInt64(dst []byte, v int64) []byte {
+	return appendUint64(dst, uint64(v))
+}
+
+func appendFloat64(dst []byte, v float64) []byte {
+	return appendUint64(dst, math.Float64bits(v))
 }
 
 func readUint16(r *bytes.Reader) (uint16, error) {

@@ -117,24 +117,59 @@ func TestDecodeSnapshotBitFlips(t *testing.T) {
 	}
 }
 
-// FuzzDecodeSnapshot hammers the decoder with arbitrary payloads: it
-// must never panic, and anything it accepts must round-trip bit-exactly
-// through EncodeSnapshot.
+// FuzzDecodeSnapshot hammers all three wire decoders — legacy snapshot,
+// full frame, delta frame — with arbitrary payloads: none may panic, and
+// anything any of them accepts must round-trip bit-exactly through its
+// encoder.
 func FuzzDecodeSnapshot(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(snapshotMagic[:])
+	f.Add(fullMagic[:])
+	f.Add(deltaMagic[:])
 	f.Add(EncodeSnapshot(Snapshot{}))
 	f.Add(EncodeSnapshot(encTestSnapshot()))
 	trunc := EncodeSnapshot(encTestSnapshot())
 	f.Add(trunc[:len(trunc)/2])
+	{
+		bb, _ := NewBlackboard(2, 2)
+		bb.SetSystem(MeterPower, 141.7, 3*time.Second)
+		bb.SetSocket(0, MeterEnergy, 6860.5, 3*time.Second)
+		var full FullFrame
+		bb.CollectFull(&full)
+		full.Flags = FlagInitial
+		encF := AppendFullFrame(nil, &full)
+		f.Add(encF)
+		f.Add(encF[:len(encF)/2])
+		bb.SetCore(1, MeterDutyCycle, 0.5, 4*time.Second)
+		var delta DeltaFrame
+		bb.CollectDelta(full.Ver, &delta)
+		encD := AppendDeltaFrame(nil, &delta)
+		f.Add(encD)
+		f.Add(encD[:len(encD)/2])
+		var hb DeltaFrame
+		bb.CollectDelta(bb.Version(), &hb)
+		f.Add(AppendDeltaFrame(nil, &hb))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, err := DecodeSnapshot(data)
-		if err != nil {
-			return
+		if s, err := DecodeSnapshot(data); err == nil {
+			re := EncodeSnapshot(s)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted payload does not re-encode to itself:\n in %x\nout %x", data, re)
+			}
 		}
-		re := EncodeSnapshot(s)
-		if !bytes.Equal(re, data) {
-			t.Fatalf("accepted payload does not re-encode to itself:\n in %x\nout %x", data, re)
+		var full FullFrame
+		if err := DecodeFullFrame(data, &full); err == nil {
+			re := AppendFullFrame(nil, &full)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted full frame does not re-encode to itself:\n in %x\nout %x", data, re)
+			}
+		}
+		var delta DeltaFrame
+		if err := DecodeDeltaFrame(data, &delta); err == nil {
+			re := AppendDeltaFrame(nil, &delta)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted delta frame does not re-encode to itself:\n in %x\nout %x", data, re)
+			}
 		}
 	})
 }

@@ -63,15 +63,40 @@ func StartHistory(m *machine.Machine, bb *Blackboard, period time.Duration, capa
 // Stop ends recording; recorded points remain readable.
 func (h *History) Stop() { h.m.RemoveTicker(h.tickerID) }
 
-// record runs on the engine goroutine each period.
-func (h *History) record(now time.Duration, _ *machine.Snapshot) {
-	pt := HistoryPoint{
-		Time:        now,
-		SocketPower: make([]float64, h.bb.Sockets()),
-		Concurrency: make([]float64, h.bb.Sockets()),
-		Temperature: make([]float64, h.bb.Sockets()),
+// resizeFloats returns s with length n, reusing its backing array when
+// it fits.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	for s := 0; s < h.bb.Sockets(); s++ {
+	return s[:n]
+}
+
+// copyPoint deep-copies src into dst, reusing dst's backing arrays.
+// Ring slots own their slices (record refills them in place), so every
+// boundary crossing — in via Restore, out via Points — must copy.
+func copyPoint(dst *HistoryPoint, src HistoryPoint) {
+	dst.Time = src.Time
+	dst.NodePower = src.NodePower
+	dst.SocketPower = append(dst.SocketPower[:0], src.SocketPower...)
+	dst.Concurrency = append(dst.Concurrency[:0], src.Concurrency...)
+	dst.Temperature = append(dst.Temperature[:0], src.Temperature...)
+}
+
+// record runs on the engine goroutine each period. It refills the next
+// ring slot in place — meter reads are seqlock loads and the slot's
+// arrays are reused — so steady-state recording allocates nothing.
+func (h *History) record(now time.Duration, _ *machine.Snapshot) {
+	nSock := h.bb.Sockets()
+	h.mu.Lock()
+	pt := &h.points[h.next]
+	pt.Time = now
+	pt.NodePower = 0
+	pt.SocketPower = resizeFloats(pt.SocketPower, nSock)
+	pt.Concurrency = resizeFloats(pt.Concurrency, nSock)
+	pt.Temperature = resizeFloats(pt.Temperature, nSock)
+	for s := 0; s < nSock; s++ {
+		pt.SocketPower[s], pt.Concurrency[s], pt.Temperature[s] = 0, 0, 0
 		if m, ok := h.bb.Socket(s, MeterPower); ok {
 			pt.SocketPower[s] = m.Value
 			pt.NodePower += m.Value
@@ -83,8 +108,6 @@ func (h *History) record(now time.Duration, _ *machine.Snapshot) {
 			pt.Temperature[s] = m.Value
 		}
 	}
-	h.mu.Lock()
-	h.points[h.next] = pt
 	h.next++
 	if h.next == len(h.points) {
 		h.next = 0
@@ -97,32 +120,47 @@ func (h *History) record(now time.Duration, _ *machine.Snapshot) {
 // crash-safe state path (internal/resilience): a restarted daemon
 // resumes its timeline instead of starting an empty ring. When points
 // exceeds the ring capacity only the newest capacity points are kept.
+// The input is deep-copied; the caller keeps ownership of its slices.
 func (h *History) Restore(points []HistoryPoint) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(points) > len(h.points) {
 		points = points[len(points)-len(h.points):]
 	}
-	n := copy(h.points, points)
-	h.filled = n == len(h.points)
+	for i := range h.points {
+		if i < len(points) {
+			copyPoint(&h.points[i], points[i])
+		} else {
+			h.points[i] = HistoryPoint{}
+		}
+	}
+	h.filled = len(points) == len(h.points)
 	h.next = 0
 	if !h.filled {
-		h.next = n
+		h.next = len(points)
 	}
 }
 
-// Points returns the recorded series oldest-first.
+// Points returns a deep copy of the recorded series oldest-first.
 func (h *History) Points() []HistoryPoint {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if !h.filled {
-		out := make([]HistoryPoint, h.next)
-		copy(out, h.points[:h.next])
-		return out
+	n := h.next
+	if h.filled {
+		n = len(h.points)
 	}
-	out := make([]HistoryPoint, 0, len(h.points))
-	out = append(out, h.points[h.next:]...)
-	out = append(out, h.points[:h.next]...)
+	out := make([]HistoryPoint, n)
+	k := 0
+	if h.filled {
+		for _, pt := range h.points[h.next:] {
+			copyPoint(&out[k], pt)
+			k++
+		}
+	}
+	for _, pt := range h.points[:h.next] {
+		copyPoint(&out[k], pt)
+		k++
+	}
 	return out
 }
 

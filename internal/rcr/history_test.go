@@ -88,6 +88,75 @@ func TestHistoryWriteCSV(t *testing.T) {
 	}
 }
 
+// TestHistoryRecordAllocs: once every ring slot's backing arrays exist,
+// the 10 ms recorder must run allocation-free — it rides the seqlock
+// read path and refills slots in place.
+func TestHistoryRecordAllocs(t *testing.T) {
+	bb, _ := NewBlackboard(2, 2)
+	populate(bb, time.Second)
+	h := &History{bb: bb, points: make([]HistoryPoint, 8)}
+	now := time.Second
+	for i := 0; i < 2*len(h.points); i++ { // warm every slot, wrap once
+		now += 10 * time.Millisecond
+		h.record(now, nil)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		now += 10 * time.Millisecond
+		h.record(now, nil)
+	})
+	if avg != 0 {
+		t.Errorf("record allocates %v objects per tick, want 0", avg)
+	}
+}
+
+// TestHistoryPointsDeepCopy: ring slots are reused in place, so Points
+// must hand out copies — later recording must not mutate what a caller
+// already holds.
+func TestHistoryPointsDeepCopy(t *testing.T) {
+	bb, _ := NewBlackboard(2, 2)
+	bb.SetSocket(0, MeterPower, 50, time.Second)
+	h := &History{bb: bb, points: make([]HistoryPoint, 2)}
+	h.record(time.Second, nil)
+	pts := h.Points()
+	if len(pts) != 1 || pts[0].SocketPower[0] != 50 {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	// Wrap the ring over the recorded slot with a different reading.
+	bb.SetSocket(0, MeterPower, 99, 2*time.Second)
+	h.record(2*time.Second, nil)
+	h.record(3*time.Second, nil)
+	if pts[0].SocketPower[0] != 50 {
+		t.Errorf("Points result mutated by later recording: %v", pts[0].SocketPower[0])
+	}
+	// And mutating the caller's copy must not poison the ring.
+	pts[0].SocketPower[0] = -1
+	if again := h.Points(); again[0].SocketPower[0] == -1 {
+		t.Error("caller mutation leaked into the ring")
+	}
+}
+
+// TestHistoryRestoreDeepCopy: Restore must copy the input — the ring
+// refills slots in place and would otherwise scribble over the caller's
+// (possibly persisted) slices.
+func TestHistoryRestoreDeepCopy(t *testing.T) {
+	bb, _ := NewBlackboard(2, 2)
+	bb.SetSocket(0, MeterPower, 77, time.Second)
+	h := &History{bb: bb, points: make([]HistoryPoint, 2)}
+	saved := []HistoryPoint{{
+		Time:        time.Second,
+		NodePower:   10,
+		SocketPower: []float64{10, 0},
+		Concurrency: []float64{1, 2},
+		Temperature: []float64{40, 41},
+	}}
+	h.Restore(saved)
+	h.record(2*time.Second, nil) // overwrites ring slot 1
+	h.record(3*time.Second, nil) // wraps onto the restored slot
+	if saved[0].SocketPower[0] != 10 || saved[0].Time != time.Second {
+		t.Errorf("Restore aliased caller slices: %+v", saved[0])
+	}
+}
+
 func TestHistoryConcurrentReaders(t *testing.T) {
 	m, s := startSimStack(t, 5*time.Millisecond)
 	h, err := StartHistory(m, s.Blackboard(), 5*time.Millisecond, 32)

@@ -23,6 +23,11 @@ import (
 //	request:  "MET\n"  response: uint32 little-endian length, then metrics text
 //	                   (telemetry.Registry.WriteText form; empty when the
 //	                   server is not instrumented)
+//	request:  "SUB\n"  response: a stream of uint32-length-prefixed frames
+//	                   pushed on every sampler tick — a full frame
+//	                   ("RCRF") first, then delta frames ("RCRD"); see
+//	                   delta.go for the wire format and pubsub.go for the
+//	                   fan-out. Requires Server.Pub; rejected otherwise.
 //
 // An overloaded server may answer any request with the 4-byte BUSY
 // header (0xFFFFFFFF) and close the connection — a cheap load-shed
@@ -106,6 +111,12 @@ type Server struct {
 	// finish naturally before expiring their deadlines. Zero expires
 	// immediately (fastest shutdown; handlers unwind via I/O errors).
 	DrainTimeout time.Duration
+	// Pub, when non-nil, enables the "SUB\n" op: subscribing connections
+	// are hijacked out of the request/response worker pool and handed to
+	// the publisher's per-subscriber writer. Drive Pub.Tick from the
+	// sampler (Sampler.AttachPublisher) or Pub.Run. Close detaches all
+	// subscribers. Set before Serve.
+	Pub *Publisher
 
 	reg         *telemetry.Registry
 	requests    *telemetry.Counter
@@ -197,10 +208,16 @@ func (s *Server) Serve() error {
 	for i := 0; i < maxConns; i++ {
 		go func() {
 			defer workers.Done()
+			// Per-worker scratch: the snapshot copy and its encoding reuse
+			// the same backing arrays request after request, so the GET hot
+			// path allocates nothing once warm.
+			var scr encodeScratch
 			for conn := range queue {
 				s.queueDepth.Set(float64(len(queue)))
-				s.handle(conn, readTO, writeTO)
-				s.untrack(conn)
+				hijacked := s.handle(conn, readTO, writeTO, &scr)
+				if !hijacked {
+					s.untrack(conn)
+				}
 				s.serving.Done()
 			}
 		}()
@@ -379,6 +396,8 @@ func (s *Server) Close() error {
 	}
 	// Force phase: expire deadlines on whatever is still alive so stalled
 	// handlers unwind immediately instead of waiting out their timeouts.
+	// Subscriber connections are tracked too, so this also unwedges any
+	// publisher writer blocked mid-Write.
 	s.aborting.Store(true)
 	past := time.Unix(1, 0)
 	s.mu.Lock()
@@ -387,11 +406,27 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.serving.Wait()
+	if s.Pub != nil {
+		s.Pub.DetachAll()
+	}
 	return err
 }
 
-func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration) {
+// encodeScratch is a handler worker's reusable snapshot-and-buffer pair.
+type encodeScratch struct {
+	snap Snapshot
+	buf  []byte
+	req  [4]byte
+}
+
+// handle serves one connection. It reports true when the connection was
+// hijacked by the publisher ("SUB\n"): the subscriber's writer now owns
+// the conn, closes it on exit, and untracks it via its exit hook.
+func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration, scr *encodeScratch) (hijacked bool) {
 	defer func() {
+		if hijacked {
+			return
+		}
 		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			// Nothing useful to do with a close error on a per-request
 			// connection; the client has the data or it doesn't.
@@ -401,44 +436,57 @@ func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration) {
 	s.requests.Inc()
 	if err := conn.SetReadDeadline(s.deadline(readTO)); err != nil {
 		s.errors.Inc()
-		return
+		return false
 	}
-	req := make([]byte, 4)
-	if _, err := io.ReadFull(conn, req); err != nil {
+	if _, err := io.ReadFull(conn, scr.req[:]); err != nil {
 		s.errors.Inc()
-		return
+		return false
 	}
 	var payload []byte
-	switch string(req) {
+	switch string(scr.req[:]) {
 	case "GET\n":
-		payload = EncodeSnapshot(s.bb.Snapshot(s.clock.Now()))
+		s.bb.SnapshotInto(&scr.snap, s.clock.Now())
+		scr.buf = AppendSnapshot(scr.buf[:0], scr.snap)
+		payload = scr.buf
 	case "MET\n":
 		var buf bytes.Buffer
 		if s.reg != nil {
 			if err := s.reg.WriteText(&buf); err != nil {
 				s.errors.Inc()
-				return
+				return false
 			}
 		}
 		payload = buf.Bytes()
+	case "SUB\n":
+		if s.Pub == nil {
+			s.rejected.Inc()
+			return false
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		if err := s.Pub.AttachConn(conn, func() { s.untrack(conn) }); err != nil {
+			s.errors.Inc()
+			return false
+		}
+		return true
 	default:
 		s.rejected.Inc()
-		return
+		return false
 	}
 	if err := conn.SetWriteDeadline(s.deadline(writeTO)); err != nil {
 		s.errors.Inc()
-		return
+		return false
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := conn.Write(hdr[:]); err != nil {
 		s.errors.Inc()
-		return
+		return false
 	}
 	if _, err := conn.Write(payload); err != nil {
 		s.errors.Inc()
-		return
+		return false
 	}
+	return false
 }
 
 // Query connects to addr (a Unix socket path by default network
@@ -489,6 +537,15 @@ func roundTrip(ctx context.Context, network, addr, req string) ([]byte, error) {
 	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
 	defer stop()
 	if _, err := conn.Write([]byte(req)); err != nil {
+		// A shedding server answers BUSY and closes without ever reading
+		// the request (shedConn), so this write can lose the race and fail
+		// with a broken pipe while the response already sits in our
+		// receive buffer. Prefer the answer the server actually sent.
+		var hdr [4]byte
+		if _, rerr := io.ReadFull(conn, hdr[:]); rerr == nil &&
+			binary.LittleEndian.Uint32(hdr[:]) == busyHeader {
+			return nil, ErrBusy
+		}
 		return nil, fmt.Errorf("rcr: request: %w", err)
 	}
 	var hdr [4]byte

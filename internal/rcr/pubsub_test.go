@@ -1,0 +1,359 @@
+package rcr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience/leak"
+	"repro/internal/telemetry"
+)
+
+// startPubServer runs a Server with an attached Publisher on a unix
+// socket and tears both down at test end.
+func startPubServer(t testing.TB, bb *Blackboard, clock Clock, tune func(*Server)) (*Server, *Publisher, string) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "rcrd.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(bb, clock, ln)
+	srv.Pub = NewPublisher(bb)
+	if tune != nil {
+		tune(srv)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, srv.Pub, sock
+}
+
+// waitSubscribers spins until the publisher sees n subscribers (the SUB
+// handshake crosses goroutines).
+func waitSubscribers(t testing.TB, p *Publisher, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Subscribers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d subscribers attached", p.Subscribers(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubscribeStream: the canonical flow — subscribe, receive an
+// initial full frame, then deltas tick by tick, with the materialized
+// state matching the board exactly. A tick with no writes must arrive as
+// a heartbeat that only refreshes Now.
+func TestSubscribeStream(t *testing.T) {
+	leak.Check(t)
+	bb, _ := NewBlackboard(2, 2)
+	populate(bb, time.Second)
+	clock := &fakeClock{now: time.Second}
+	_, pub, sock := startPubServer(t, bb, clock, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := Subscribe(ctx, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	pub.Tick(time.Second)
+	if err := sub.Next(ctx); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if !sub.State().Ready() {
+		t.Fatal("state not ready after first frame")
+	}
+	if got, want := sub.Snapshot(), bb.Snapshot(time.Second); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after full frame:\n got  %+v\n want %+v", got, want)
+	}
+
+	for tick := 1; tick <= 3; tick++ {
+		now := time.Second + time.Duration(tick)*time.Second
+		bb.SetSocket(0, MeterPower, 70+float64(tick), now)
+		pub.Tick(now)
+		if err := sub.Next(ctx); err != nil {
+			t.Fatalf("delta %d: %v", tick, err)
+		}
+		if got, want := sub.Snapshot(), bb.Snapshot(now); !reflect.DeepEqual(got, want) {
+			t.Fatalf("delta %d:\n got  %+v\n want %+v", tick, got, want)
+		}
+	}
+
+	verBefore := sub.State().Ver
+	pub.Tick(10 * time.Second) // nothing written: heartbeat
+	if err := sub.Next(ctx); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if sub.State().Ver != verBefore {
+		t.Error("heartbeat advanced the version")
+	}
+	if sub.State().Now != 10*time.Second {
+		t.Errorf("heartbeat Now = %v, want 10s", sub.State().Now)
+	}
+}
+
+// TestSubscribeSchemaChange: registering a new meter mid-stream must
+// resync subscribers with a fresh full frame instead of shipping deltas
+// whose slot layout the client cannot interpret.
+func TestSubscribeSchemaChange(t *testing.T) {
+	leak.Check(t)
+	bb, _ := NewBlackboard(1, 1)
+	bb.SetSocket(0, MeterPower, 70, time.Second)
+	clock := &fakeClock{now: time.Second}
+	_, pub, sock := startPubServer(t, bb, clock, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := Subscribe(ctx, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+	pub.Tick(time.Second)
+	if err := sub.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	bb.SetSocket(0, "exotic-new-meter", 3.5, 2*time.Second)
+	pub.Tick(2 * time.Second)
+	if err := sub.Next(ctx); err != nil {
+		t.Fatalf("post-schema-change frame: %v", err)
+	}
+	got := sub.Snapshot()
+	want := bb.Snapshot(2 * time.Second)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after schema change:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestSlowSubscriberResync: a subscriber that stops reading while the
+// board keeps ticking must get drop-oldest (never a stalled tick), then
+// a resync full frame once it drains — and converge to the live state.
+func TestSlowSubscriberResync(t *testing.T) {
+	leak.Check(t)
+	bb, _ := NewBlackboard(1, 1)
+	bb.SetSocket(0, MeterPower, 70, time.Second)
+	clock := &fakeClock{now: time.Second}
+	reg := telemetry.NewRegistry()
+	_, pub, sock := startPubServer(t, bb, clock, func(s *Server) {
+		s.Pub.QueueDepth = 2
+		s.Pub.Instrument(reg)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := Subscribe(ctx, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	// Tick far past the queue depth without reading. The unread frames
+	// overflow: oldest dropped, subscriber marked for resync.
+	var now time.Duration
+	for i := 1; i <= 50; i++ {
+		now = time.Second + time.Duration(i)*time.Second
+		bb.SetSocket(0, MeterPower, 70+float64(i), now)
+		pub.Tick(now)
+	}
+	if reg.Counter("rcr_sub_resyncs_total").Value() == 0 {
+		t.Error("no resyncs recorded despite overflow")
+	}
+
+	// Drain with the board quiescent; the stream must recover via a
+	// resync full frame and converge to the live state.
+	for i := 0; i < 100; i++ {
+		if err := sub.Next(ctx); err != nil && !errors.Is(err, ErrDeltaGap) {
+			t.Fatalf("drain: %v", err)
+		}
+		if sub.State().Ready() && sub.State().Ver == bb.Version() {
+			break
+		}
+		pub.Tick(now) // resyncs any subscriber marked by the overflow
+	}
+	if got, want := sub.Snapshot(), bb.Snapshot(now); !reflect.DeepEqual(got, want) {
+		t.Fatalf("slow subscriber never converged:\n got  %+v\n want %+v", got, want)
+	}
+	if reg.Counter("rcr_sub_dropped_frames_total").Value() == 0 {
+		t.Error("no dropped frames recorded despite overflow")
+	}
+}
+
+// TestServerCloseDetachesSubscribers: closing the server must terminate
+// subscriber streams and their writer goroutines (the leak gate is the
+// real assertion).
+func TestServerCloseDetachesSubscribers(t *testing.T) {
+	leak.Check(t)
+	bb, _ := NewBlackboard(1, 1)
+	bb.SetSocket(0, MeterPower, 70, time.Second)
+	clock := &fakeClock{now: time.Second}
+	sock := filepath.Join(t.TempDir(), "rcrd.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(bb, clock, ln)
+	srv.Pub = NewPublisher(bb)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	subs := make([]*Subscription, 0, 4)
+	for i := 0; i < 4; i++ {
+		sub, err := Subscribe(ctx, "unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	waitSubscribers(t, srv.Pub, 4)
+	srv.Pub.Tick(time.Second)
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Pub.Subscribers(); n != 0 {
+		t.Errorf("%d subscribers survive Close", n)
+	}
+	// Streams are dead: reads must fail once the pushed backlog is done.
+	for _, sub := range subs {
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			err = sub.Next(ctx)
+		}
+		if err == nil {
+			t.Error("subscriber stream still alive after server Close")
+		}
+		sub.Close()
+	}
+}
+
+// TestSubRejectedWithoutPublisher: a server with no Publisher must
+// reject the SUB op by closing the connection.
+func TestSubRejectedWithoutPublisher(t *testing.T) {
+	leak.Check(t)
+	bb, _ := NewBlackboard(1, 1)
+	sock := filepath.Join(t.TempDir(), "rcrd.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(bb, &fakeClock{}, ln)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sub, err := Subscribe(ctx, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Next(ctx); err == nil {
+		t.Error("SUB against a publisher-less server delivered a frame")
+	}
+}
+
+// BenchmarkSnapshotFanout measures fan-out throughput: subscribers × the
+// ticks they actually received over real unix sockets. The acceptance
+// bar is >=100k snapshots/sec across 1k subscribers; the per-tick
+// publisher cost is one delta encode regardless of subscriber count.
+func BenchmarkSnapshotFanout(b *testing.B) {
+	for _, nSubs := range []int{16, 1000} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			bb, _ := NewBlackboard(2, 8)
+			populate(bb, time.Second)
+			clock := &fakeClock{now: time.Second}
+			_, pub, sock := startPubServer(b, bb, clock, func(s *Server) {
+				s.Pub.QueueDepth = 64
+			})
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var delivered atomic.Int64
+			readers := make(chan struct{}, nSubs)
+			for i := 0; i < nSubs; i++ {
+				sub, err := Subscribe(ctx, "unix", sock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				go func() {
+					defer func() { readers <- struct{}{} }()
+					defer sub.Close()
+					for {
+						err := sub.Next(ctx)
+						if err == nil {
+							delivered.Add(1)
+							continue
+						}
+						if errors.Is(err, ErrDeltaGap) {
+							continue // server resyncs with a full frame
+						}
+						return
+					}
+				}()
+			}
+			waitSubscribers(b, pub, nSubs)
+
+			b.ResetTimer()
+			now := time.Second
+			for i := 0; i < b.N; i++ {
+				now += 10 * time.Millisecond
+				bb.SetSocket(i%2, MeterPower, 70+float64(i%7), now)
+				pub.Tick(now)
+			}
+			// Ticks outrun delivery (drop-oldest absorbs the burst), so
+			// most frames land during the drain: wait until delivery
+			// plateaus and report the sustained rate over the whole run.
+			deadline := time.Now().Add(10 * time.Second)
+			last := int64(-1)
+			for time.Now().Before(deadline) {
+				cur := delivered.Load()
+				if cur == last {
+					break
+				}
+				last = cur
+				time.Sleep(5 * time.Millisecond)
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(delivered.Load())/elapsed, "snapshots/sec")
+			}
+			pub.DetachAll()
+			cancel()
+			for i := 0; i < nSubs; i++ {
+				<-readers
+			}
+		})
+	}
+}

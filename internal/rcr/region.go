@@ -44,6 +44,8 @@ type RegionReport struct {
 
 // StartRegion begins measuring a named code region. The reader supplies
 // energy; the blackboard (optional, may be nil) supplies temperatures.
+// Blackboard reads here are seqlock loads — End never blocks on the
+// sampler, so instrumenting a region adds no synchronization to it.
 func StartRegion(name string, clock Clock, reader rapl.Reader, bb *Blackboard) (*Region, error) {
 	r := &Region{
 		name:        name,

@@ -72,6 +72,7 @@ type Sampler struct {
 
 	met   atomic.Pointer[samplerMetrics]
 	gates atomic.Pointer[samplerGates]
+	pub   atomic.Pointer[Publisher]
 	dead  atomic.Bool
 	ticks atomic.Uint64 // completed (non-skipped) sample ticks
 
@@ -160,6 +161,13 @@ func (s *Sampler) SetFaultGates(tick TickGate, meter MeterGate) {
 	s.gates.Store(&samplerGates{tick: tick, meter: meter})
 }
 
+// AttachPublisher makes the sampler drive p.Tick at the end of every
+// completed sample tick, so subscribers receive exactly one frame per
+// sampler window — the pub/sub cadence the paper's shared-memory pollers
+// observe. Tick never blocks (bounded queues, non-blocking enqueues), so
+// this is safe from the engine goroutine. Pass nil to detach.
+func (s *Sampler) AttachPublisher(p *Publisher) { s.pub.Store(p) }
+
 // Alive reports whether the sampler is still ticking (false after an
 // injected crash).
 func (s *Sampler) Alive() bool { return !s.dead.Load() }
@@ -237,6 +245,9 @@ func (s *Sampler) sample(now time.Duration, snap *machine.Snapshot) {
 		s.bb.SetSystem(MeterPower, totalP, now)
 	}
 	s.bb.SetSystem(MeterHeartbeat, float64(s.ticks.Add(1)), now)
+	if p := s.pub.Load(); p != nil {
+		p.Tick(now)
+	}
 	if met != nil {
 		met.tickNS.Observe(float64(time.Since(t0)))
 	}

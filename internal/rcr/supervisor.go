@@ -54,6 +54,7 @@ type Supervisor struct {
 	sampler   *Sampler
 	tickGate  TickGate
 	meterGate MeterGate
+	pub       *Publisher
 	stopped   bool
 }
 
@@ -100,6 +101,16 @@ func (sup *Supervisor) SetFaultGates(tick TickGate, meter MeterGate) {
 	defer sup.mu.Unlock()
 	sup.tickGate, sup.meterGate = tick, meter
 	sup.sampler.SetFaultGates(tick, meter)
+}
+
+// AttachPublisher attaches p to the current sampler and every future
+// incarnation, so a supervised restart keeps the push stream ticking
+// instead of silently starving subscribers.
+func (sup *Supervisor) AttachPublisher(p *Publisher) {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	sup.pub = p
+	sup.sampler.AttachPublisher(p)
 }
 
 // Sampler returns the current sampler incarnation.
@@ -160,6 +171,9 @@ func (sup *Supervisor) check(now time.Duration, _ *machine.Snapshot) {
 	}
 	s.Instrument(sup.cfg.Telemetry)
 	s.SetFaultGates(sup.tickGate, sup.meterGate)
+	if sup.pub != nil {
+		s.AttachPublisher(sup.pub)
+	}
 	sup.sampler = s
 	sup.restarts.Add(1)
 	if sup.met != nil {

@@ -22,6 +22,21 @@ var ErrStaleCache = errors.New("resilience: cached snapshot beyond staleness hor
 // scripted fake in tests and fault harnesses.
 type QueryFunc func(ctx context.Context, network, addr string) (rcr.Snapshot, error)
 
+// SubStream is one live push stream from the daemon's delta publisher —
+// the subscription-mode transport seam. rcr.Subscription satisfies it.
+type SubStream interface {
+	// Next blocks for the next pushed frame and applies it.
+	Next(ctx context.Context) error
+	// Snapshot returns the stream's current materialized state.
+	Snapshot() rcr.Snapshot
+	// Close tears the stream down.
+	Close() error
+}
+
+// SubscribeFunc opens a push stream: rcr.Subscribe in production, a
+// scripted fake in tests.
+type SubscribeFunc func(ctx context.Context, network, addr string) (SubStream, error)
+
 // ClientConfig tunes a Client.
 type ClientConfig struct {
 	// Network and Addrs locate the daemon: Addrs is an ordered replica
@@ -51,6 +66,9 @@ type ClientConfig struct {
 	Sleep func(time.Duration)
 	// Query replaces the transport; nil selects rcr.QueryContext.
 	Query QueryFunc
+	// Subscribe replaces the push-stream transport used by the
+	// Subscribe method; nil selects rcr.Subscribe.
+	Subscribe SubscribeFunc
 	// Journal receives breaker-transition records.
 	Journal *telemetry.Journal
 	// Telemetry receives the client's resilience_client_* instruments.
@@ -65,6 +83,8 @@ type clientMetrics struct {
 	cacheHits *telemetry.Counter
 	staleErrs *telemetry.Counter
 	rejected  *telemetry.Counter // refused by the open breaker
+	subFrames *telemetry.Counter // frames applied in subscription mode
+	resubs    *telemetry.Counter // streams re-opened after a loss
 }
 
 // Client is a self-healing rcrd client: every Query retries with
@@ -108,6 +128,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Query == nil {
 		cfg.Query = rcr.QueryContext
 	}
+	if cfg.Subscribe == nil {
+		cfg.Subscribe = func(ctx context.Context, network, addr string) (SubStream, error) {
+			return rcr.Subscribe(ctx, network, addr)
+		}
+	}
 	bcfg := cfg.Breaker
 	if bcfg.Clock == nil {
 		bcfg.Clock = cfg.Clock
@@ -131,6 +156,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			cacheHits: reg.Counter("resilience_client_cache_served_total"),
 			staleErrs: reg.Counter("resilience_client_stale_errors_total"),
 			rejected:  reg.Counter("resilience_client_breaker_rejects_total"),
+			subFrames: reg.Counter("resilience_client_sub_frames_total"),
+			resubs:    reg.Counter("resilience_client_resubscribes_total"),
 		}
 	}
 	return c, nil
@@ -220,4 +247,90 @@ func (c *Client) fromCache(cause error) (rcr.Snapshot, error) {
 		return rcr.Snapshot{}, ErrStaleCache
 	}
 	return rcr.Snapshot{}, fmt.Errorf("%w (last failure: %w)", ErrStaleCache, cause)
+}
+
+// Subscribe runs the client in push mode until ctx is cancelled: it
+// holds one subscription to the daemon's delta publisher and feeds
+// every pushed frame — including heartbeats, which prove liveness —
+// into the last-known-good cache, so Latest serves current data with no
+// per-read round trip. A lost stream is journaled (KindSubLost) and
+// replaced with replica failover and the client's backoff; the replaced
+// stream resumes from a full frame, and the recovery is journaled
+// (KindSubResumed). During an outage Latest keeps serving the cache
+// until the staleness horizon passes, exactly like Query's degraded
+// path. Returns ctx.Err() once cancelled.
+func (c *Client) Subscribe(ctx context.Context) error {
+	down := false // an outage is in progress (journaled once)
+	streak := 0   // consecutive failed (re)subscribe attempts
+	hadStream := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if streak > 0 {
+			c.cfg.Sleep(c.cfg.Backoff.Delay(streak - 1))
+		}
+		addr := c.cfg.Addrs[streak%len(c.cfg.Addrs)]
+		stream, err := c.cfg.Subscribe(ctx, c.cfg.Network, addr)
+		if err != nil {
+			c.subLost(&down, fmt.Sprintf("subscribe %s: %v", addr, err))
+			streak++
+			continue
+		}
+		streak = 0
+		if hadStream {
+			if c.met != nil {
+				c.met.resubs.Inc()
+			}
+		}
+		hadStream = true
+		for {
+			if err = stream.Next(ctx); err != nil {
+				if errors.Is(err, rcr.ErrDeltaGap) {
+					// The server resyncs a gapped stream with a full
+					// frame; the state is unchanged, just keep reading.
+					continue
+				}
+				break
+			}
+			if down {
+				down = false
+				c.journalSub(telemetry.KindSubResumed, addr)
+			}
+			if c.met != nil {
+				c.met.subFrames.Inc()
+			}
+			c.store(stream.Snapshot())
+		}
+		stream.Close()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.subLost(&down, fmt.Sprintf("stream %s: %v", addr, err))
+		streak = 1
+	}
+}
+
+// Latest serves the newest snapshot pushed by Subscribe (or cached by
+// Query) when it is within the staleness horizon, and ErrStaleCache
+// otherwise. It never blocks and never touches the network.
+func (c *Client) Latest() (rcr.Snapshot, error) {
+	return c.fromCache(nil)
+}
+
+// subLost journals the start of an outage exactly once.
+func (c *Client) subLost(down *bool, detail string) {
+	if *down {
+		return
+	}
+	*down = true
+	c.journalSub(telemetry.KindSubLost, detail)
+}
+
+func (c *Client) journalSub(kind, detail string) {
+	c.cfg.Journal.Record(telemetry.Decision{
+		T:      c.cfg.Clock(),
+		Kind:   kind,
+		Detail: detail,
+	})
 }

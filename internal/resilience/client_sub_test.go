@@ -1,0 +1,252 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/resilience/leak"
+	"repro/internal/telemetry"
+)
+
+// scriptedStream is a SubStream the test feeds frame by frame; closing
+// the channel kills the stream.
+type scriptedStream struct {
+	frames chan rcr.Snapshot
+
+	mu  sync.Mutex
+	cur rcr.Snapshot
+}
+
+func (s *scriptedStream) push(snap rcr.Snapshot) { s.frames <- snap }
+
+func (s *scriptedStream) Next(ctx context.Context) error {
+	select {
+	case snap, ok := <-s.frames:
+		if !ok {
+			return errors.New("stream torn down")
+		}
+		s.mu.Lock()
+		s.cur = snap
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *scriptedStream) Snapshot() rcr.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+func (s *scriptedStream) Close() error { return nil }
+
+// scriptedSubTransport hands out prepared streams in order and records
+// the dial sequence.
+type scriptedSubTransport struct {
+	mu      sync.Mutex
+	calls   []string
+	streams []*scriptedStream
+}
+
+func (tr *scriptedSubTransport) subscribe(_ context.Context, _, addr string) (SubStream, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.calls = append(tr.calls, addr)
+	if len(tr.streams) == 0 {
+		return nil, errors.New("dial: connection refused")
+	}
+	s := tr.streams[0]
+	tr.streams = tr.streams[1:]
+	return s, nil
+}
+
+func (tr *scriptedSubTransport) dials() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.calls...)
+}
+
+// waitLatest polls Latest until the cached snapshot reaches want.
+func waitLatest(t *testing.T, c *Client, want time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap, err := c.Latest(); err == nil && snap.Now == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			snap, err := c.Latest()
+			t.Fatalf("Latest never reached Now=%v (last: %+v, %v)", want, snap, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClientSubscribeFeedsCache: pushed frames land in the
+// last-known-good cache, Latest serves them without touching the
+// network, and cancellation ends the loop.
+func TestClientSubscribeFeedsCache(t *testing.T) {
+	leak.Check(t)
+	clk := &fakeClock{at: 50 * time.Millisecond}
+	stream := &scriptedStream{frames: make(chan rcr.Snapshot)}
+	tr := &scriptedSubTransport{streams: []*scriptedStream{stream}}
+	c, reg, _ := newTestClient(t, clk, &scriptedTransport{now: clk.now}, func(cfg *ClientConfig) {
+		cfg.Subscribe = tr.subscribe
+	})
+
+	if _, err := c.Latest(); !errors.Is(err, ErrStaleCache) {
+		t.Fatalf("Latest before any frame: %v, want ErrStaleCache", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Subscribe(ctx) }()
+
+	for i := 1; i <= 3; i++ {
+		stream.push(rcr.Snapshot{Now: time.Duration(i) * 10 * time.Millisecond})
+	}
+	waitLatest(t, c, 30*time.Millisecond)
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Subscribe returned %v, want context.Canceled", err)
+	}
+	if n := reg.Counter("resilience_client_sub_frames_total").Value(); n != 3 {
+		t.Errorf("sub_frames = %d, want 3", n)
+	}
+	if n := reg.Counter("resilience_client_resubscribes_total").Value(); n != 0 {
+		t.Errorf("resubscribes = %d, want 0", n)
+	}
+	if d := tr.dials(); len(d) != 1 || d[0] != "primary" {
+		t.Errorf("dial sequence %v", d)
+	}
+}
+
+// TestClientSubscribeResubscribes: a dying stream is journaled as
+// sub_lost, replaced via failover to the replica, and the first frame of
+// the replacement is journaled as sub_resumed. The cache keeps serving
+// within the horizon across the outage.
+func TestClientSubscribeResubscribes(t *testing.T) {
+	leak.Check(t)
+	clk := &fakeClock{at: 50 * time.Millisecond}
+	first := &scriptedStream{frames: make(chan rcr.Snapshot)}
+	second := &scriptedStream{frames: make(chan rcr.Snapshot)}
+	tr := &scriptedSubTransport{streams: []*scriptedStream{first, second}}
+	c, reg, j := newTestClient(t, clk, &scriptedTransport{now: clk.now}, func(cfg *ClientConfig) {
+		cfg.Subscribe = tr.subscribe
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Subscribe(ctx) }()
+
+	first.push(rcr.Snapshot{Now: 10 * time.Millisecond})
+	waitLatest(t, c, 10*time.Millisecond)
+	close(first.frames) // stream dies
+
+	second.push(rcr.Snapshot{Now: 20 * time.Millisecond})
+	waitLatest(t, c, 20*time.Millisecond)
+
+	// The outage never emptied the cache: Latest still served.
+	if _, err := c.Latest(); err != nil {
+		t.Errorf("Latest after recovery: %v", err)
+	}
+
+	cancel()
+	<-done
+
+	if n := reg.Counter("resilience_client_resubscribes_total").Value(); n != 1 {
+		t.Errorf("resubscribes = %d, want 1", n)
+	}
+	var kinds []string
+	for _, d := range j.Entries() {
+		if d.Kind == telemetry.KindSubLost || d.Kind == telemetry.KindSubResumed {
+			kinds = append(kinds, d.Kind)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != telemetry.KindSubLost || kinds[1] != telemetry.KindSubResumed {
+		t.Errorf("journal sub kinds = %v, want [sub_lost sub_resumed]", kinds)
+	}
+	// Failover: the replacement stream came from the replica.
+	d := tr.dials()
+	if len(d) != 2 || d[0] != "primary" || d[1] != "replica" {
+		t.Errorf("dial sequence %v", d)
+	}
+}
+
+// rcrClock adapts the package's fakeClock to the rcr.Clock interface.
+type rcrClock struct{ c *fakeClock }
+
+func (r rcrClock) Now() time.Duration { return r.c.now() }
+
+// TestClientSubscribeRealTransport exercises the default seam —
+// rcr.Subscribe against a live server with an attached publisher — so
+// the adapter wiring is covered, not just the scripted fakes.
+func TestClientSubscribeRealTransport(t *testing.T) {
+	leak.Check(t)
+	bb, err := rcr.NewBlackboard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{at: time.Second}
+	sock := filepath.Join(t.TempDir(), "rcrd.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rcr.NewServer(bb, rcrClock{clk}, ln)
+	srv.Pub = rcr.NewPublisher(bb)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+
+	c, _, _ := newTestClient(t, clk, &scriptedTransport{now: clk.now}, func(cfg *ClientConfig) {
+		cfg.Addrs = []string{sock}
+		cfg.Subscribe = nil // select the rcr.Subscribe default
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Subscribe(ctx) }()
+
+	bb.SetSocket(0, rcr.MeterPower, 72.5, time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.Pub.Tick(clk.now())
+		snap, err := c.Latest()
+		got := false
+		if err == nil && len(snap.Sockets) == 1 {
+			for _, m := range snap.Sockets[0].Meters {
+				if m.Name == rcr.MeterPower && m.Value == 72.5 {
+					got = true
+				}
+			}
+		}
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pushed meter never reached the cache (last: %v)", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Subscribe returned %v, want context.Canceled", err)
+	}
+}

@@ -14,6 +14,7 @@ package soak
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -37,6 +38,12 @@ type Config struct {
 	Seed uint64
 	// Clients is the concurrent client count. Zero selects 4.
 	Clients int
+	// Subscribers adds push-mode clients (resilience.Client.Subscribe)
+	// that ride the daemon's delta publisher and audit the same
+	// staleness invariant through Latest, plus one deliberately slow raw
+	// subscriber that forces the publisher's drop-oldest + resync path.
+	// Zero disables subscription soak.
+	Subscribers int
 	// Budget is the wall-time length of the run. Zero selects 2 s; the
 	// schedule closes all fault windows by 80% of it, leaving a
 	// convergence tail.
@@ -63,9 +70,10 @@ type Config struct {
 
 // Report is the audited outcome of one soak run.
 type Report struct {
-	Seed      uint64
-	Events    int
-	ClearTime time.Duration
+	Seed        uint64
+	Events      int
+	ClearTime   time.Duration
+	Subscribers int // push-mode clients run (from Config)
 
 	// Client-side traffic.
 	Queries     uint64 // total Query calls
@@ -78,6 +86,14 @@ type Report struct {
 	Restarts   int // server kill/restart cycles performed
 	Resets     uint64
 	LorisConns uint64
+
+	// Subscription-side traffic (Config.Subscribers > 0).
+	SubFrames    uint64 // frames applied by push-mode clients
+	Resubscribes uint64 // streams re-opened after a loss
+	SubLive      uint64 // Latest reads answered with fresh data
+	SubConverged uint64 // fresh Latest reads after ClearTime
+	SubDropped   uint64 // publisher frames dropped on slow queues
+	SubResyncs   uint64 // full-frame resyncs forced by overflow
 
 	// Invariant audit.
 	StalenessViolations uint64
@@ -92,8 +108,9 @@ func (r *Report) Passed() bool { return len(r.Violations) == 0 }
 
 // Summary renders the report as one line.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("seed %d: %d events, %d queries (%d live, %d cached, %d failed, %d converged), %d restarts, %d resets, %d loris, %d stale-violations, goroutines %+d, heap %+d B",
+	return fmt.Sprintf("seed %d: %d events, %d queries (%d live, %d cached, %d failed, %d converged), %d sub-frames (%d resubs, %d sub-live, %d sub-converged, %d dropped, %d resyncs), %d restarts, %d resets, %d loris, %d stale-violations, goroutines %+d, heap %+d B",
 		r.Seed, r.Events, r.Queries, r.Live, r.CacheServed, r.Failures, r.Converged,
+		r.SubFrames, r.Resubscribes, r.SubLive, r.SubConverged, r.SubDropped, r.SubResyncs,
 		r.Restarts, r.Resets, r.LorisConns, r.StalenessViolations, r.GoroutineGrowth, r.HeapGrowthBytes)
 }
 
@@ -138,7 +155,7 @@ func Run(cfg Config) (*Report, error) {
 	socket := filepath.Join(dir, "rcrd.sock")
 
 	sched := faults.GenerateServiceSchedule(cfg.Seed, cfg.Budget*4/5)
-	rep := &Report{Seed: cfg.Seed, Events: len(sched.Events), ClearTime: sched.ClearTime()}
+	rep := &Report{Seed: cfg.Seed, Events: len(sched.Events), ClearTime: sched.ClearTime(), Subscribers: cfg.Subscribers}
 
 	var goroutinesBefore int
 	var msBefore runtime.MemStats
@@ -154,9 +171,22 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	// Server manager: runs the server, and kills/restarts it across the
+	// schedule's ServerRestart windows. Reset/loris windows are injected
+	// at the listener/attacker level below.
+	mgr := &serverManager{
+		socket: socket,
+		bb:     bb,
+		clock:  clock,
+		reg:    reg,
+		sched:  sched,
+		rep:    rep,
+	}
+
 	// Feeder: keeps the blackboard fresh on the host cadence, standing in
 	// for the sampler (the soak subject is the service boundary, not the
-	// sensing stack).
+	// sensing stack), and drives the current server's publisher tick so
+	// push-mode subscribers receive deltas on the same cadence.
 	stopFeed := make(chan struct{})
 	var feedWG sync.WaitGroup
 	feedWG.Add(1)
@@ -178,21 +208,11 @@ func Run(cfg Config) (*Report, error) {
 					bb.SetSocket(s, rcr.MeterPower, 70, now)
 					bb.SetSocket(s, rcr.MeterMemConcurrency, 12, now)
 				}
+				mgr.tick(now)
 			}
 		}
 	}()
 
-	// Server manager: runs the server, and kills/restarts it across the
-	// schedule's ServerRestart windows. Reset/loris windows are injected
-	// at the listener/attacker level below.
-	mgr := &serverManager{
-		socket: socket,
-		bb:     bb,
-		clock:  clock,
-		reg:    reg,
-		sched:  sched,
-		rep:    rep,
-	}
 	if err := mgr.start(); err != nil {
 		stopFeed <- struct{}{}
 		feedWG.Wait()
@@ -216,6 +236,80 @@ func Run(cfg Config) (*Report, error) {
 		openForMax = 4 * openFor
 	}
 	slack := cfg.StalenessHorizon/2 + 4*cfg.FeedPeriod
+
+	// Push-mode subscribers: each holds a resilient subscription whose
+	// frames feed the LKG cache, and audits Latest on the poll cadence —
+	// the same staleness invariant as the Query clients, with zero
+	// round trips. One extra raw subscriber reads deliberately slowly to
+	// force the publisher's bounded queues into drop-oldest + resync.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	var subWG sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		subWG.Add(1)
+		go func(id int) {
+			defer subWG.Done()
+			cl, err := resilience.NewClient(resilience.ClientConfig{
+				Addrs:            []string{socket},
+				Backoff:          resilience.Backoff{Base: 5 * time.Millisecond, Max: 40 * time.Millisecond, Seed: cfg.Seed ^ uint64(id)<<24},
+				StalenessHorizon: cfg.StalenessHorizon,
+				Clock:            clock.Now,
+				Telemetry:        reg,
+				Breaker: resilience.BreakerConfig{
+					FailureThreshold: 3,
+					OpenFor:          openFor,
+					OpenForMax:       openForMax,
+				},
+			})
+			if err != nil {
+				atomic.AddUint64(&rep.Failures, 1)
+				return
+			}
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				_ = cl.Subscribe(subCtx)
+			}()
+			for clock.Now() < cfg.Budget {
+				now := clock.Now()
+				if snap, err := cl.Latest(); err == nil {
+					if now-snap.Now > cfg.StalenessHorizon+slack {
+						atomic.AddUint64(&rep.StalenessViolations, 1)
+					}
+					if now-snap.Now <= 2*cfg.FeedPeriod+50*time.Millisecond {
+						atomic.AddUint64(&rep.SubLive, 1)
+						if now > rep.ClearTime {
+							atomic.AddUint64(&rep.SubConverged, 1)
+						}
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+	if cfg.Subscribers > 0 {
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for clock.Now() < cfg.Budget && subCtx.Err() == nil {
+				sub, err := rcr.Subscribe(subCtx, "unix", socket)
+				if err != nil {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				for clock.Now() < cfg.Budget {
+					if err := sub.Next(subCtx); err != nil {
+						if errors.Is(err, rcr.ErrDeltaGap) {
+							continue
+						}
+						break
+					}
+					time.Sleep(25 * time.Millisecond) // slower than the tick cadence: overflows the queue
+				}
+				sub.Close()
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
@@ -268,11 +362,20 @@ func Run(cfg Config) (*Report, error) {
 		}(i)
 	}
 	wg.Wait()
+	subCancel()
+	subWG.Wait()
 	<-mgrDone
 	<-lorisDone
 	mgr.stop()
 	close(stopFeed)
 	feedWG.Wait()
+
+	if cfg.Subscribers > 0 {
+		rep.SubFrames = reg.Counter("resilience_client_sub_frames_total").Value()
+		rep.Resubscribes = reg.Counter("resilience_client_resubscribes_total").Value()
+		rep.SubDropped = reg.Counter("rcr_sub_dropped_frames_total").Value()
+		rep.SubResyncs = reg.Counter("rcr_sub_resyncs_total").Value()
+	}
 
 	if !cfg.SkipResourceAudit {
 		// Leak audit: wait for teardown goroutines to drain.
@@ -315,6 +418,16 @@ func (r *Report) audit() {
 	if r.Queries == 0 {
 		r.Violations = append(r.Violations, "no queries issued")
 	}
+	if r.Subscribers > 0 {
+		if r.SubFrames == 0 {
+			r.Violations = append(r.Violations,
+				"no pushed frame ever reached a subscriber: the publisher path never worked")
+		}
+		if r.SubConverged == 0 {
+			r.Violations = append(r.Violations,
+				"no subscriber saw fresh data after the last fault window cleared")
+		}
+	}
 }
 
 // serverManager owns the server lifecycle across restart windows.
@@ -347,6 +460,8 @@ func (m *serverManager) start() error {
 	srv.DrainTimeout = 50 * time.Millisecond
 	srv.ReadTimeout = 100 * time.Millisecond
 	srv.WriteTimeout = 100 * time.Millisecond
+	srv.Pub = rcr.NewPublisher(m.bb)
+	srv.Pub.Instrument(m.reg)
 	srv.Instrument(m.reg)
 	ch := make(chan error, 1)
 	go func() { ch <- srv.Serve() }()
@@ -367,6 +482,17 @@ func (m *serverManager) stop() {
 	}
 	_ = srv.Close()
 	<-ch
+}
+
+// tick drives the current server's publisher, if one is running; during
+// a restart window there is nothing to tick.
+func (m *serverManager) tick(now time.Duration) {
+	m.mu.Lock()
+	srv := m.srv
+	m.mu.Unlock()
+	if srv != nil && srv.Pub != nil {
+		srv.Pub.Tick(now)
+	}
 }
 
 // run executes the restart windows: the daemon dies at each window's

@@ -31,6 +31,37 @@ func TestSoakSingleSeed(t *testing.T) {
 	t.Log(rep.Summary())
 }
 
+// TestSoakWithSubscribers runs the subscription-mode soak: push-mode
+// clients ride the delta publisher through daemon restarts and resets,
+// one deliberately slow subscriber forces drop-oldest + resync, and the
+// same staleness/convergence invariants must hold via Latest.
+func TestSoakWithSubscribers(t *testing.T) {
+	leak.Check(t)
+	rep, err := Run(Config{
+		Seed:             11,
+		Clients:          2,
+		Subscribers:      2,
+		Budget:           1500 * time.Millisecond,
+		StalenessHorizon: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.SubFrames == 0 {
+		t.Error("no pushed frame ever applied")
+	}
+	if rep.SubLive == 0 {
+		t.Error("Latest never served fresh pushed data")
+	}
+	if rep.SubDropped == 0 && rep.SubResyncs == 0 {
+		t.Log("note: slow subscriber never overflowed its queue this run")
+	}
+	t.Log(rep.Summary())
+}
+
 // TestSoakCorpus fans a seeded corpus of service-fault schedules across
 // a worker pool: every run must hold the staleness invariant and
 // converge after its faults clear. Per-run resource audits are off (the

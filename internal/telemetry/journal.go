@@ -44,6 +44,14 @@ const (
 	KindStateRejected   = "state_rejected"
 )
 
+// Record kinds written by the client's push-subscription mode
+// (docs/observability.md §Subscription): a lost delta stream and the
+// subsequent successful resubscribe.
+const (
+	KindSubLost    = "sub_lost"
+	KindSubResumed = "sub_resumed"
+)
+
 // LevelName returns the human name of a recorded level.
 func LevelName(l int8) string {
 	switch l {
