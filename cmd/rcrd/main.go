@@ -10,6 +10,14 @@
 //	rcrd -socket /tmp/rcrd.sock -query                       # query
 //	rcrd -socket /tmp/rcrd.sock -subscribe -duration 5s      # follow the delta stream
 //	rcrd -socket /tmp/rcrd.sock -metrics                     # telemetry text
+//
+// Cluster mode runs an N-shard fleet — each shard a full daemon on its
+// own socket under -cluster-dir — with a hierarchical controller
+// dividing -global-cap watts across the shards by scaling headroom
+// (internal/cluster); -load becomes a comma-separated mix cycled across
+// shards:
+//
+//	rcrd -cluster 4 -global-cap 200 -load lulesh,nqueens -duration 30s
 package main
 
 import (
@@ -20,13 +28,17 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/rcr"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 	"repro/internal/workloads"
 	"repro/internal/workloads/suite"
 )
@@ -50,19 +62,36 @@ type serveConfig struct {
 
 func main() {
 	var (
-		socket   = flag.String("socket", "/tmp/rcrd.sock", "unix socket path")
-		query    = flag.Bool("query", false, "query a running daemon instead of serving")
-		subCmd   = flag.Bool("subscribe", false, "follow a running daemon's delta stream for -duration instead of serving")
-		metrics  = flag.Bool("metrics", false, "query a running daemon's telemetry (/metrics-style text)")
-		asJSON   = flag.Bool("json", false, "with -query, print the snapshot as JSON")
-		load     = flag.String("load", "lulesh", "benchmark to loop as background load while serving")
-		duration = flag.Duration("duration", 30*time.Second, "how long (host time) to serve before exiting")
-		state    = flag.String("state", "", "crash-safe state file: restored on start (if fresh), checkpointed while serving, written on shutdown")
-		drainTO  = flag.Duration("drain-timeout", time.Second, "how long shutdown lets in-flight queries finish before cutting them off")
-		maxConns = flag.Int("max-conns", 0, "cap on concurrently served connections (0 = server default)")
-		shed     = flag.Bool("shed", true, "answer overload with a cheap BUSY response instead of queueing clients")
+		socket     = flag.String("socket", "/tmp/rcrd.sock", "unix socket path")
+		query      = flag.Bool("query", false, "query a running daemon instead of serving")
+		subCmd     = flag.Bool("subscribe", false, "follow a running daemon's delta stream for -duration instead of serving")
+		metrics    = flag.Bool("metrics", false, "query a running daemon's telemetry (/metrics-style text)")
+		asJSON     = flag.Bool("json", false, "with -query, print the snapshot as JSON")
+		load       = flag.String("load", "lulesh", "benchmark to loop as background load while serving")
+		duration   = flag.Duration("duration", 30*time.Second, "how long (host time) to serve before exiting")
+		state      = flag.String("state", "", "crash-safe state file: restored on start (if fresh), checkpointed while serving, written on shutdown")
+		drainTO    = flag.Duration("drain-timeout", time.Second, "how long shutdown lets in-flight queries finish before cutting them off")
+		maxConns   = flag.Int("max-conns", 0, "cap on concurrently served connections (0 = server default)")
+		shed       = flag.Bool("shed", true, "answer overload with a cheap BUSY response instead of queueing clients")
+		clusterN   = flag.Int("cluster", 0, "run an N-shard fleet under a hierarchical global power cap instead of a single daemon")
+		globalCap  = flag.Float64("global-cap", 0, "fleet-wide power budget in watts (cluster mode; 0 = 50 W per shard)")
+		clusterDir = flag.String("cluster-dir", "", "directory for the fleet's shard sockets (cluster mode; empty = a temp dir)")
 	)
 	flag.Parse()
+
+	if *clusterN > 0 {
+		if err := serveCluster(clusterServeConfig{
+			shards:   *clusterN,
+			dir:      *clusterDir,
+			loads:    strings.Split(*load, ","),
+			global:   units.Watts(*globalCap),
+			duration: *duration,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "rcrd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metrics {
 		if err := runMetricsQuery(*socket); err != nil {
@@ -330,4 +359,118 @@ func serve(cfg serveConfig) error {
 		}
 	}
 	return firstErr
+}
+
+// clusterServeConfig collects the cluster-mode settings.
+type clusterServeConfig struct {
+	shards   int
+	dir      string
+	loads    []string
+	global   units.Watts
+	duration time.Duration
+}
+
+// serveCluster runs the fleet: N full daemons on their own sockets, a
+// per-shard background load cycled from the -load mix, and the
+// hierarchical aggregator re-partitioning the global budget while a
+// once-a-second status line shows the fleet state.
+func serveCluster(cfg clusterServeConfig) error {
+	if cfg.global <= 0 {
+		cfg.global = units.Watts(50 * float64(cfg.shards))
+	}
+	fleet, err := cluster.NewFleet(cluster.FleetConfig{Shards: cfg.shards, Dir: cfg.dir})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+
+	reg := telemetry.NewRegistry()
+	t0 := time.Now()
+	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
+		Shards:        fleet.Endpoints(),
+		Global:        cfg.global,
+		Period:        50 * time.Millisecond,
+		HealthHorizon: 500 * time.Millisecond,
+		Clock:         func() time.Duration { return time.Since(t0) },
+		SetCap:        fleet.SetCap,
+		Telemetry:     reg,
+		Journal:       telemetry.NewJournal(1<<10, 1),
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	aggDone := make(chan error, 1)
+	go func() { aggDone <- agg.Run(ctx) }()
+	fmt.Printf("rcrd: cluster of %d shards under a %.0f W global cap for %v (mix %v)\n",
+		cfg.shards, float64(cfg.global), cfg.duration, cfg.loads)
+
+	// One looping background load per shard, cycled from the mix.
+	stop := make(chan struct{})
+	loadErrs := make([]error, cfg.shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := strings.TrimSpace(cfg.loads[i%len(cfg.loads)])
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wl, err := suite.New(name)
+				if err == nil {
+					err = wl.Prepare(workloads.Params{MachineConfig: fleet.System(i).Machine().Config()})
+				}
+				if err == nil {
+					_, err = fleet.System(i).RunWorkload(wl)
+				}
+				if err != nil {
+					loadErrs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	status := time.NewTicker(time.Second)
+	defer status.Stop()
+	end := time.After(cfg.duration)
+loop:
+	for {
+		select {
+		case <-status.C:
+			st := agg.Status()
+			fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts\n",
+				st.Healthy, cfg.shards, float64(st.CapsSum), float64(cfg.global),
+				reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts)
+		case sig := <-sigCh:
+			fmt.Printf("rcrd: %v: stopping fleet\n", sig)
+			break loop
+		case <-end:
+			break loop
+		}
+	}
+	close(stop)
+	wg.Wait()
+	cancel()
+	<-aggDone
+	st := agg.Status()
+	fmt.Printf("rcrd: final caps (W):")
+	for _, c := range st.Caps {
+		fmt.Printf(" %.1f", float64(c))
+	}
+	fmt.Println()
+	for i, err := range loadErrs {
+		if err != nil {
+			return fmt.Errorf("shard %d load: %w", i, err)
+		}
+	}
+	return nil
 }

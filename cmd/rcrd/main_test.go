@@ -177,3 +177,29 @@ func TestServeUnknownLoad(t *testing.T) {
 		t.Error("serve with unknown load succeeded")
 	}
 }
+
+// TestServeCluster runs the fleet mode end to end: two shards with a
+// skewed load mix under a binding global cap must both come up, stay
+// healthy, and receive a headroom-skewed partition before shutdown.
+func TestServeCluster(t *testing.T) {
+	if err := serveCluster(clusterServeConfig{
+		shards:   2,
+		dir:      t.TempDir(),
+		loads:    []string{"lulesh", "nqueens"},
+		global:   120,
+		duration: 1500 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("serveCluster: %v", err)
+	}
+}
+
+func TestServeClusterUnknownLoad(t *testing.T) {
+	if err := serveCluster(clusterServeConfig{
+		shards:   1,
+		dir:      t.TempDir(),
+		loads:    []string{"not-a-benchmark"},
+		duration: 400 * time.Millisecond,
+	}); err == nil {
+		t.Error("cluster mode with unknown load succeeded")
+	}
+}

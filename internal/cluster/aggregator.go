@@ -1,0 +1,478 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// ShardEndpoint locates one shard's rcrd server.
+type ShardEndpoint struct {
+	ID      int
+	Network string // "unix" or "tcp"
+	Addr    string
+}
+
+// Meter names the aggregator writes into the cluster blackboard, one
+// socket domain per shard (docs/cluster.md). Shard power reuses
+// rcr.MeterPower so existing tooling reads it unchanged.
+const (
+	// MeterHeadroom is a shard's derived scaling headroom in [0,1].
+	MeterHeadroom = "headroom"
+	// MeterCap is a shard's currently applied power cap in Watts.
+	MeterCap = "cap"
+	// MeterBudget is the global watt budget (system scope).
+	MeterBudget = "budget"
+	// MeterHealthy is a shard's liveness as 0/1.
+	MeterHealthy = "healthy"
+)
+
+// AggregatorConfig tunes an Aggregator.
+type AggregatorConfig struct {
+	// Shards lists the fleet's rcrd endpoints. At least one is required.
+	Shards []ShardEndpoint
+	// Global is the fleet-wide power budget. Required positive.
+	Global units.Watts
+	// Floor and Max bound every shard's assignment (per-shard floors are
+	// uniform at this tier; heterogeneous fleets would move them into
+	// ShardEndpoint). Floor zero selects 10 W; Max zero selects 200 W.
+	Floor units.Watts
+	Max   units.Watts
+	// Period is the host-time cadence of the poll/repartition loop.
+	// Zero selects 50 ms.
+	Period time.Duration
+	// HealthHorizon is how long a shard's heartbeat may sit still (in
+	// host time) before the shard is declared lost and its surplus is
+	// redistributed. Zero selects 4×Period.
+	HealthHorizon time.Duration
+	// KneeRef is the per-socket memory-concurrency knee used to derive
+	// headroom: a shard saturating the knee is memory-bound (throttling
+	// is nearly free, extra power nearly useless), a shard far below it
+	// is compute-bound. Zero selects 28, the M620 preset's knee.
+	KneeRef float64
+	// Clock supplies host time. Required. The shards' own snapshots run
+	// on their private virtual clocks, which advance at unrelated rates —
+	// the aggregator therefore judges staleness by heartbeat *movement*
+	// against this clock, never by comparing snapshot timestamps across
+	// timebases.
+	Clock func() time.Duration
+	// SetCap pushes an assignment down into one shard's enforcement
+	// loop (maestro.PowerCap.SetCap behind the fleet seam). Required.
+	SetCap func(shard int, cap units.Watts) error
+	// Tune, when non-nil, adjusts each shard client's config before the
+	// client is built — the test seam for scripted transports and faster
+	// backoff.
+	Tune func(shard int, cfg *resilience.ClientConfig)
+	// Telemetry receives the cluster_* instruments; Journal receives
+	// repartition and shard-transition records. Both optional.
+	Telemetry *telemetry.Registry
+	Journal   *telemetry.Journal
+}
+
+// shardState is the aggregator's per-shard bookkeeping, owned by the
+// poll goroutine.
+type shardState struct {
+	client *resilience.Client
+
+	everSeen  bool
+	lastBeat  float64       // last heartbeat value observed
+	lastMove  time.Duration // host time the heartbeat last advanced
+	epoch     uint32        // incarnation; bumps when the heartbeat runs backwards
+	healthy   bool
+	power     float64
+	headroom  float64
+	beatStamp time.Duration // virtual-time Updated of the newest heartbeat
+}
+
+// aggMetrics is the aggregator's instrument set.
+type aggMetrics struct {
+	polls         *telemetry.Counter
+	repartitions  *telemetry.Counter
+	violations    *telemetry.Counter // conservation self-checks failed (must stay 0)
+	shardRestarts *telemetry.Counter
+	capErrors     *telemetry.Counter // SetCap pushes that failed
+	budgetW       *telemetry.Gauge
+	capsSumW      *telemetry.Gauge
+	powerW        *telemetry.Gauge
+	unhealthy     *telemetry.Gauge
+}
+
+// Aggregator subscribes to every shard's delta stream, rolls the fleet
+// up into a cluster blackboard, and re-partitions the global power
+// budget each period. Shard outages are ridden out by the underlying
+// resilience.Client (failover, resubscribe, last-known-good cache);
+// the aggregator's own job is to notice a shard has gone quiet, lend
+// its share to the rest of the fleet, and give it back on recovery —
+// all without ever letting the sum of applied caps exceed the budget.
+type Aggregator struct {
+	cfg   AggregatorConfig
+	board *rcr.Blackboard
+	met   *aggMetrics
+
+	// mu guards everything below: Poll (single driver) mutates under it,
+	// Status/Frame/ConvergedSince read under it.
+	mu         sync.Mutex
+	shards     []shardState
+	applied    []units.Watts
+	reports    []NodeReport
+	nextCaps   []units.Watts
+	polls      uint64
+	lastChange uint64 // poll index of the last applied cap change
+	restarts   uint64
+	healthyN   int
+}
+
+// NewAggregator validates cfg and builds the aggregator. Caps start
+// unassigned; the first Poll partitions and pushes them.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: aggregator requires at least one shard")
+	}
+	if cfg.Global <= 0 {
+		return nil, fmt.Errorf("cluster: global budget %v must be positive", cfg.Global)
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("cluster: aggregator requires a host clock")
+	}
+	if cfg.SetCap == nil {
+		return nil, errors.New("cluster: aggregator requires a SetCap seam")
+	}
+	if cfg.Floor <= 0 {
+		cfg.Floor = 10
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 200
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 50 * time.Millisecond
+	}
+	if cfg.HealthHorizon <= 0 {
+		cfg.HealthHorizon = 4 * cfg.Period
+	}
+	if cfg.KneeRef <= 0 {
+		cfg.KneeRef = 28
+	}
+	board, err := rcr.NewBlackboard(len(cfg.Shards), 1)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregator{
+		cfg:      cfg,
+		shards:   make([]shardState, len(cfg.Shards)),
+		board:    board,
+		applied:  make([]units.Watts, len(cfg.Shards)),
+		reports:  make([]NodeReport, len(cfg.Shards)),
+		nextCaps: make([]units.Watts, 0, len(cfg.Shards)),
+	}
+	for i, ep := range cfg.Shards {
+		ccfg := resilience.ClientConfig{
+			Network: ep.Network,
+			Addrs:   []string{ep.Addr},
+			// Shard snapshots are stamped in the shard's *virtual* time,
+			// which has no relation to the aggregator's host clock, so
+			// age-based staleness is meaningless here: liveness is judged
+			// by heartbeat movement in Poll instead. The horizon is set
+			// far beyond any run length to keep Latest serving.
+			StalenessHorizon: 365 * 24 * time.Hour,
+			Clock:            cfg.Clock,
+			Journal:          cfg.Journal,
+			Telemetry:        cfg.Telemetry,
+		}
+		if cfg.Tune != nil {
+			cfg.Tune(ep.ID, &ccfg)
+		}
+		client, err := resilience.NewClient(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d client: %w", ep.ID, err)
+		}
+		a.shards[i].client = client
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		a.met = &aggMetrics{
+			polls:         reg.Counter("cluster_polls_total"),
+			repartitions:  reg.Counter("cluster_repartitions_total"),
+			violations:    reg.Counter("cluster_conservation_violations_total"),
+			shardRestarts: reg.Counter("cluster_shard_restarts_total"),
+			capErrors:     reg.Counter("cluster_cap_push_errors_total"),
+			budgetW:       reg.Gauge("cluster_budget_watts"),
+			capsSumW:      reg.Gauge("cluster_caps_sum_watts"),
+			powerW:        reg.Gauge("cluster_power_watts"),
+			unhealthy:     reg.Gauge("cluster_unhealthy_shards"),
+		}
+		a.met.budgetW.Set(float64(cfg.Global))
+	}
+	return a, nil
+}
+
+// Board exposes the cluster blackboard: one socket domain per shard
+// (power, headroom, cap, healthy), budget and total power at system
+// scope. Readers use the ordinary seqlock accessors.
+func (a *Aggregator) Board() *rcr.Blackboard { return a.board }
+
+// Run subscribes to every shard and re-partitions each period until ctx
+// is cancelled; it returns ctx.Err() after all of its goroutines have
+// drained. The subscription streams keep the shard clients' caches
+// fresh in the background while the poll loop runs on its own ticker.
+func (a *Aggregator) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := range a.shards {
+		wg.Add(1)
+		go func(c *resilience.Client) {
+			defer wg.Done()
+			_ = c.Subscribe(ctx)
+		}(a.shards[i].client)
+	}
+	tick := time.NewTicker(a.cfg.Period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case <-tick.C:
+			a.Poll()
+		}
+	}
+}
+
+// Poll runs one observe → roll-up → partition → push cycle. It is the
+// deterministic unit Run drives on a ticker; tests and the experiment
+// harness call it directly. Poll is the fleet's single driver — it must
+// not be called concurrently with itself.
+func (a *Aggregator) Poll() {
+	now := a.cfg.Clock()
+	if a.met != nil {
+		a.met.polls.Inc()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	totalPower := 0.0
+	healthy := 0
+	for i := range a.shards {
+		st := &a.shards[i]
+		wasHealthy := st.healthy
+		snap, err := st.client.Latest()
+		if err == nil {
+			a.observe(a.cfg.Shards[i].ID, st, &snap, now)
+		}
+		// A shard is live while its heartbeat keeps moving in host time;
+		// a never-seen shard is unhealthy from the start.
+		st.healthy = st.everSeen && now-st.lastMove <= a.cfg.HealthHorizon
+		if st.healthy {
+			healthy++
+			totalPower += st.power
+		}
+		if st.healthy != wasHealthy {
+			kind := telemetry.KindShardRecovered
+			if !st.healthy {
+				kind = telemetry.KindShardLost
+			}
+			a.journal(kind, fmt.Sprintf("shard %d", a.cfg.Shards[i].ID))
+		}
+		a.reports[i] = NodeReport{
+			Headroom: st.headroom,
+			Floor:    a.cfg.Floor,
+			Max:      a.cfg.Max,
+			Healthy:  st.healthy,
+		}
+	}
+
+	a.nextCaps = Partition(a.cfg.Global, a.reports, a.nextCaps)
+	changed := a.push(a.nextCaps)
+
+	a.polls++
+	if changed {
+		a.lastChange = a.polls
+	}
+	a.healthyN = healthy
+	capsSum := float64(Sum(a.applied))
+
+	// Roll the fleet up into the cluster blackboard.
+	for i := range a.shards {
+		st := &a.shards[i]
+		hv := 0.0
+		if st.healthy {
+			hv = 1
+		}
+		a.board.SetSocket(i, rcr.MeterPower, st.power, now)
+		a.board.SetSocket(i, MeterHeadroom, st.headroom, now)
+		a.board.SetSocket(i, MeterCap, float64(a.applied[i]), now)
+		a.board.SetSocket(i, MeterHealthy, hv, now)
+	}
+	a.board.SetSystem(MeterBudget, float64(a.cfg.Global), now)
+	a.board.SetSystem(rcr.MeterPower, totalPower, now)
+	a.board.SetSystem(rcr.MeterHeartbeat, float64(a.polls), now)
+
+	if a.met != nil {
+		a.met.capsSumW.Set(capsSum)
+		a.met.powerW.Set(totalPower)
+		a.met.unhealthy.Set(float64(len(a.shards) - healthy))
+		if capsSum > float64(a.cfg.Global)+sumEps {
+			a.met.violations.Inc()
+		}
+	}
+}
+
+// observe folds one shard snapshot into its state: heartbeat movement
+// (liveness and restart detection), per-shard power, and headroom
+// derived from memory concurrency against the knee.
+func (a *Aggregator) observe(id int, st *shardState, snap *rcr.Snapshot, now time.Duration) {
+	var beat *rcr.MeterValue
+	for j := range snap.System {
+		if snap.System[j].Name == rcr.MeterHeartbeat {
+			beat = &snap.System[j]
+			break
+		}
+	}
+	if beat == nil {
+		return // no sampler output yet
+	}
+	switch {
+	case !st.everSeen:
+		st.everSeen = true
+		st.lastMove = now
+	case beat.Value < st.lastBeat || (beat.Value == st.lastBeat && beat.Updated < st.beatStamp):
+		// The heartbeat ran backwards: a fresh blackboard, i.e. a new
+		// incarnation of the shard. Version space restarts with it.
+		st.epoch++
+		a.restarts++
+		if a.met != nil {
+			a.met.shardRestarts.Inc()
+		}
+		a.journal(telemetry.KindShardRestarted,
+			fmt.Sprintf("shard %d epoch %d, heartbeat %.0f -> %.0f", id, st.epoch, st.lastBeat, beat.Value))
+		st.lastMove = now
+	case beat.Value != st.lastBeat:
+		st.lastMove = now
+	}
+	st.lastBeat = beat.Value
+	st.beatStamp = beat.Updated
+
+	power, conc := 0.0, 0.0
+	for s := range snap.Sockets {
+		for j := range snap.Sockets[s].Meters {
+			m := &snap.Sockets[s].Meters[j]
+			switch m.Name {
+			case rcr.MeterPower:
+				power += m.Value
+			case rcr.MeterMemConcurrency:
+				conc += m.Value
+			}
+		}
+	}
+	st.power = power
+	if n := len(snap.Sockets); n > 0 {
+		conc /= float64(n)
+	}
+	st.headroom = clampHeadroom(1 - conc/a.cfg.KneeRef)
+}
+
+// push applies a new cap assignment through the SetCap seam in
+// conservation-safe order and reports whether anything changed. A shard
+// whose push fails keeps its previous applied value — the conservation
+// invariant is judged against what was actually acknowledged. Called
+// with a.mu held.
+func (a *Aggregator) push(next []units.Watts) bool {
+	changed := false
+	blocked := false // a decrease failed; increases must wait a poll
+	order := ApplyOrder(a.applied, next)
+	for _, i := range order {
+		if next[i] == a.applied[i] {
+			continue
+		}
+		if blocked && next[i] > a.applied[i] {
+			continue // the unacknowledged decrease still holds its watts
+		}
+		if err := a.cfg.SetCap(a.cfg.Shards[i].ID, next[i]); err != nil {
+			if a.met != nil {
+				a.met.capErrors.Inc()
+			}
+			if next[i] < a.applied[i] {
+				blocked = true
+			}
+			continue
+		}
+		a.applied[i] = next[i]
+		changed = true
+	}
+	if changed {
+		if a.met != nil {
+			a.met.repartitions.Inc()
+		}
+		a.journal(telemetry.KindRepartition,
+			fmt.Sprintf("caps sum %.1f W of %.1f W budget", float64(Sum(a.applied)), float64(a.cfg.Global)))
+	}
+	return changed
+}
+
+func (a *Aggregator) journal(kind, detail string) {
+	a.cfg.Journal.Record(telemetry.Decision{T: a.cfg.Clock(), Kind: kind, Detail: detail})
+}
+
+// AggregatorStatus is a point-in-time view of the aggregator.
+type AggregatorStatus struct {
+	Polls         uint64
+	LastChange    uint64 // poll index of the last cap change (0: never)
+	Healthy       int
+	Shards        int
+	CapsSum       units.Watts
+	ShardRestarts uint64
+	Caps          []units.Watts
+}
+
+// Status snapshots the aggregator's bookkeeping.
+func (a *Aggregator) Status() AggregatorStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AggregatorStatus{
+		Polls:         a.polls,
+		LastChange:    a.lastChange,
+		Healthy:       a.healthyN,
+		Shards:        len(a.shards),
+		CapsSum:       Sum(a.applied),
+		ShardRestarts: a.restarts,
+		Caps:          append([]units.Watts(nil), a.applied...),
+	}
+}
+
+// ConvergedSince reports whether the fleet has settled: every shard
+// healthy and no cap change during the last k polls. The soak gate uses
+// it after the fault schedule clears.
+func (a *Aggregator) ConvergedSince(k uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.healthyN == len(a.shards) && a.polls >= a.lastChange+k
+}
+
+// Frame exports the fleet as a CLS1 roll-up frame for the next tier up:
+// shard epochs come from restart detection, versions from the heartbeat
+// tick count (monotone within an epoch).
+func (a *Aggregator) Frame() ClusterFrame {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := ClusterFrame{
+		Now:    a.cfg.Clock(),
+		Budget: float64(a.cfg.Global),
+		Shards: make([]ShardRecord, len(a.shards)),
+	}
+	for i := range a.shards {
+		st := &a.shards[i]
+		f.Shards[i] = ShardRecord{
+			ID:       uint16(a.cfg.Shards[i].ID),
+			Epoch:    st.epoch,
+			Ver:      uint64(st.lastBeat),
+			Healthy:  st.healthy,
+			Power:    st.power,
+			Headroom: st.headroom,
+			Cap:      float64(a.applied[i]),
+		}
+	}
+	return f
+}

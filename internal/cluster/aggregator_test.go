@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/resilience/leak"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// scriptEvent is one scripted push: a snapshot to apply or an error to
+// surface from the stream.
+type scriptEvent struct {
+	snap rcr.Snapshot
+	err  error
+}
+
+// scriptStream is a scripted SubStream: the test pushes events, the
+// client's Subscribe loop consumes them — the same seam the resilience
+// client tests use, here driving a whole aggregator.
+type scriptStream struct {
+	ch   chan scriptEvent
+	snap rcr.Snapshot
+}
+
+func (s *scriptStream) Next(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case ev := <-s.ch:
+		if ev.err != nil {
+			return ev.err
+		}
+		s.snap = ev.snap
+		return nil
+	}
+}
+
+func (s *scriptStream) Snapshot() rcr.Snapshot { return s.snap }
+func (s *scriptStream) Close() error           { return nil }
+
+// fakeClock is a manually advanced host clock.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Duration      { return time.Duration(c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// shardSnap builds a shard snapshot: a heartbeat plus one socket with
+// the given power and memory concurrency.
+func shardSnap(beat, power, conc float64, now time.Duration) rcr.Snapshot {
+	return rcr.Snapshot{
+		Now:    now,
+		System: []rcr.MeterValue{{Name: rcr.MeterHeartbeat, Value: beat, Updated: now}},
+		Sockets: []rcr.DomainSnap{{Meters: []rcr.MeterValue{
+			{Name: rcr.MeterPower, Value: power, Updated: now},
+			{Name: rcr.MeterMemConcurrency, Value: conc, Updated: now},
+		}}},
+	}
+}
+
+// aggHarness wires an aggregator to scripted per-shard streams and a
+// recording SetCap seam.
+type aggHarness struct {
+	agg     *Aggregator
+	streams []*scriptStream
+	clock   *fakeClock
+	reg     *telemetry.Registry
+	journal *telemetry.Journal
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+func newAggHarness(t *testing.T, shards int, global units.Watts) *aggHarness {
+	t.Helper()
+	h := &aggHarness{
+		clock:   &fakeClock{},
+		reg:     telemetry.NewRegistry(),
+		journal: telemetry.NewJournal(1024, 1),
+		streams: make([]*scriptStream, shards),
+		done:    make(chan struct{}),
+	}
+	endpoints := make([]ShardEndpoint, shards)
+	for i := range endpoints {
+		endpoints[i] = ShardEndpoint{ID: i, Network: "unix", Addr: fmt.Sprintf("shard-%d", i)}
+		h.streams[i] = &scriptStream{ch: make(chan scriptEvent)}
+	}
+	agg, err := NewAggregator(AggregatorConfig{
+		Shards:        endpoints,
+		Global:        global,
+		Floor:         10,
+		Max:           200,
+		Period:        time.Hour, // Run's ticker never fires; tests drive Poll directly
+		HealthHorizon: 100 * time.Millisecond,
+		Clock:         h.clock.now,
+		SetCap:        func(int, units.Watts) error { return nil },
+		Telemetry:     h.reg,
+		Journal:       h.journal,
+		Tune: func(shard int, cfg *resilience.ClientConfig) {
+			cfg.Subscribe = func(context.Context, string, string) (resilience.SubStream, error) {
+				return h.streams[shard], nil
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.agg = agg
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	go func() { defer close(h.done); _ = agg.Run(ctx) }()
+	t.Cleanup(func() {
+		h.cancel()
+		<-h.done
+	})
+	return h
+}
+
+// push feeds one snapshot to a shard's stream and returns once the
+// subscribe goroutine has consumed it.
+func (h *aggHarness) push(shard int, snap rcr.Snapshot) {
+	h.streams[shard].ch <- scriptEvent{snap: snap}
+}
+
+// pollUntil drives Poll until cond holds or a wall deadline passes (the
+// subscribe goroutines apply pushed frames asynchronously).
+func (h *aggHarness) pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		h.agg.Poll()
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+func (h *aggHarness) journalCount(kind string) int {
+	n := 0
+	for _, d := range h.journal.Entries() {
+		if d.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAggregatorPartitionsTowardHeadroom: a memory-bound shard (memconc
+// at the knee) and a compute-bound shard (far below it) under a binding
+// budget — the compute-bound shard must receive the lion's share, the
+// sum must respect the budget, and both must sit at or above the floor.
+func TestAggregatorPartitionsTowardHeadroom(t *testing.T) {
+	leak.Check(t)
+	h := newAggHarness(t, 2, 100)
+	h.push(0, shardSnap(1, 90, 26, h.clock.now())) // memory-bound
+	h.push(1, shardSnap(1, 140, 4, h.clock.now())) // compute-bound
+	h.pollUntil(t, "both shards healthy with caps assigned", func() bool {
+		st := h.agg.Status()
+		return st.Healthy == 2 && st.CapsSum > 0
+	})
+	st := h.agg.Status()
+	if float64(st.CapsSum) > 100+sumEps {
+		t.Fatalf("Σcaps %.3f exceeds the 100 W budget", float64(st.CapsSum))
+	}
+	if st.Caps[1] <= st.Caps[0] {
+		t.Errorf("compute-bound shard got %.1f W, memory-bound %.1f W: headroom ignored",
+			float64(st.Caps[1]), float64(st.Caps[0]))
+	}
+	if st.Caps[0] < 10 || st.Caps[1] < 10 {
+		t.Errorf("floor violated: %v", st.Caps)
+	}
+	// The cluster blackboard mirrors the roll-up.
+	if m, ok := h.agg.Board().System(MeterBudget); !ok || m.Value != 100 {
+		t.Errorf("budget meter = %+v", m)
+	}
+	if m, ok := h.agg.Board().Socket(1, MeterCap); !ok || m.Value != float64(st.Caps[1]) {
+		t.Errorf("cap meter = %+v, want %.1f", m, float64(st.Caps[1]))
+	}
+}
+
+// TestAggregatorLendsAndRecovers: a shard whose heartbeat stops moving
+// is declared lost, its surplus flows to the survivors, and it gets its
+// share back after recovery — both transitions journaled.
+func TestAggregatorLendsAndRecovers(t *testing.T) {
+	leak.Check(t)
+	h := newAggHarness(t, 2, 100)
+	h.push(0, shardSnap(1, 60, 12, h.clock.now()))
+	h.push(1, shardSnap(1, 60, 12, h.clock.now()))
+	h.pollUntil(t, "both healthy", func() bool { return h.agg.Status().Healthy == 2 })
+	capsBefore := h.agg.Status().Caps
+
+	// Shard 1 goes dark: clock runs past the horizon while only shard 0
+	// keeps beating.
+	h.clock.advance(150 * time.Millisecond)
+	h.push(0, shardSnap(2, 60, 12, h.clock.now()))
+	h.pollUntil(t, "shard 1 lost", func() bool { return h.agg.Status().Healthy == 1 })
+	st := h.agg.Status()
+	if st.Caps[1] != 10 {
+		t.Errorf("lost shard holds %.1f W, want its 10 W floor", float64(st.Caps[1]))
+	}
+	if st.Caps[0] <= capsBefore[0] {
+		t.Errorf("survivor's cap %.1f W did not grow from %.1f W", float64(st.Caps[0]), float64(capsBefore[0]))
+	}
+	if float64(st.CapsSum) > 100+sumEps {
+		t.Fatalf("Σcaps %.3f exceeds budget during outage", float64(st.CapsSum))
+	}
+	if h.journalCount(telemetry.KindShardLost) == 0 {
+		t.Error("shard loss not journaled")
+	}
+
+	// Recovery: the heartbeat moves again.
+	h.push(1, shardSnap(2, 60, 12, h.clock.now()))
+	h.pollUntil(t, "shard 1 recovered", func() bool { return h.agg.Status().Healthy == 2 })
+	st = h.agg.Status()
+	if st.Caps[1] <= 10 {
+		t.Errorf("recovered shard still at %.1f W", float64(st.Caps[1]))
+	}
+	if h.journalCount(telemetry.KindShardRecovered) == 0 {
+		t.Error("shard recovery not journaled")
+	}
+}
+
+// TestAggregatorDetectsRestart: a heartbeat running backwards is a new
+// shard incarnation — counted, journaled, and exported as a new epoch.
+func TestAggregatorDetectsRestart(t *testing.T) {
+	leak.Check(t)
+	h := newAggHarness(t, 1, 100)
+	h.push(0, shardSnap(50, 80, 10, h.clock.now()))
+	h.pollUntil(t, "shard seen", func() bool { return h.agg.Status().Healthy == 1 })
+	if f := h.agg.Frame(); f.Shards[0].Epoch != 0 || f.Shards[0].Ver != 50 {
+		t.Fatalf("initial frame %+v", f.Shards[0])
+	}
+
+	h.push(0, shardSnap(2, 80, 10, h.clock.now())) // fresh blackboard: beat restarted
+	h.pollUntil(t, "restart detected", func() bool { return h.agg.Status().ShardRestarts == 1 })
+	if h.journalCount(telemetry.KindShardRestarted) != 1 {
+		t.Errorf("%d restart records, want 1", h.journalCount(telemetry.KindShardRestarted))
+	}
+	f := h.agg.Frame()
+	if f.Shards[0].Epoch != 1 || f.Shards[0].Ver != 2 {
+		t.Errorf("post-restart frame %+v, want epoch 1 ver 2", f.Shards[0])
+	}
+
+	// The exported frame survives the wire and replay protection: an
+	// old-epoch frame captured before the restart cannot poison a
+	// receiver that already folded the new incarnation in.
+	preRestart := ClusterFrame{Budget: 100, Shards: []ShardRecord{{ID: 0, Epoch: 0, Ver: 50, Healthy: true, Power: 80, Headroom: 0.5, Cap: 90}}}
+	var decoded ClusterFrame
+	if err := DecodeClusterFrame(AppendClusterFrame(nil, &f), &decoded); err != nil {
+		t.Fatalf("exported frame does not decode: %v", err)
+	}
+	cs := NewClusterState()
+	cs.Apply(&decoded)
+	if got := cs.Apply(&preRestart); got != 0 {
+		t.Errorf("pre-restart replay applied %d records", got)
+	}
+}
+
+// TestAggregatorGapResyncObservable is the regression test for delta-gap
+// visibility on the aggregation path: a gap episode inside a shard's
+// live stream (dropped deltas during a shard hiccup) must surface as
+// exactly one sub_gap_resync journal record and one counter increment
+// per episode — and the shard state the aggregator acts on must jump
+// from the pre-gap snapshot straight to the resync frame, never through
+// a stale merge.
+func TestAggregatorGapResyncObservable(t *testing.T) {
+	leak.Check(t)
+	h := newAggHarness(t, 1, 100)
+	gapCounter := h.reg.Counter("resilience_client_gap_resyncs_total")
+
+	h.push(0, shardSnap(10, 80, 10, h.clock.now()))
+	h.pollUntil(t, "pre-gap frame applied", func() bool { return h.agg.Frame().Shards[0].Ver == 10 })
+
+	// Episode 1: three consecutive gapped deltas, then the server's
+	// full-frame resync. Mid-episode the aggregator must still be acting
+	// on the pre-gap state, not a partial merge.
+	for i := 0; i < 3; i++ {
+		h.streams[0].ch <- scriptEvent{err: rcr.ErrDeltaGap}
+	}
+	h.pollUntil(t, "gap episode journaled", func() bool { return gapCounter.Value() == 1 })
+	if v := h.agg.Frame().Shards[0].Ver; v != 10 {
+		t.Errorf("mid-gap shard ver %d, want the pre-gap 10 (stale merge?)", v)
+	}
+	h.push(0, shardSnap(14, 82, 10, h.clock.now()))
+	h.pollUntil(t, "resync frame applied", func() bool { return h.agg.Frame().Shards[0].Ver == 14 })
+	if got := h.journalCount(telemetry.KindSubGapResync); got != 1 {
+		t.Errorf("%d sub_gap_resync records after one episode, want 1", got)
+	}
+
+	// Episode 2 proves per-episode (not per-frame) accounting.
+	h.streams[0].ch <- scriptEvent{err: rcr.ErrDeltaGap}
+	h.pollUntil(t, "second episode counted", func() bool { return gapCounter.Value() == 2 })
+	h.push(0, shardSnap(15, 82, 10, h.clock.now()))
+	h.pollUntil(t, "second resync applied", func() bool { return h.agg.Frame().Shards[0].Ver == 15 })
+	if got := h.journalCount(telemetry.KindSubGapResync); got != 2 {
+		t.Errorf("%d sub_gap_resync records after two episodes, want 2", got)
+	}
+	// A ridden-out gap is not an outage: no loss/resume records, no
+	// resubscribe.
+	if h.journalCount(telemetry.KindSubLost) != 0 || h.journalCount(telemetry.KindSubResumed) != 0 {
+		t.Error("gap episodes journaled as outages")
+	}
+	if v := h.reg.Counter("resilience_client_resubscribes_total").Value(); v != 0 {
+		t.Errorf("%d resubscribes during in-stream gaps, want 0", v)
+	}
+}
+
+func TestNewAggregatorValidation(t *testing.T) {
+	ep := []ShardEndpoint{{ID: 0, Network: "unix", Addr: "x"}}
+	clock := func() time.Duration { return 0 }
+	setCap := func(int, units.Watts) error { return nil }
+	cases := []struct {
+		name string
+		cfg  AggregatorConfig
+	}{
+		{"no shards", AggregatorConfig{Global: 100, Clock: clock, SetCap: setCap}},
+		{"no budget", AggregatorConfig{Shards: ep, Clock: clock, SetCap: setCap}},
+		{"no clock", AggregatorConfig{Shards: ep, Global: 100, SetCap: setCap}},
+		{"no setcap", AggregatorConfig{Shards: ep, Global: 100, Clock: clock}},
+	}
+	for _, c := range cases {
+		if _, err := NewAggregator(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

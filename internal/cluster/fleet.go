@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/rcr"
+	"repro/internal/units"
+)
+
+// Fleet is the full-stack counterpart of the soak's synthetic shards: N
+// independent core.System instances — each a complete simulated node
+// with its own sampler, blackboard, task runtime and power-cap
+// controller — served over per-shard unix sockets exactly like the
+// standalone rcrd daemon. An Aggregator pointed at Endpoints() closes
+// the loop: shard meters flow up through the delta streams, per-shard
+// budget shares flow back down through SetCap into each node's
+// maestro.PowerCap.
+//
+// Shards run on their own virtual clocks (time advances as their
+// workloads execute), so cross-shard coordination — the aggregator —
+// lives in host time and judges shard liveness by heartbeat movement,
+// never by comparing virtual timestamps across nodes.
+type Fleet struct {
+	dir    string
+	ownDir bool
+	shards []*fleetShard
+}
+
+// fleetShard is one full-stack node plus its daemon endpoint.
+type fleetShard struct {
+	sys      *core.System
+	srv      *rcr.Server
+	socket   string
+	serveErr chan error
+}
+
+// FleetConfig sizes a Fleet.
+type FleetConfig struct {
+	// Shards is the node count. Zero selects 4.
+	Shards int
+	// Dir hosts the shard sockets; empty selects a fresh temp dir that
+	// Close removes.
+	Dir string
+	// Machine is each node's configuration; zero value selects M620.
+	Machine machine.Config
+	// Workers is each node's task-runtime worker count; zero means all
+	// cores.
+	Workers int
+	// SamplePeriod is each node's blackboard refresh interval (virtual
+	// time); zero selects the sampler default.
+	SamplePeriod time.Duration
+	// InitialCap is each node's starting power bound. It must be
+	// positive: the cap controller is the aggregator's actuator, so every
+	// shard needs one running. Zero selects a bound high enough (1 kW) to
+	// be non-binding until the aggregator assigns a real share.
+	InitialCap units.Watts
+}
+
+// NewFleet builds and starts every shard; on any failure the shards
+// already started are torn down.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.InitialCap <= 0 {
+		cfg.InitialCap = 1000
+	}
+	f := &Fleet{dir: cfg.Dir}
+	if f.dir == "" {
+		dir, err := os.MkdirTemp("", "rcrd-fleet")
+		if err != nil {
+			return nil, err
+		}
+		f.dir, f.ownDir = dir, true
+	} else if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := startFleetShard(i, f.dir, cfg)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, sh)
+	}
+	return f, nil
+}
+
+func startFleetShard(id int, dir string, cfg FleetConfig) (*fleetShard, error) {
+	sys, err := core.New(core.Options{
+		Machine:      cfg.Machine,
+		Workers:      cfg.Workers,
+		SamplePeriod: cfg.SamplePeriod,
+		PowerCap:     cfg.InitialCap,
+		Warm:         true,
+		Telemetry:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	socket := filepath.Join(dir, fmt.Sprintf("shard-%d.sock", id))
+	if err := os.Remove(socket); err != nil && !os.IsNotExist(err) {
+		sys.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	srv := rcr.NewServer(sys.Blackboard(), sys.Machine(), ln)
+	srv.Instrument(sys.Telemetry())
+	srv.Pub = rcr.NewPublisher(sys.Blackboard())
+	srv.Pub.Instrument(sys.Telemetry())
+	sys.AttachPublisher(srv.Pub)
+	sh := &fleetShard{sys: sys, srv: srv, socket: socket, serveErr: make(chan error, 1)}
+	go func() { sh.serveErr <- srv.Serve() }()
+	return sh, nil
+}
+
+// Len returns the shard count.
+func (f *Fleet) Len() int { return len(f.shards) }
+
+// System returns shard i's full stack (to run workloads on it).
+func (f *Fleet) System(i int) *core.System { return f.shards[i].sys }
+
+// Endpoints returns the shard daemon addresses in AggregatorConfig form.
+func (f *Fleet) Endpoints() []ShardEndpoint {
+	eps := make([]ShardEndpoint, len(f.shards))
+	for i, sh := range f.shards {
+		eps[i] = ShardEndpoint{ID: i, Network: "unix", Addr: sh.socket}
+	}
+	return eps
+}
+
+// SetCap retunes shard i's power bound — the seam handed to
+// AggregatorConfig.SetCap so the hierarchical controller enforces its
+// partition through each node's own cap controller.
+func (f *Fleet) SetCap(i int, cap units.Watts) error {
+	if i < 0 || i >= len(f.shards) {
+		return fmt.Errorf("cluster: no shard %d", i)
+	}
+	return f.shards[i].sys.PowerCapController().SetCap(cap)
+}
+
+// Close tears every shard down (server first, then the stack) and
+// removes the socket dir if the fleet created it. Idempotent.
+func (f *Fleet) Close() {
+	for _, sh := range f.shards {
+		if sh.srv != nil {
+			_ = sh.srv.Close()
+			<-sh.serveErr
+			sh.srv = nil
+		}
+		sh.sys.Close()
+	}
+	f.shards = nil
+	if f.ownDir && f.dir != "" {
+		os.RemoveAll(f.dir)
+		f.dir = ""
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; the
+// soak stretches its timebase under -race because instrumented code
+// runs several times slower than the real-time fault schedule assumes.
+const raceEnabled = false

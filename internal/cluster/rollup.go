@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Cluster roll-up encoding ("CLS1"): the aggregator's fleet-wide state
+// as one frame, exported up the hierarchy (a rack aggregator feeding a
+// row aggregator) or to operators. Unlike the per-node RCRF/RCRD frames
+// the records here carry explicit shard identity and incarnation, so a
+// receiver can reject replayed or out-of-order frames no matter how
+// they were transported:
+//
+//	header:
+//	  magic    [4]byte "CLS1"
+//	  now      int64   (ns, aggregator host clock)
+//	  budget   float64 (global watt budget)
+//	  nShards  uint16
+//	per shard, ascending strictly unique id:
+//	  id       uint16
+//	  epoch    uint32  shard incarnation (bumps when a restart is seen)
+//	  ver      uint64  shard blackboard version inside the epoch
+//	  flags    uint8   (ShardHealthy)
+//	  power    float64 (W, current draw)
+//	  headroom float64 (in [0,1])
+//	  cap      float64 (W, assigned share of the budget)
+//
+// All integers are little-endian. Decoding is strict — unknown flags,
+// non-finite or negative quantities, out-of-range headroom, unsorted
+// ids and trailing bytes are all rejected — so a corrupt frame fails
+// loudly instead of poisoning the receiving blackboard, and encoding is
+// canonical: any frame that decodes re-encodes to the identical bytes
+// (the fuzz harness holds this as an invariant).
+
+var rollupMagic = [4]byte{'C', 'L', 'S', '1'}
+
+// ShardHealthy flags a shard record as live at collection time.
+const ShardHealthy uint8 = 1 << 0
+
+// maxRollupShards bounds the decoded shard count; 4096 nodes is an
+// order of magnitude beyond the fleet sizes this tier simulates.
+const maxRollupShards = 4096
+
+// ShardRecord is one shard's line in a roll-up frame.
+type ShardRecord struct {
+	ID       uint16
+	Epoch    uint32 // incarnation; a restart starts a new epoch
+	Ver      uint64 // blackboard version within the epoch
+	Healthy  bool
+	Power    float64 // W
+	Headroom float64 // [0,1]
+	Cap      float64 // W, assigned share
+}
+
+// ClusterFrame is the decoded form of a "CLS1" frame.
+type ClusterFrame struct {
+	Now    time.Duration
+	Budget float64
+	Shards []ShardRecord
+}
+
+const rollupHeaderSize = 4 + 8 + 8 + 2
+const rollupRecordSize = 2 + 4 + 8 + 1 + 8 + 8 + 8
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendClusterFrame serializes f onto dst (one allocation at most).
+func AppendClusterFrame(dst []byte, f *ClusterFrame) []byte {
+	need := rollupHeaderSize + rollupRecordSize*len(f.Shards)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, rollupMagic[:]...)
+	dst = appendU64(dst, uint64(int64(f.Now)))
+	dst = appendU64(dst, math.Float64bits(f.Budget))
+	dst = appendU16(dst, uint16(len(f.Shards)))
+	for i := range f.Shards {
+		s := &f.Shards[i]
+		dst = appendU16(dst, s.ID)
+		dst = appendU32(dst, s.Epoch)
+		dst = appendU64(dst, s.Ver)
+		var flags uint8
+		if s.Healthy {
+			flags |= ShardHealthy
+		}
+		dst = append(dst, flags)
+		dst = appendU64(dst, math.Float64bits(s.Power))
+		dst = appendU64(dst, math.Float64bits(s.Headroom))
+		dst = appendU64(dst, math.Float64bits(s.Cap))
+	}
+	return dst
+}
+
+type rollupReader struct {
+	data []byte
+	off  int
+}
+
+func (r *rollupReader) take(n int) ([]byte, error) {
+	if len(r.data)-r.off < n {
+		return nil, fmt.Errorf("cluster: frame truncated at byte %d (need %d more)", r.off, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *rollupReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+func (r *rollupReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+func (r *rollupReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// wattOK accepts a finite, non-negative power/cap/budget quantity.
+func wattOK(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// DecodeClusterFrame parses a "CLS1" frame into f (Shards replaced).
+// Decoding is strict: every quantity is validated so a corrupt or
+// crafted frame errors out rather than entering the blackboard.
+func DecodeClusterFrame(data []byte, f *ClusterFrame) error {
+	r := &rollupReader{data: data}
+	magic, err := r.take(4)
+	if err != nil {
+		return err
+	}
+	if [4]byte(magic) != rollupMagic {
+		return fmt.Errorf("cluster: bad roll-up magic %q", magic)
+	}
+	now, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if int64(now) < 0 {
+		return fmt.Errorf("cluster: negative frame time %d", int64(now))
+	}
+	f.Now = time.Duration(int64(now))
+	budgetBits, err := r.u64()
+	if err != nil {
+		return err
+	}
+	f.Budget = math.Float64frombits(budgetBits)
+	if !wattOK(f.Budget) {
+		return fmt.Errorf("cluster: implausible budget %g W", f.Budget)
+	}
+	n, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if n > maxRollupShards {
+		return fmt.Errorf("cluster: implausible shard count %d", n)
+	}
+	f.Shards = f.Shards[:0]
+	lastID := -1
+	for i := 0; i < int(n); i++ {
+		var s ShardRecord
+		if s.ID, err = r.u16(); err != nil {
+			return err
+		}
+		if int(s.ID) <= lastID {
+			return fmt.Errorf("cluster: shard ids not strictly increasing (%d after %d)", s.ID, lastID)
+		}
+		lastID = int(s.ID)
+		if s.Epoch, err = r.u32(); err != nil {
+			return err
+		}
+		if s.Ver, err = r.u64(); err != nil {
+			return err
+		}
+		flags, err := r.take(1)
+		if err != nil {
+			return err
+		}
+		if flags[0]&^ShardHealthy != 0 {
+			return fmt.Errorf("cluster: shard %d has unknown flags %#x", s.ID, flags[0])
+		}
+		s.Healthy = flags[0]&ShardHealthy != 0
+		powerBits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.Power = math.Float64frombits(powerBits)
+		if !wattOK(s.Power) {
+			return fmt.Errorf("cluster: shard %d has implausible power %g W", s.ID, s.Power)
+		}
+		hrBits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.Headroom = math.Float64frombits(hrBits)
+		if math.IsNaN(s.Headroom) || s.Headroom < 0 || s.Headroom > 1 {
+			return fmt.Errorf("cluster: shard %d has headroom %g outside [0,1]", s.ID, s.Headroom)
+		}
+		capBits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.Cap = math.Float64frombits(capBits)
+		if !wattOK(s.Cap) {
+			return fmt.Errorf("cluster: shard %d has implausible cap %g W", s.ID, s.Cap)
+		}
+		f.Shards = append(f.Shards, s)
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("cluster: %d trailing bytes after roll-up frame", len(data)-r.off)
+	}
+	return nil
+}
+
+// IsClusterFrame reports whether data begins with the roll-up magic.
+func IsClusterFrame(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[:4]) == rollupMagic
+}
+
+// shardSeen is the receiver's high-water mark for one shard.
+type shardSeen struct {
+	epoch uint32
+	ver   uint64
+	rec   ShardRecord
+}
+
+// ClusterState is the receiving side of the roll-up path: it folds
+// decoded frames into a per-shard latest-record view while refusing to
+// move backwards. A record from an older epoch (a replayed frame from
+// before a shard restart) or a stale version within the current epoch
+// is skipped and counted, never merged — the replay/anti-poison
+// guarantee the fuzz and regression tests pin down. Not safe for
+// concurrent use; the aggregator owns it from a single goroutine.
+type ClusterState struct {
+	shards map[uint16]*shardSeen
+	now    time.Duration
+
+	// Applied counts records accepted; Replayed counts stale-version
+	// skips; Regressed counts old-epoch skips.
+	Applied   uint64
+	Replayed  uint64
+	Regressed uint64
+}
+
+// NewClusterState returns an empty receiver state.
+func NewClusterState() *ClusterState {
+	return &ClusterState{shards: make(map[uint16]*shardSeen)}
+}
+
+// Now returns the newest frame time folded in.
+func (cs *ClusterState) Now() time.Duration { return cs.now }
+
+// Shard returns the latest accepted record for a shard id.
+func (cs *ClusterState) Shard(id uint16) (ShardRecord, bool) {
+	s, ok := cs.shards[id]
+	if !ok {
+		return ShardRecord{}, false
+	}
+	return s.rec, true
+}
+
+// Apply folds one decoded frame into the state and reports how many of
+// its records were accepted. Per shard, a record is accepted when it
+// opens a new epoch or advances the version within the current epoch;
+// an older epoch or a non-advancing version is skipped and counted.
+// Frame time moves monotonically.
+func (cs *ClusterState) Apply(f *ClusterFrame) int {
+	if f.Now > cs.now {
+		cs.now = f.Now
+	}
+	accepted := 0
+	for i := range f.Shards {
+		rec := f.Shards[i]
+		s, ok := cs.shards[rec.ID]
+		switch {
+		case !ok:
+			cs.shards[rec.ID] = &shardSeen{epoch: rec.Epoch, ver: rec.Ver, rec: rec}
+		case rec.Epoch < s.epoch:
+			cs.Regressed++
+			continue
+		case rec.Epoch == s.epoch && rec.Ver <= s.ver:
+			cs.Replayed++
+			continue
+		default:
+			s.epoch, s.ver, s.rec = rec.Epoch, rec.Ver, rec
+		}
+		accepted++
+		cs.Applied++
+	}
+	return accepted
+}

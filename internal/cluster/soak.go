@@ -1,0 +1,570 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Fleet chaos soak: N synthetic shards — each a real rcrd server on a
+// real unix socket with its own blackboard and delta publisher — under
+// one aggregator, driven through a seeded faults.FleetSchedule that
+// kills/restarts shards, resets their connections and slow-lorises
+// their sockets while the global budget keeps being re-partitioned.
+// The shards are synthetic (a feeder goroutine stands in for the full
+// core.System stack) because the soak subject is the aggregation tier:
+// subscription resilience across shard crashes, restart/epoch
+// detection, and above all the conservation invariant, audited
+// independently at the SetCap seam after every single application.
+//
+// Like the single-node soak (internal/resilience/soak) this runs in
+// host time against real sockets; internal/cluster/fleet.go is the
+// full-stack (virtual-time core.System) counterpart used by the
+// experiments harness.
+
+// SoakConfig tunes one fleet soak run.
+type SoakConfig struct {
+	// Seed determines the fleet fault schedule and all retry jitter.
+	Seed uint64
+	// Shards is the fleet size. Zero selects 8.
+	Shards int
+	// Budget is the wall-time length of the run. Zero selects 2 s; all
+	// fault windows close by 80% of it, leaving a convergence tail.
+	Budget time.Duration
+	// FeedPeriod is the synthetic shards' sample cadence. Zero selects
+	// 2 ms.
+	FeedPeriod time.Duration
+	// Period is the aggregator's poll/repartition cadence. Zero selects
+	// 10 ms.
+	Period time.Duration
+	// Global is the fleet-wide budget. Zero selects 60 W per shard —
+	// binding, so the partitioner always has real work.
+	Global units.Watts
+	// ConvergeK is how many final polls must pass with a full-health,
+	// cap-stable fleet for the run to count as converged. Zero selects 3.
+	ConvergeK uint64
+	// Dir hosts the shard sockets; empty selects a fresh temp dir.
+	Dir string
+	// SkipResourceAudit disables the per-run goroutine/heap audit (the
+	// corpus fan-out runs many soaks concurrently and audits once).
+	SkipResourceAudit bool
+	// Telemetry, when non-nil, receives every component's instruments.
+	Telemetry *telemetry.Registry
+}
+
+// SoakReport is the audited outcome of one fleet soak run.
+type SoakReport struct {
+	Seed      uint64
+	Shards    int
+	Events    int
+	ClearTime time.Duration
+
+	// Aggregation activity.
+	Polls         uint64
+	Repartitions  uint64
+	CapPushes     uint64 // individual SetCap applications audited
+	GapResyncs    uint64 // delta-gap episodes ridden out by shard clients
+	Resubscribes  uint64 // streams re-opened after a shard loss
+	RestartsSeen  uint64 // shard restarts the aggregator detected (epoch bumps)
+	HealthyAtEnd  int
+	Converged     bool
+	LastChange    uint64 // poll index of the final cap change
+	FinalCapsSumW float64
+
+	// Faults injected.
+	ShardKills uint64 // shard server kill/restart cycles performed
+	Resets     uint64
+	LorisConns uint64
+
+	// Invariant audit.
+	ConservationViolations uint64 // Σ applied caps > global, at any push
+	GoroutineGrowth        int
+	HeapGrowthBytes        int64
+
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *SoakReport) Passed() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as one line.
+func (r *SoakReport) Summary() string {
+	return fmt.Sprintf("seed %d: %d shards, %d events, %d polls, %d repartitions, %d cap-pushes, %d kills, %d resets, %d loris, %d restarts-seen, %d gap-resyncs, %d resubs, %d conservation-violations, healthy %d/%d, converged %v, goroutines %+d",
+		r.Seed, r.Shards, r.Events, r.Polls, r.Repartitions, r.CapPushes,
+		r.ShardKills, r.Resets, r.LorisConns, r.RestartsSeen, r.GapResyncs, r.Resubscribes,
+		r.ConservationViolations, r.HealthyAtEnd, r.Shards, r.Converged, r.GoroutineGrowth)
+}
+
+// soakHeapBound is the accepted HeapAlloc delta across a run.
+const soakHeapBound = 48 << 20
+
+// hostClock measures host time from a run's start; it serves as the
+// aggregator's clock and every shard server's rcr.Clock.
+type hostClock struct{ t0 time.Time }
+
+func (c *hostClock) Now() time.Duration { return time.Since(c.t0) }
+
+// capAuditor is the independent conservation monitor wrapped around the
+// SetCap seam: it re-checks Σ(applied caps) ≤ global after every single
+// application, so a partitioner or apply-order bug cannot hide between
+// polls.
+type capAuditor struct {
+	global float64
+	mu     sync.Mutex
+	caps   []float64
+	pushes uint64
+	bad    uint64
+}
+
+func (ca *capAuditor) set(shard int, cap units.Watts) error {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.caps[shard] = float64(cap)
+	ca.pushes++
+	sum := 0.0
+	for _, c := range ca.caps {
+		sum += c
+	}
+	if sum > ca.global+sumEps {
+		ca.bad++
+	}
+	return nil
+}
+
+// cap returns the shard's currently applied cap (0 = never assigned).
+func (ca *capAuditor) cap(shard int) float64 {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.caps[shard]
+}
+
+// soakShard is one synthetic shard: a restartable rcrd server whose
+// blackboard is fed by the shared feeder. A restart swaps in a fresh
+// blackboard, so the new incarnation's heartbeat restarts from 1 —
+// exactly what a real shard crash looks like to the aggregator.
+type soakShard struct {
+	id     int
+	socket string
+	clock  *hostClock
+	sched  faults.FleetSchedule
+	reg    *telemetry.Registry
+	rep    *SoakReport
+
+	mu       sync.Mutex
+	bb       *rcr.Blackboard
+	srv      *rcr.Server
+	serveErr chan error
+	beat     float64
+}
+
+func (s *soakShard) start() error {
+	if err := os.Remove(s.socket); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	ln, err := net.Listen("unix", s.socket)
+	if err != nil {
+		return err
+	}
+	bb, err := rcr.NewBlackboard(2, 2)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv := rcr.NewServer(bb, s.clock, &shardChaosListener{Listener: ln, shard: s})
+	srv.MaxConns = 8
+	srv.AcceptQueue = 16
+	srv.Shed = true
+	srv.DrainTimeout = 50 * time.Millisecond
+	srv.ReadTimeout = 100 * time.Millisecond
+	srv.WriteTimeout = 100 * time.Millisecond
+	srv.Pub = rcr.NewPublisher(bb)
+	srv.Pub.Instrument(s.reg)
+	srv.Instrument(s.reg)
+	ch := make(chan error, 1)
+	go func() { ch <- srv.Serve() }()
+	s.mu.Lock()
+	s.bb, s.srv, s.serveErr, s.beat = bb, srv, ch, 0
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *soakShard) stop() {
+	s.mu.Lock()
+	srv, ch := s.srv, s.serveErr
+	s.srv, s.serveErr, s.bb = nil, nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return
+	}
+	_ = srv.Close()
+	<-ch
+}
+
+// feed writes one synthetic sample tick: heartbeat, per-socket power
+// and memory concurrency, then drives the publisher. Power follows the
+// applied cap — a capped shard draws min(demand, cap) — so the
+// aggregator's partitioning visibly shapes the fleet it observes. Even
+// shards are memory-bound (high concurrency near the knee, low
+// headroom), odd shards compute-bound (low concurrency, high headroom):
+// the skew that makes proportional partitioning differ from an equal
+// split.
+func (s *soakShard) feed(now time.Duration, cap float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv == nil {
+		return
+	}
+	s.beat++
+	demand, conc := 150.0, 4.0 // compute-bound
+	if s.id%2 == 0 {
+		demand, conc = 100.0, 26.0 // memory-bound, near the 28-ref knee
+	}
+	power := demand
+	if cap > 0 && cap < power {
+		power = cap
+	}
+	power += 3 * float64(int(s.beat)%3-1) // ±3 W sampling ripple
+	if power < 0 {
+		power = 0
+	}
+	s.bb.SetSystem(rcr.MeterHeartbeat, s.beat, now)
+	for d := 0; d < s.bb.Sockets(); d++ {
+		s.bb.SetSocket(d, rcr.MeterPower, power/float64(s.bb.Sockets()), now)
+		s.bb.SetSocket(d, rcr.MeterMemConcurrency, conc, now)
+	}
+	s.srv.Pub.Tick(now)
+}
+
+// run executes the shard's ServerRestart windows: the shard dies at
+// each window's start and a fresh incarnation comes back at its end.
+func (s *soakShard) run(budget time.Duration, kills *uint64) {
+	type window struct{ start, end time.Duration }
+	var wins []window
+	for _, ev := range s.sched.Events {
+		if ev.Shard == s.id && ev.Kind == faults.ServerRestart {
+			wins = append(wins, window{ev.Start, ev.End})
+		}
+	}
+	for i := 0; i < len(wins); i++ {
+		for j := i + 1; j < len(wins); j++ {
+			if wins[j].start < wins[i].start {
+				wins[i], wins[j] = wins[j], wins[i]
+			}
+		}
+	}
+	for _, w := range wins {
+		if d := w.start - s.clock.Now(); d > 0 {
+			time.Sleep(d)
+		}
+		if s.clock.Now() >= budget {
+			return
+		}
+		s.stop()
+		if d := w.end - s.clock.Now(); d > 0 {
+			time.Sleep(d)
+		}
+		if err := s.start(); err != nil {
+			time.Sleep(5 * time.Millisecond)
+			if err := s.start(); err != nil {
+				return
+			}
+		}
+		atomic.AddUint64(kills, 1)
+	}
+}
+
+// shardChaosListener injects ConnReset windows scoped to its shard.
+type shardChaosListener struct {
+	net.Listener
+	shard *soakShard
+}
+
+func (l *shardChaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range l.shard.sched.ActiveOn(l.shard.id, l.shard.clock.Now()) {
+		if k == faults.ConnReset {
+			atomic.AddUint64(&l.shard.rep.Resets, 1)
+			return &resetConn{Conn: c}, nil
+		}
+	}
+	return c, nil
+}
+
+// resetConn fails every write as if the peer reset the connection.
+type resetConn struct{ net.Conn }
+
+func (c *resetConn) Write([]byte) (int, error) {
+	c.Conn.Close()
+	return 0, fmt.Errorf("write: connection reset by peer (injected)")
+}
+
+// runFleetLoris dials slow-loris connections against shards inside
+// their SlowLoris windows: one byte, then silence, until the server's
+// read deadline frees the worker.
+func runFleetLoris(clock *hostClock, shards []*soakShard, sched faults.FleetSchedule, budget time.Duration, rep *SoakReport) {
+	conns := make(map[int][]net.Conn)
+	defer func() {
+		for _, cs := range conns {
+			for _, c := range cs {
+				c.Close()
+			}
+		}
+	}()
+	for clock.Now() < budget {
+		now := clock.Now()
+		for _, sh := range shards {
+			active := false
+			for _, k := range sched.ActiveOn(sh.id, now) {
+				if k == faults.SlowLoris {
+					active = true
+				}
+			}
+			if active && len(conns[sh.id]) < 4 {
+				if c, err := net.DialTimeout("unix", sh.socket, 20*time.Millisecond); err == nil {
+					conns[sh.id] = append(conns[sh.id], c)
+					atomic.AddUint64(&rep.LorisConns, 1)
+					_, _ = c.Write([]byte("G"))
+				}
+			}
+			if !active && len(conns[sh.id]) > 0 {
+				for _, c := range conns[sh.id] {
+					c.Close()
+				}
+				conns[sh.id] = conns[sh.id][:0]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// RunSoak executes one fleet chaos soak and audits it.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2 * time.Second
+	}
+	if cfg.FeedPeriod <= 0 {
+		cfg.FeedPeriod = 2 * time.Millisecond
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.Global <= 0 {
+		cfg.Global = units.Watts(60 * float64(cfg.Shards))
+	}
+	if cfg.ConvergeK == 0 {
+		cfg.ConvergeK = 3
+	}
+	if raceEnabled {
+		// Race instrumentation slows the pipeline several-fold; stretch
+		// the whole timebase uniformly so the run exercises the same
+		// number of polls, feeds and fault windows in slowed-down time.
+		cfg.Budget *= 4
+		cfg.FeedPeriod *= 4
+		cfg.Period *= 4
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "clustersoak"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	sched := faults.GenerateFleetSchedule(cfg.Seed, cfg.Shards, cfg.Budget*4/5)
+	rep := &SoakReport{
+		Seed:      cfg.Seed,
+		Shards:    cfg.Shards,
+		Events:    len(sched.Events),
+		ClearTime: sched.ClearTime(),
+	}
+
+	var goroutinesBefore int
+	var msBefore runtime.MemStats
+	if !cfg.SkipResourceAudit {
+		goroutinesBefore = runtime.NumGoroutine()
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+	}
+
+	clock := &hostClock{t0: time.Now()}
+	shards := make([]*soakShard, cfg.Shards)
+	endpoints := make([]ShardEndpoint, cfg.Shards)
+	for i := range shards {
+		shards[i] = &soakShard{
+			id:     i,
+			socket: filepath.Join(dir, fmt.Sprintf("shard-%d.sock", i)),
+			clock:  clock,
+			sched:  sched,
+			reg:    reg,
+			rep:    rep,
+		}
+		if err := shards[i].start(); err != nil {
+			for j := 0; j < i; j++ {
+				shards[j].stop()
+			}
+			return nil, err
+		}
+		endpoints[i] = ShardEndpoint{ID: i, Network: "unix", Addr: shards[i].socket}
+	}
+
+	auditor := &capAuditor{global: float64(cfg.Global), caps: make([]float64, cfg.Shards)}
+	journal := telemetry.NewJournal(1<<12, 1)
+	agg, err := NewAggregator(AggregatorConfig{
+		Shards:        endpoints,
+		Global:        cfg.Global,
+		Floor:         10,
+		Max:           200,
+		Period:        cfg.Period,
+		HealthHorizon: 6 * cfg.Period,
+		Clock:         clock.Now,
+		SetCap:        auditor.set,
+		Telemetry:     reg,
+		Journal:       journal,
+		Tune: func(shard int, ccfg *resilience.ClientConfig) {
+			ccfg.Backoff = resilience.Backoff{
+				Base: 5 * time.Millisecond,
+				Max:  40 * time.Millisecond,
+				Seed: cfg.Seed ^ uint64(shard)<<20,
+			}
+		},
+	})
+	if err != nil {
+		for _, sh := range shards {
+			sh.stop()
+		}
+		return nil, err
+	}
+
+	// Feeder: one goroutine ticks every shard on the host cadence.
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		tick := time.NewTicker(cfg.FeedPeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopFeed:
+				return
+			case <-tick.C:
+				now := clock.Now()
+				for i, sh := range shards {
+					sh.feed(now, auditor.cap(i))
+				}
+			}
+		}
+	}()
+
+	// Aggregator: subscriptions plus the poll/repartition ticker.
+	ctx, cancel := context.WithCancel(context.Background())
+	aggDone := make(chan error, 1)
+	go func() { aggDone <- agg.Run(ctx) }()
+
+	// Chaos: per-shard restart schedules plus the fleet loris attacker.
+	var chaosWG sync.WaitGroup
+	for _, sh := range shards {
+		chaosWG.Add(1)
+		go func(sh *soakShard) {
+			defer chaosWG.Done()
+			sh.run(cfg.Budget, &rep.ShardKills)
+		}(sh)
+	}
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		runFleetLoris(clock, shards, sched, cfg.Budget, rep)
+	}()
+
+	// Let the run play out, then tear down in dependency order.
+	time.Sleep(cfg.Budget - clock.Now())
+	chaosWG.Wait()
+	st := agg.Status()
+	converged := agg.ConvergedSince(cfg.ConvergeK)
+	cancel()
+	<-aggDone
+	close(stopFeed)
+	feedWG.Wait()
+	for _, sh := range shards {
+		sh.stop()
+	}
+
+	rep.Polls = st.Polls
+	rep.Repartitions = reg.Counter("cluster_repartitions_total").Value()
+	rep.RestartsSeen = st.ShardRestarts
+	rep.HealthyAtEnd = st.Healthy
+	rep.Converged = converged
+	rep.LastChange = st.LastChange
+	rep.FinalCapsSumW = float64(st.CapsSum)
+	rep.CapPushes = auditor.pushes
+	rep.ConservationViolations = auditor.bad + reg.Counter("cluster_conservation_violations_total").Value()
+	rep.GapResyncs = reg.Counter("resilience_client_gap_resyncs_total").Value()
+	rep.Resubscribes = reg.Counter("resilience_client_resubscribes_total").Value()
+
+	if !cfg.SkipResourceAudit {
+		deadline := time.Now().Add(2 * time.Second)
+		growth := runtime.NumGoroutine() - goroutinesBefore
+		for growth > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			growth = runtime.NumGoroutine() - goroutinesBefore
+		}
+		rep.GoroutineGrowth = growth
+		var msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msAfter)
+		rep.HeapGrowthBytes = int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+	}
+
+	rep.audit(cfg)
+	return rep, nil
+}
+
+// audit fills Violations: the invariants every seed must hold.
+func (r *SoakReport) audit(cfg SoakConfig) {
+	if r.ConservationViolations > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d conservation violations: Σ applied caps exceeded the %0.f W budget", r.ConservationViolations, float64(cfg.Global)))
+	}
+	if r.Polls == 0 {
+		r.Violations = append(r.Violations, "aggregator never polled")
+	}
+	if r.CapPushes == 0 {
+		r.Violations = append(r.Violations, "no cap was ever pushed: the budget was never partitioned")
+	}
+	if !r.Converged {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("fleet did not converge after the last fault window (%d/%d healthy, caps last changed at poll %d of %d)",
+				r.HealthyAtEnd, r.Shards, r.LastChange, r.Polls))
+	}
+	if r.GoroutineGrowth > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("goroutine leak: %+d after teardown", r.GoroutineGrowth))
+	}
+	if r.HeapGrowthBytes > soakHeapBound {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("heap grew %d bytes (bound %d)", r.HeapGrowthBytes, soakHeapBound))
+	}
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience/leak"
+)
+
+// TestFleetSoakSingleSeed runs one full-length N=8 soak with the strict
+// resource audit and spells out each invariant, so a regression names
+// what broke.
+func TestFleetSoakSingleSeed(t *testing.T) {
+	leak.Check(t)
+	rep, err := RunSoak(SoakConfig{Seed: 7, Shards: 8, Budget: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Repartitions == 0 {
+		t.Error("the budget was never re-partitioned")
+	}
+	if rep.FinalCapsSumW <= 0 {
+		t.Error("no watts were ever assigned")
+	}
+	t.Log(rep.Summary())
+}
+
+// TestFleetSoakN64 is the headline gate: a 64-shard fleet under the
+// full fault schedule, zero conservation violations, zero goroutine
+// leaks, convergence after the faults clear. Skipped in -short (the
+// corpus covers N=16 there).
+func TestFleetSoakN64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=64 soak is not -short work; the corpus covers N=16")
+	}
+	leak.Check(t)
+	rep, err := RunSoak(SoakConfig{Seed: 64, Shards: 64, Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.HealthyAtEnd != 64 {
+		t.Errorf("only %d/64 shards healthy at end", rep.HealthyAtEnd)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestFleetSoakCorpus fans a seeded corpus of fleet fault schedules
+// across a worker pool: every seed must conserve the budget at every
+// cap push, converge after its faults clear, and leak nothing (one leak
+// gate covers the whole corpus; per-run resource audits are off because
+// the process is shared). Collectively the corpus must exercise every
+// fault kind — shard kills, connection resets, slow-loris peers — and
+// must observe real shard restarts through the aggregator's epoch
+// detection, so the invariants are known to have been tested under fire
+// rather than vacuously.
+func TestFleetSoakCorpus(t *testing.T) {
+	leak.Check(t)
+	runs, shards := 256, 8
+	budget := 400 * time.Millisecond
+	if testing.Short() {
+		runs, shards = 24, 16
+	}
+	workers := 4
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = n
+	}
+	if workers > 16 {
+		workers = 16
+	}
+	if raceEnabled {
+		// Concurrent instrumented runs contend hard for CPU; keep the
+		// fleet schedules real-time-faithful by running fewer at once.
+		workers = 2
+		runs = runs / 2
+	}
+	var (
+		mu                         sync.Mutex
+		kills, resets, loris       uint64
+		restartsSeen, repartitions uint64
+		polls, pushes, converged   uint64
+		gapResyncs, resubs         uint64
+		seedCh                     = make(chan int)
+		wg                         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				rep, err := RunSoak(SoakConfig{
+					Seed:              uint64(seed),
+					Shards:            shards,
+					Budget:            budget,
+					SkipResourceAudit: true,
+				})
+				if err != nil {
+					mu.Lock()
+					t.Errorf("seed %d: %v", seed, err)
+					mu.Unlock()
+					continue
+				}
+				if !rep.Passed() {
+					mu.Lock()
+					for _, v := range rep.Violations {
+						t.Errorf("seed %d: %s", seed, v)
+					}
+					mu.Unlock()
+					continue
+				}
+				atomic.AddUint64(&kills, rep.ShardKills)
+				atomic.AddUint64(&resets, rep.Resets)
+				atomic.AddUint64(&loris, rep.LorisConns)
+				atomic.AddUint64(&restartsSeen, rep.RestartsSeen)
+				atomic.AddUint64(&repartitions, rep.Repartitions)
+				atomic.AddUint64(&polls, rep.Polls)
+				atomic.AddUint64(&pushes, rep.CapPushes)
+				atomic.AddUint64(&gapResyncs, rep.GapResyncs)
+				atomic.AddUint64(&resubs, rep.Resubscribes)
+				if rep.Converged {
+					atomic.AddUint64(&converged, 1)
+				}
+			}
+		}()
+	}
+	for seed := 0; seed < runs; seed++ {
+		seedCh <- seed
+	}
+	close(seedCh)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if kills == 0 {
+		t.Error("no run ever killed a shard: the corpus never exercised crash recovery")
+	}
+	if resets == 0 {
+		t.Error("no run ever reset a connection")
+	}
+	if loris == 0 {
+		t.Error("no run ever attached a slow-loris peer")
+	}
+	if restartsSeen == 0 {
+		t.Error("the aggregator never detected a shard restart: epoch detection was never exercised")
+	}
+	if resubs == 0 {
+		t.Error("no stream was ever resubscribed: the failover path was never exercised")
+	}
+	t.Logf("%d runs × %d shards: %d polls, %d repartitions, %d cap-pushes, %d kills, %d resets, %d loris, %d restarts-seen, %d gap-resyncs, %d resubs, %d/%d converged",
+		runs, shards, polls, repartitions, pushes, kills, resets, loris, restartsSeen, gapResyncs, resubs, converged, runs)
+}

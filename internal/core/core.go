@@ -220,6 +220,11 @@ func (s *System) Throttling() (maestro.Stats, bool) {
 	return s.daemon.Stats(), true
 }
 
+// PowerCapController returns the power-capping controller, or nil when
+// Options.PowerCap was not set. Cluster-tier budget partitioners
+// (internal/cluster) use it to retune the node's bound live via SetCap.
+func (s *System) PowerCapController() *maestro.PowerCap { return s.cap }
+
 // Capping reports whether a power cap is installed and its statistics so
 // far.
 func (s *System) Capping() (maestro.CapStats, bool) {

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/workloads"
+	"repro/internal/workloads/suite"
+)
+
+// Cluster-scale ablation (paper §VI outlook): N full-stack nodes under
+// one global power budget, comparing the naive policy — split the
+// budget equally and walk away — against the hierarchical controller in
+// internal/cluster, which re-partitions the budget toward the shards
+// with scaling headroom. On a skewed mix (memory-bound lulesh next to
+// compute-bound nqueens) the equal split is exactly wrong both ways: it
+// starves the compute-bound shards that could turn watts into speed,
+// and over-provisions the memory-bound shards that the paper shows can
+// be throttled almost for free.
+
+// ClusterSpec sizes the cluster ablation.
+type ClusterSpec struct {
+	// Shards is the node count; zero selects 4.
+	Shards int
+	// Apps is the workload mix, cycled across shards; empty selects the
+	// skewed lulesh/nqueens alternation.
+	Apps []string
+	// Global is the fleet-wide power budget; zero selects 50 W per
+	// shard. That equal share is binding for the compute-bound shards
+	// and roughly double what the memory-bound shards can usefully burn
+	// — the regime where moving watts matters. (Much tighter budgets
+	// converge the two policies: when even the floor assignments bind
+	// everyone, there is nothing left to move.)
+	Global units.Watts
+	// Iters is how many times each shard runs its workload; zero
+	// selects 2.
+	Iters int
+	// Workers is each node's worker count; zero selects 8 (half the
+	// M620, keeping the 4-node fleet affordable to simulate).
+	Workers int
+}
+
+// ClusterMeasurement is one policy arm's outcome.
+type ClusterMeasurement struct {
+	Policy       string
+	ShardJoules  []float64
+	ShardSeconds []float64 // per-shard busy time (virtual), summed over iterations
+	TotalJoules  float64
+	MakespanSec  float64 // max shard busy time
+	Repartitions uint64  // cap re-partitions applied (0 for the naive arm)
+	FinalCaps    []units.Watts
+}
+
+// ClusterResult is the two-arm comparison.
+type ClusterResult struct {
+	Shards       int
+	Apps         []string // the mix actually run, shard by shard
+	Global       units.Watts
+	Naive        ClusterMeasurement
+	Hierarchical ClusterMeasurement
+	// EnergyDeltaPct is the hierarchical arm's total-energy change vs
+	// naive, in percent (negative = saved energy).
+	EnergyDeltaPct float64
+	// MakespanDeltaPct likewise for the fleet makespan.
+	MakespanDeltaPct float64
+}
+
+// ClusterCapAblation runs both arms on fresh fleets and compares them.
+func (lab *Lab) ClusterCapAblation(spec ClusterSpec) (ClusterResult, error) {
+	if spec.Shards <= 0 {
+		spec.Shards = 4
+	}
+	if len(spec.Apps) == 0 {
+		spec.Apps = []string{"lulesh", "nqueens"}
+	}
+	if spec.Global <= 0 {
+		spec.Global = units.Watts(50 * float64(spec.Shards))
+	}
+	if spec.Iters <= 0 {
+		spec.Iters = 2
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = 8
+	}
+	apps := make([]string, spec.Shards)
+	for i := range apps {
+		apps[i] = spec.Apps[i%len(spec.Apps)]
+	}
+	res := ClusterResult{Shards: spec.Shards, Apps: apps, Global: spec.Global}
+	var err error
+	if res.Naive, err = lab.runClusterArm(spec, apps, false); err != nil {
+		return ClusterResult{}, fmt.Errorf("experiments: naive arm: %w", err)
+	}
+	if res.Hierarchical, err = lab.runClusterArm(spec, apps, true); err != nil {
+		return ClusterResult{}, fmt.Errorf("experiments: hierarchical arm: %w", err)
+	}
+	res.EnergyDeltaPct = (res.Hierarchical.TotalJoules - res.Naive.TotalJoules) / res.Naive.TotalJoules * 100
+	res.MakespanDeltaPct = (res.Hierarchical.MakespanSec - res.Naive.MakespanSec) / res.Naive.MakespanSec * 100
+	return res, nil
+}
+
+// runClusterArm stands up one fleet, applies the policy, runs the mix
+// and tears everything down.
+func (lab *Lab) runClusterArm(spec ClusterSpec, apps []string, hierarchical bool) (ClusterMeasurement, error) {
+	meas := ClusterMeasurement{
+		Policy:       "naive-equal-split",
+		ShardJoules:  make([]float64, spec.Shards),
+		ShardSeconds: make([]float64, spec.Shards),
+		FinalCaps:    make([]units.Watts, spec.Shards),
+	}
+	if hierarchical {
+		meas.Policy = "hierarchical"
+	}
+	fleet, err := cluster.NewFleet(cluster.FleetConfig{
+		Shards:  spec.Shards,
+		Machine: lab.Machine,
+		Workers: spec.Workers,
+	})
+	if err != nil {
+		return ClusterMeasurement{}, err
+	}
+	defer fleet.Close()
+
+	var (
+		reg     *telemetry.Registry
+		cancel  context.CancelFunc
+		aggDone chan error
+		agg     *cluster.Aggregator
+	)
+	if hierarchical {
+		reg = telemetry.NewRegistry()
+		t0 := time.Now()
+		agg, err = cluster.NewAggregator(cluster.AggregatorConfig{
+			Shards: fleet.Endpoints(),
+			Global: spec.Global,
+			Floor:  10,
+			Max:    300,
+			Period: 5 * time.Millisecond,
+			// No shard dies in this experiment, so the horizon only needs
+			// to keep healthy shards healthy. It is deliberately generous:
+			// shard heartbeats stall during host-side workload Prepare, and
+			// on a loaded 1-CPU host those gaps can stretch well past the
+			// 300 ms a live deployment would use. A false "lost" verdict
+			// here would pin a shard to the floor and corrupt the ablation.
+			HealthHorizon: 2 * time.Second,
+			Clock:         func() time.Duration { return time.Since(t0) },
+			SetCap:        fleet.SetCap,
+			Telemetry:     reg,
+		})
+		if err != nil {
+			return ClusterMeasurement{}, err
+		}
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(context.Background())
+		aggDone = make(chan error, 1)
+		go func() { aggDone <- agg.Run(ctx) }()
+		defer func() {
+			if cancel != nil {
+				cancel()
+				<-aggDone
+			}
+		}()
+	} else {
+		// The whole policy: an equal share each, assigned once.
+		share := units.Watts(float64(spec.Global) / float64(spec.Shards))
+		for i := 0; i < spec.Shards; i++ {
+			if err := fleet.SetCap(i, share); err != nil {
+				return ClusterMeasurement{}, err
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, spec.Shards)
+	for i := 0; i < spec.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < spec.Iters; r++ {
+				wl, err := suite.New(apps[i])
+				if err == nil {
+					err = wl.Prepare(workloads.Params{
+						MachineConfig: fleet.System(i).Machine().Config(),
+						Seed:          lab.Seed + int64(r),
+					})
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				rep, err := fleet.System(i).RunWorkload(wl)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				meas.ShardJoules[i] += float64(rep.Energy)
+				meas.ShardSeconds[i] += rep.Elapsed.Seconds()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return ClusterMeasurement{}, fmt.Errorf("shard %d (%s): %w", i, apps[i], err)
+		}
+	}
+	if hierarchical {
+		cancel()
+		<-aggDone
+		cancel = nil
+		meas.Repartitions = reg.Counter("cluster_repartitions_total").Value()
+	}
+	for i := 0; i < spec.Shards; i++ {
+		meas.FinalCaps[i] = fleet.System(i).PowerCapController().Cap()
+		meas.TotalJoules += meas.ShardJoules[i]
+		if meas.ShardSeconds[i] > meas.MakespanSec {
+			meas.MakespanSec = meas.ShardSeconds[i]
+		}
+	}
+	return meas, nil
+}
+
+// Render writes the two-arm comparison as an aligned text table.
+func (r ClusterResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Global power cap ablation: %d shards, %.0f W budget (mix:", r.Shards, float64(r.Global)); err != nil {
+		return err
+	}
+	for _, a := range r.Apps {
+		if _, err := fmt.Fprintf(w, " %s", a); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, ")"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-20s %12s %12s %14s\n", "policy", "energy (J)", "makespan (s)", "repartitions"); err != nil {
+		return err
+	}
+	for _, m := range []ClusterMeasurement{r.Naive, r.Hierarchical} {
+		if _, err := fmt.Fprintf(w, "%-20s %12.1f %12.3f %14d\n", m.Policy, m.TotalJoules, m.MakespanSec, m.Repartitions); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "hierarchical vs naive: energy %+.1f%%, makespan %+.1f%%\n", r.EnergyDeltaPct, r.MakespanDeltaPct)
+	return err
+}

@@ -167,3 +167,65 @@ func TestPowerCapValidation(t *testing.T) {
 		t.Errorf("Cap() = %v", pc.Cap())
 	}
 }
+
+func TestPowerCapSetCap(t *testing.T) {
+	mcfg := machine.M620()
+	mcfg.VirtualTimeLimit = 10 * time.Minute
+	m, err := machine.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	m.WarmAll(68)
+	bb, rt := stackOn(t, m, 16)
+
+	pc, err := StartPowerCap(rt, bb, 200, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Stop)
+	if err := pc.SetCap(0); err == nil {
+		t.Error("zero cap accepted by SetCap")
+	}
+	if err := pc.SetCap(-5); err == nil {
+		t.Error("negative cap accepted by SetCap")
+	}
+	if pc.Cap() != 200 {
+		t.Errorf("rejected SetCap changed the bound: %v", pc.Cap())
+	}
+
+	burn := func(tasks int) {
+		t.Helper()
+		err := rt.Run(func(tc *qthreads.TC) {
+			g := tc.NewGroup()
+			for i := 0; i < tasks; i++ {
+				g.Spawn(tc, func(tc *qthreads.TC) { tc.Compute(2e7) })
+			}
+			g.Wait(tc)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A full-node compute burn draws ~150 W, so the generous initial cap
+	// never binds. Retune the bound downward mid-flight: the running
+	// controller must pick up the new cap and start tightening.
+	burn(640)
+	if st := pc.Stats(); st.Tightenings != 0 {
+		t.Fatalf("controller tightened under a non-binding 200 W cap (%d)", st.Tightenings)
+	}
+	if err := pc.SetCap(110); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Cap() != 110 {
+		t.Errorf("Cap() after SetCap = %v, want 110", pc.Cap())
+	}
+	burn(1280)
+	st := pc.Stats()
+	if st.Tightenings == 0 {
+		t.Error("controller never tightened after SetCap lowered the bound to 110 W")
+	}
+	if st.MinLimit >= 8 {
+		t.Errorf("min limit %d: retuned cap never reduced concurrency", st.MinLimit)
+	}
+}

@@ -3,6 +3,7 @@ package maestro
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -23,8 +24,7 @@ import (
 type PowerCap struct {
 	rt       *qthreads.Runtime
 	bb       *rcr.Blackboard
-	cap      units.Watts
-	margin   units.Watts
+	capBits  atomic.Uint64 // the bound, as math.Float64bits — SetCap retunes it live
 	tickerID int
 
 	limit       int // current per-shepherd limit (engine goroutine only)
@@ -58,10 +58,9 @@ func StartPowerCap(rt *qthreads.Runtime, bb *rcr.Blackboard, cap units.Watts, pe
 	pc := &PowerCap{
 		rt:       rt,
 		bb:       bb,
-		cap:      cap,
-		margin:   units.Watts(float64(cap) * 0.05),
 		maxLimit: rt.Machine().Config().CoresPerSocket,
 	}
+	pc.capBits.Store(math.Float64bits(float64(cap)))
 	pc.limit = pc.maxLimit
 	pc.minLimit.Store(int64(pc.maxLimit))
 	id, err := rt.Machine().AddTicker(period, pc.poll)
@@ -72,8 +71,32 @@ func StartPowerCap(rt *qthreads.Runtime, bb *rcr.Blackboard, cap units.Watts, pe
 	return pc, nil
 }
 
-// Cap returns the configured bound.
-func (pc *PowerCap) Cap() units.Watts { return pc.cap }
+// capMargin is the relax hysteresis band as a fraction of the cap:
+// power must fall this far below the bound before the controller widens
+// the throttle again, so it does not oscillate at the boundary.
+const capMargin = 0.05
+
+// Cap returns the current bound.
+func (pc *PowerCap) Cap() units.Watts {
+	return units.Watts(math.Float64frombits(pc.capBits.Load()))
+}
+
+// SetCap retunes the bound while the controller runs — the seam a
+// cluster-level budget partitioner (internal/cluster) uses to push a
+// node's share of a global budget down into the node's own enforcement
+// loop. Non-positive caps are rejected. The new bound takes effect on
+// the next poll; the controller walks the throttle limit toward it one
+// step per period exactly as it responds to load changes.
+func (pc *PowerCap) SetCap(cap units.Watts) error {
+	if cap <= 0 {
+		return fmt.Errorf("maestro: power cap %v must be positive", cap)
+	}
+	pc.capBits.Store(math.Float64bits(float64(cap)))
+	if met := pc.met.Load(); met != nil {
+		met.capW.Set(float64(cap))
+	}
+	return nil
+}
 
 // CapStats describe the controller's activity.
 type CapStats struct {
@@ -119,8 +142,9 @@ func (pc *PowerCap) poll(_ time.Duration, _ *machine.Snapshot) {
 		}
 		node += m.Value
 	}
+	cap := math.Float64frombits(pc.capBits.Load())
 	switch {
-	case node > float64(pc.cap):
+	case node > cap:
 		pc.overBudget.Add(1)
 		if met != nil {
 			met.overBudget.Inc()
@@ -136,7 +160,7 @@ func (pc *PowerCap) poll(_ time.Duration, _ *machine.Snapshot) {
 			}
 		}
 		pc.rt.SetThrottle(true, pc.limit)
-	case node < float64(pc.cap-pc.margin) && pc.limit < pc.maxLimit:
+	case node < cap*(1-capMargin) && pc.limit < pc.maxLimit:
 		pc.limit++
 		pc.relaxations.Add(1)
 		if met != nil {

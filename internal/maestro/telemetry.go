@@ -76,6 +76,7 @@ type capMetrics struct {
 	relaxations *telemetry.Counter
 	overBudget  *telemetry.Counter
 	limit       *telemetry.Gauge // current per-shepherd limit
+	capW        *telemetry.Gauge // current bound in Watts (SetCap retunes it)
 }
 
 // Instrument registers the controller's counters in reg. Safe to call
@@ -91,7 +92,9 @@ func (pc *PowerCap) Instrument(reg *telemetry.Registry) {
 		relaxations: reg.Counter("maestro_powercap_relaxations_total"),
 		overBudget:  reg.Counter("maestro_powercap_over_budget_total"),
 		limit:       reg.Gauge("maestro_powercap_limit"),
+		capW:        reg.Gauge("maestro_powercap_watts"),
 	}
 	m.limit.Set(float64(pc.maxLimit))
+	m.capW.Set(float64(pc.Cap()))
 	pc.met.Store(m)
 }

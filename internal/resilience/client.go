@@ -77,14 +77,15 @@ type ClientConfig struct {
 
 // clientMetrics is the client's instrument set.
 type clientMetrics struct {
-	queries   *telemetry.Counter
-	retries   *telemetry.Counter
-	failovers *telemetry.Counter
-	cacheHits *telemetry.Counter
-	staleErrs *telemetry.Counter
-	rejected  *telemetry.Counter // refused by the open breaker
-	subFrames *telemetry.Counter // frames applied in subscription mode
-	resubs    *telemetry.Counter // streams re-opened after a loss
+	queries    *telemetry.Counter
+	retries    *telemetry.Counter
+	failovers  *telemetry.Counter
+	cacheHits  *telemetry.Counter
+	staleErrs  *telemetry.Counter
+	rejected   *telemetry.Counter // refused by the open breaker
+	subFrames  *telemetry.Counter // frames applied in subscription mode
+	resubs     *telemetry.Counter // streams re-opened after a loss
+	gapResyncs *telemetry.Counter // in-stream delta-gap episodes ridden out
 }
 
 // Client is a self-healing rcrd client: every Query retries with
@@ -150,14 +151,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{cfg: cfg, breaker: br}
 	if reg := cfg.Telemetry; reg != nil {
 		c.met = &clientMetrics{
-			queries:   reg.Counter("resilience_client_queries_total"),
-			retries:   reg.Counter("resilience_client_retries_total"),
-			failovers: reg.Counter("resilience_client_failovers_total"),
-			cacheHits: reg.Counter("resilience_client_cache_served_total"),
-			staleErrs: reg.Counter("resilience_client_stale_errors_total"),
-			rejected:  reg.Counter("resilience_client_breaker_rejects_total"),
-			subFrames: reg.Counter("resilience_client_sub_frames_total"),
-			resubs:    reg.Counter("resilience_client_resubscribes_total"),
+			queries:    reg.Counter("resilience_client_queries_total"),
+			retries:    reg.Counter("resilience_client_retries_total"),
+			failovers:  reg.Counter("resilience_client_failovers_total"),
+			cacheHits:  reg.Counter("resilience_client_cache_served_total"),
+			staleErrs:  reg.Counter("resilience_client_stale_errors_total"),
+			rejected:   reg.Counter("resilience_client_breaker_rejects_total"),
+			subFrames:  reg.Counter("resilience_client_sub_frames_total"),
+			resubs:     reg.Counter("resilience_client_resubscribes_total"),
+			gapResyncs: reg.Counter("resilience_client_gap_resyncs_total"),
 		}
 	}
 	return c, nil
@@ -284,15 +286,27 @@ func (c *Client) Subscribe(ctx context.Context) error {
 			}
 		}
 		hadStream = true
+		inGap := false // a delta-gap episode is in progress (journaled once)
 		for {
 			if err = stream.Next(ctx); err != nil {
 				if errors.Is(err, rcr.ErrDeltaGap) {
 					// The server resyncs a gapped stream with a full
 					// frame; the state is unchanged, just keep reading.
+					// Consecutive gapped deltas (everything queued after
+					// the hole) are one episode, journaled and counted
+					// once so the record matches resync frames 1:1.
+					if !inGap {
+						inGap = true
+						if c.met != nil {
+							c.met.gapResyncs.Inc()
+						}
+						c.journalSub(telemetry.KindSubGapResync, addr)
+					}
 					continue
 				}
 				break
 			}
+			inGap = false
 			if down {
 				down = false
 				c.journalSub(telemetry.KindSubResumed, addr)

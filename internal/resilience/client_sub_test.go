@@ -250,3 +250,116 @@ func TestClientSubscribeRealTransport(t *testing.T) {
 		t.Errorf("Subscribe returned %v, want context.Canceled", err)
 	}
 }
+
+// gapStream is a SubStream whose script can interleave applied frames
+// with ErrDeltaGap returns — the shape of a live stream riding a shard
+// restart: deltas dropped while the shard's sampler was down surface as
+// gaps, then the server's full-frame resync lands and the stream goes on.
+type gapStream struct {
+	events chan gapEvent
+
+	mu  sync.Mutex
+	cur rcr.Snapshot
+}
+
+type gapEvent struct {
+	snap rcr.Snapshot
+	err  error
+}
+
+func (s *gapStream) Next(ctx context.Context) error {
+	select {
+	case ev, ok := <-s.events:
+		if !ok {
+			return errors.New("stream torn down")
+		}
+		if ev.err != nil {
+			return ev.err
+		}
+		s.mu.Lock()
+		s.cur = ev.snap
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *gapStream) Snapshot() rcr.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+func (s *gapStream) Close() error { return nil }
+
+// TestClientSubscribeGapResync is the shard-restart gap regression: a
+// delta gap inside a live stream must produce exactly one journaled
+// resync episode per gap (however many gapped frames arrive), the cache
+// must hold the pre-gap state until the resync full frame lands — never
+// a merge of gapped deltas — and the stream must NOT be torn down
+// (no sub_lost, no resubscribe).
+func TestClientSubscribeGapResync(t *testing.T) {
+	leak.Check(t)
+	clk := &fakeClock{at: 50 * time.Millisecond}
+	stream := &gapStream{events: make(chan gapEvent)}
+	c, reg, j := newTestClient(t, clk, &scriptedTransport{now: clk.now}, func(cfg *ClientConfig) {
+		cfg.Subscribe = func(_ context.Context, _, _ string) (SubStream, error) { return stream, nil }
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Subscribe(ctx) }()
+
+	// Healthy stream: the initial full frame feeds the cache.
+	stream.events <- gapEvent{snap: rcr.Snapshot{Now: 10 * time.Millisecond}}
+	waitLatest(t, c, 10*time.Millisecond)
+
+	// The shard restarts: three queued deltas no longer connect. One
+	// episode — and the cache must still serve the pre-gap state, not a
+	// partial merge of frames the stream could not apply.
+	for i := 0; i < 3; i++ {
+		stream.events <- gapEvent{err: rcr.ErrDeltaGap}
+	}
+	if snap, err := c.Latest(); err != nil || snap.Now != 10*time.Millisecond {
+		t.Fatalf("mid-gap Latest = (%v, %v), want the pre-gap snapshot", snap.Now, err)
+	}
+
+	// The server's resync full frame closes the episode.
+	stream.events <- gapEvent{snap: rcr.Snapshot{Now: 30 * time.Millisecond}}
+	waitLatest(t, c, 30*time.Millisecond)
+
+	// A second, separate gap episode later in the stream's life.
+	stream.events <- gapEvent{err: rcr.ErrDeltaGap}
+	stream.events <- gapEvent{snap: rcr.Snapshot{Now: 40 * time.Millisecond}}
+	waitLatest(t, c, 40*time.Millisecond)
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Subscribe returned %v, want context.Canceled", err)
+	}
+
+	if n := reg.Counter("resilience_client_gap_resyncs_total").Value(); n != 2 {
+		t.Errorf("gap_resyncs = %d, want 2 (one per episode, not per gapped frame)", n)
+	}
+	var gaps, lost, resumed int
+	for _, d := range j.Entries() {
+		switch d.Kind {
+		case telemetry.KindSubGapResync:
+			gaps++
+		case telemetry.KindSubLost:
+			lost++
+		case telemetry.KindSubResumed:
+			resumed++
+		}
+	}
+	if gaps != 2 {
+		t.Errorf("journal has %d sub_gap_resync records, want 2", gaps)
+	}
+	if lost != 0 || resumed != 0 {
+		t.Errorf("gap episodes journaled as stream loss (lost=%d resumed=%d); a gap must ride the live stream", lost, resumed)
+	}
+	if n := reg.Counter("resilience_client_resubscribes_total").Value(); n != 0 {
+		t.Errorf("resubscribes = %d, want 0: a delta gap must not tear the stream down", n)
+	}
+}

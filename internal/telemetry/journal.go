@@ -50,6 +50,24 @@ const (
 const (
 	KindSubLost    = "sub_lost"
 	KindSubResumed = "sub_resumed"
+	// KindSubGapResync records a delta-gap episode inside a live stream:
+	// the subscriber hit ErrDeltaGap (dropped deltas, usually during a
+	// shard restart or queue overflow) and kept reading until the
+	// server's full-frame resync arrived. One record per episode, not
+	// per gapped frame.
+	KindSubGapResync = "sub_gap_resync"
+)
+
+// Record kinds written by the cluster aggregator tier
+// (internal/cluster, docs/cluster.md): a global-budget re-partition
+// actually changing at least one shard cap, a shard going dark or
+// coming back, and a shard observed restarting (its heartbeat ran
+// backwards — a new incarnation).
+const (
+	KindRepartition    = "cluster_repartition"
+	KindShardLost      = "cluster_shard_lost"
+	KindShardRecovered = "cluster_shard_recovered"
+	KindShardRestarted = "cluster_shard_restarted"
 )
 
 // LevelName returns the human name of a recorded level.
