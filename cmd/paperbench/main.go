@@ -9,10 +9,16 @@
 //	paperbench -experiment fig3 -csv fig3.csv
 //	paperbench -experiment table4 -repeats 3
 //	paperbench -experiment table6 -telemetry table6.telemetry.jsonl
+//	paperbench -phase-replay run.samples
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 table4 table5
 // table6 table7 coldstart overhead dutycycle ablation-policy
 // ablation-mechanism powercap all.
+//
+// -phase-replay bypasses the experiments entirely: it decodes a text
+// sample stream (one "power bw conc" triple per line, # comments
+// allowed) and replays it through the adaptive policy's change-point
+// detector, printing every detected phase boundary.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/experiments"
+	"repro/internal/maestro/phase"
 )
 
 func main() {
@@ -31,8 +38,17 @@ func main() {
 		repeats    = flag.Int("repeats", 1, "runs per configuration, keeping the best time (the paper uses 10)")
 		seed       = flag.Int64("seed", 42, "workload input seed")
 		telePath   = flag.String("telemetry", "", "write a per-run telemetry sidecar (JSONL of metrics + decision journal) to this file")
+		replayPath = flag.String("phase-replay", "", "replay a telemetry sample file (lines of 'power bw conc') through the phase detector and print the change points, instead of running experiments")
 	)
 	flag.Parse()
+
+	if *replayPath != "" {
+		if err := replayPhases(*replayPath); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	lab := experiments.NewLab()
 	lab.Repeats = *repeats
@@ -197,12 +213,13 @@ func run(lab *experiments.Lab, experiment, csvPath string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Policy ablation: dual-condition (paper) vs power-only gating (§IV-A):")
+		fmt.Println("Policy ablation: dual-condition (paper) vs power-only gating (§IV-A) vs adaptive (phase model):")
 		for _, r := range rows {
-			fmt.Printf("  %-24s baseline %6.2fs/%6.0fJ  dual %6.2fs/%6.0fJ (%+5.1f%%)  power-only %6.2fs/%6.0fJ (%+5.1f%%)\n",
+			fmt.Printf("  %-24s baseline %6.2fs/%6.0fJ  dual %6.2fs/%6.0fJ (%+5.1f%%)  power-only %6.2fs/%6.0fJ (%+5.1f%%)  adaptive %6.2fs/%6.0fJ (%+5.1f%%)\n",
 				r.App, r.Baseline.Seconds, r.Baseline.Joules,
 				r.Dual.Seconds, r.Dual.Joules, r.DualDeltaE,
-				r.PowerOnly.Seconds, r.PowerOnly.Joules, r.PowerDeltaE)
+				r.PowerOnly.Seconds, r.PowerOnly.Joules, r.PowerDeltaE,
+				r.Adaptive.Seconds, r.Adaptive.Joules, r.AdaptiveDeltaE)
 		}
 		fmt.Println()
 	}
@@ -234,6 +251,28 @@ func run(lab *experiments.Lab, experiment, csvPath string) error {
 
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+// replayPhases runs a recorded sample stream through the offline phase
+// detector — the same detector the adaptive policy runs live — and
+// prints each detected change point with the sample that fired it.
+func replayPhases(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := phase.DecodeSamples(f)
+	if err != nil {
+		return err
+	}
+	marks := phase.Replay(samples, phase.Config{})
+	fmt.Printf("%s: %d samples, %d change point(s)\n", path, len(samples), len(marks))
+	for _, i := range marks {
+		s := samples[i]
+		fmt.Printf("  sample %6d: power %8.1f W  bw %12.3e B/s  conc %8.1f\n", i, s.Power, s.Bw, s.Conc)
 	}
 	return nil
 }

@@ -14,43 +14,74 @@ import (
 // study exercises the §V/§VI outlook: concurrency throttling as the
 // actuator of a power-capping controller.
 
-// PolicyAblationRow compares the two gating policies on one application.
+// PolicyAblationRow compares the gating policies on one application.
 type PolicyAblationRow struct {
-	App         string
-	Baseline    Measurement // fixed 16, no daemon
-	Dual        Measurement // dual-condition daemon
-	PowerOnly   Measurement // power-only daemon
-	DualDeltaE  float64     // energy delta vs baseline, percent
-	PowerDeltaE float64
+	App            string
+	Baseline       Measurement // fixed 16, no daemon
+	Dual           Measurement // dual-condition daemon (the paper's)
+	PowerOnly      Measurement // power-only daemon
+	Adaptive       Measurement // phase-aware model-based daemon
+	DualDeltaE     float64     // energy delta vs baseline, percent
+	PowerDeltaE    float64
+	AdaptiveDeltaE float64
 }
 
-// PolicyAblation reproduces the paper's §IV-A argument: "when only
+// policyAblationApps are the ablation's subjects: one well-scaling
+// high-power program (sparselu — the paper's example of what PowerOnly
+// wrongly throttles and what every policy must leave alone) plus the
+// four poorly-scaling throttling targets of Tables IV–VII.
+func policyAblationApps() []string {
+	return append([]string{compiler.AppSparseLUSingle}, ThrottleApps()...)
+}
+
+// policyAblationVariants is the number of arms per app (baseline, dual,
+// power-only, adaptive).
+const policyAblationVariants = 4
+
+// policyAblationSpec builds the RunSpec for one (app, variant) cell.
+// Every arm of an app runs the *identical* seeded scenario — same
+// machine incarnation parameters, same workload inputs, no fault
+// schedule — differing only by policy, so the energy deltas are
+// attributable to the policy alone. Lab.Measure seeds each cell's
+// machine and workload RNGs from lab.Seed + repeat index, never from a
+// shared RNG, so arms cannot perturb each other however the worker
+// pool interleaves them (see TestPolicyAblationArmFairness).
+func policyAblationSpec(app string, variant int) RunSpec {
+	target := compiler.Target{Compiler: compiler.GCC, Opt: compiler.O3}
+	spec := RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true}
+	switch variant {
+	case 1:
+		spec.Throttle = ThrottleDynamic
+	case 2:
+		spec.Throttle = ThrottleDynamic
+		spec.Maestro = maestro.Config{Policy: maestro.PowerOnly}
+	case 3:
+		spec.Throttle = ThrottleDynamic
+		spec.Maestro = maestro.Config{Policy: maestro.Adaptive}
+	}
+	return spec
+}
+
+// PolicyAblation reproduces the paper's §IV-A argument — "when only
 // average power is used to determine throttling, it often limits thread
 // count for programs running at high efficiency and increased overall
-// energy consumption". It runs one well-scaling high-power program
-// (sparselu) and one legitimate throttling target (lulesh) under both
-// policies.
+// energy consumption" — and extends it with the Adaptive arm (ROADMAP
+// item 3): the paper's dual-condition classifier always throttles to
+// the one configured limit, while the adaptive policy hill-climbs to
+// the energy-optimal operating point per workload phase and should beat
+// it on every poorly-scaling app without touching sparselu.
 func (lab *Lab) PolicyAblation() ([]PolicyAblationRow, error) {
-	target := compiler.Target{Compiler: compiler.GCC, Opt: compiler.O3}
-	apps := []string{compiler.AppSparseLUSingle, compiler.AppLULESH}
+	apps := policyAblationApps()
 	rows := make([]PolicyAblationRow, len(apps))
-	// Three independent runs per app; every cell fills its own field of
-	// the app's row, deltas are derived once all cells are in.
-	err := lab.runCells(len(apps)*3, func(i int) error {
-		app, variant := apps[i/3], i%3
-		spec := RunSpec{App: app, Target: target, Workers: FullThreads, SpinOnlyIdle: true}
-		switch variant {
-		case 1:
-			spec.Throttle = ThrottleDynamic
-		case 2:
-			spec.Throttle = ThrottleDynamic
-			spec.Maestro = maestro.Config{Policy: maestro.PowerOnly}
-		}
-		meas, err := lab.Measure(spec)
+	// Independent runs per app; every cell fills its own field of the
+	// app's row, deltas are derived once all cells are in.
+	err := lab.runCells(len(apps)*policyAblationVariants, func(i int) error {
+		app, variant := apps[i/policyAblationVariants], i%policyAblationVariants
+		meas, err := lab.Measure(policyAblationSpec(app, variant))
 		if err != nil {
 			return err
 		}
-		row := &rows[i/3]
+		row := &rows[i/policyAblationVariants]
 		row.App = app
 		switch variant {
 		case 0:
@@ -59,6 +90,8 @@ func (lab *Lab) PolicyAblation() ([]PolicyAblationRow, error) {
 			row.Dual = meas
 		case 2:
 			row.PowerOnly = meas
+		case 3:
+			row.Adaptive = meas
 		}
 		return nil
 	})
@@ -66,8 +99,10 @@ func (lab *Lab) PolicyAblation() ([]PolicyAblationRow, error) {
 		return nil, err
 	}
 	for i := range rows {
-		rows[i].DualDeltaE = (rows[i].Dual.Joules - rows[i].Baseline.Joules) / rows[i].Baseline.Joules * 100
-		rows[i].PowerDeltaE = (rows[i].PowerOnly.Joules - rows[i].Baseline.Joules) / rows[i].Baseline.Joules * 100
+		base := rows[i].Baseline.Joules
+		rows[i].DualDeltaE = (rows[i].Dual.Joules - base) / base * 100
+		rows[i].PowerDeltaE = (rows[i].PowerOnly.Joules - base) / base * 100
+		rows[i].AdaptiveDeltaE = (rows[i].Adaptive.Joules - base) / base * 100
 	}
 	return rows, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/compiler"
@@ -149,6 +151,115 @@ func TestThrottlingPreservesCorrectness(t *testing.T) {
 		}
 		if meas.Daemon.Activations == 0 {
 			t.Errorf("%s: hair-trigger thresholds never engaged", app)
+		}
+	}
+}
+
+// TestPolicyAblationAdaptiveArm pins the Adaptive policy's acceptance
+// envelope (ROADMAP item 3): it must beat the paper's dual-condition
+// classifier on total energy for every poorly-scaling app — by at least
+// 3% on at least one — while leaving the well-scaling sparselu within
+// the 0.6% overhead bound.
+func TestPolicyAblationAdaptiveArm(t *testing.T) {
+	lab := NewLab()
+	rows, err := lab.PolicyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestEdge := 0.0
+	for _, r := range rows {
+		t.Logf("%s: baseline %.0fJ  dual %.0fJ (%+.1f%%)  adaptive %.0fJ (%+.1f%%)",
+			r.App, r.Baseline.Joules, r.Dual.Joules, r.DualDeltaE,
+			r.Adaptive.Joules, r.AdaptiveDeltaE)
+		if r.App == compiler.AppSparseLUSingle {
+			// Well-scaling: the adaptive arm must not engage at all, and
+			// its run time must stay within the 0.6% overhead bound.
+			if r.Adaptive.Daemon.Activations != 0 {
+				t.Errorf("adaptive throttled sparselu %d times", r.Adaptive.Daemon.Activations)
+			}
+			if r.Adaptive.Seconds > r.Baseline.Seconds*1.006 {
+				t.Errorf("adaptive cost sparselu %.2f%% time, bound is 0.6%%",
+					(r.Adaptive.Seconds/r.Baseline.Seconds-1)*100)
+			}
+			continue
+		}
+		if r.Adaptive.Joules >= r.Dual.Joules {
+			t.Errorf("%s: adaptive (%.0fJ) did not beat dual-condition (%.0fJ)",
+				r.App, r.Adaptive.Joules, r.Dual.Joules)
+		}
+		if edge := r.DualDeltaE - r.AdaptiveDeltaE; edge > bestEdge {
+			bestEdge = edge
+		}
+	}
+	if bestEdge < 3 {
+		t.Errorf("adaptive's best edge over dual-condition is %.1f points, want >= 3", bestEdge)
+	}
+}
+
+// TestPolicyAblationArmFairness guards the ablation's comparability
+// (ISSUE satellite: arm fairness). Every arm of an app must run the
+// identical seeded scenario — the specs may differ only by policy — and
+// the whole study must be bit-for-bit deterministic regardless of how
+// the worker pool interleaves cells, which would not hold if any cell
+// drew from a shared RNG.
+func TestPolicyAblationArmFairness(t *testing.T) {
+	// Spec-level fairness: scrub the policy fields and every variant
+	// must collapse onto the baseline spec.
+	for _, app := range policyAblationApps() {
+		base := policyAblationSpec(app, 0)
+		for v := 1; v < policyAblationVariants; v++ {
+			spec := policyAblationSpec(app, v)
+			spec.Throttle = base.Throttle
+			spec.Maestro = base.Maestro
+			if !reflect.DeepEqual(spec, base) {
+				t.Fatalf("%s variant %d differs from baseline beyond policy: %+v vs %+v",
+					app, v, spec, base)
+			}
+		}
+	}
+
+	// Run-level determinism: with a single worker there is no work
+	// stealing, so two independent runs of the same cell — fresh machine,
+	// fresh runtime, fresh workload each time — must agree to the last
+	// bit. This is what would break if any cell drew from a shared RNG,
+	// or if the measurement boundaries raced the engine's paced steps
+	// (Machine.Hold pins both; see RunOnRuntimeHeld). Multi-worker cells
+	// are exempt by design: work-stealing order is genuinely scheduling-
+	// dependent.
+	for _, app := range []string{compiler.AppHealth, compiler.AppDijkstra} {
+		for v := 0; v < policyAblationVariants; v++ {
+			spec := policyAblationSpec(app, v)
+			spec.Workers = 1
+			var prev Measurement
+			for run := 0; run < 2; run++ {
+				m, err := NewLab().Measure(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if run > 0 && (math.Float64bits(m.Joules) != math.Float64bits(prev.Joules) ||
+					math.Float64bits(m.Seconds) != math.Float64bits(prev.Seconds)) {
+					t.Errorf("%s variant %d not deterministic: %x J/%x s then %x J/%x s",
+						app, v, prev.Joules, prev.Seconds, m.Joules, m.Seconds)
+				}
+				prev = m
+			}
+		}
+	}
+
+	// And the arms must actually diverge where policy matters: a study
+	// whose variants all produced identical measurements would be fair
+	// but vacuous.
+	lab := NewLab()
+	rows, err := lab.PolicyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Baseline.Daemon.Activations > 0 {
+			t.Errorf("%s: baseline arm ran a daemon (%d activations)", row.App, row.Baseline.Daemon.Activations)
+		}
+		if row.App == compiler.AppLULESH && row.Dual.Joules == row.Adaptive.Joules {
+			t.Errorf("%s: dual and adaptive arms coincide exactly — policy plumbing broken", row.App)
 		}
 	}
 }

@@ -200,6 +200,13 @@ func (lab *Lab) runOnceSeeded(spec RunSpec, seed int64) (Measurement, error) {
 		return Measurement{}, err
 	}
 	defer m.Stop()
+	// Park the clock while the stack is assembled: without the hold the
+	// engine starts pacing virtual time as soon as the sampler's ticker
+	// registers, so the workload's start time — and with it every ticker
+	// phase the daemon sees — would vary with host scheduling from run
+	// to run and arm to arm.
+	release := m.Hold()
+	defer release()
 	m.WarmAll(workloads.WarmTemp)
 
 	reader, err := rapl.NewMSRReader(m.MSR())
@@ -258,7 +265,10 @@ func (lab *Lab) runOnceSeeded(spec RunSpec, seed int64) (Measurement, error) {
 		cap.Instrument(reg) // no-op when reg is nil
 	}
 
-	rep, err := workloads.RunOnRuntime(rt, reader, bb, wl)
+	// The hold is handed to the runner: it is released the instant the
+	// root task is enqueued, pinning the run's start to the parked clock
+	// (see RunOnRuntimeHeld / Runtime.RunHeld).
+	rep, err := workloads.RunOnRuntimeHeld(rt, reader, bb, wl, release)
 	if err != nil {
 		return Measurement{}, err
 	}

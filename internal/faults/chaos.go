@@ -38,6 +38,13 @@ type ChaosConfig struct {
 	// WallBudget aborts a wedged run after this much host time — the
 	// no-deadlock invariant is checked against it. Zero selects 30 s.
 	WallBudget time.Duration
+	// Policy selects the daemon policy by registry name
+	// (maestro.RegisteredPolicies); empty keeps the daemon default
+	// (dual-condition). Every registered policy — adaptive included —
+	// is held to the same invariants: the staleness watchdog gates its
+	// inputs, so zero stale-horizon decisions must hold regardless of
+	// what the policy's internal model does.
+	Policy string
 	// Telemetry, when non-nil, receives the whole stack's instruments;
 	// nil creates a private registry (the report reads it either way).
 	Telemetry *telemetry.Registry
@@ -46,7 +53,8 @@ type ChaosConfig struct {
 // ChaosReport is the outcome of one chaos run.
 type ChaosReport struct {
 	Seed           uint64
-	Sockets, Cores int // cores per socket
+	Policy         string // daemon policy the run exercised
+	Sockets, Cores int    // cores per socket
 	Events         int
 	ClearTime      time.Duration
 
@@ -118,7 +126,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	end := cfg.Horizon + cfg.Tail
 	mcfg.VirtualTimeLimit = 10 * end
 
-	rep := &ChaosReport{Seed: cfg.Seed, Sockets: mcfg.Sockets, Cores: mcfg.CoresPerSocket}
+	rep := &ChaosReport{Seed: cfg.Seed, Policy: cfg.Policy, Sockets: mcfg.Sockets, Cores: mcfg.CoresPerSocket}
 
 	m, err := machine.New(mcfg)
 	if err != nil {
@@ -197,7 +205,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	knee := float64(mcfg.Mem.KneeRefs)
 	const pollPeriod = 10 * time.Millisecond
 	journal := telemetry.NewJournal(4096, mcfg.Sockets)
-	daemon, err := maestro.Start(rt, bb, maestro.Config{
+	dcfg := maestro.Config{
 		Period: pollPeriod,
 		Thresholds: maestro.Thresholds{
 			HighPower:       units.Watts(0.50 * est),
@@ -210,7 +218,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		ActuationHook:    inj.Actuation(),
 		Telemetry:        reg,
 		Journal:          journal,
-	})
+	}
+	if cfg.Policy != "" {
+		if dcfg, err = maestro.ConfigForPolicy(cfg.Policy, dcfg); err != nil {
+			return nil, err
+		}
+	}
+	daemon, err := maestro.Start(rt, bb, dcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package faults
 import (
 	"testing"
 	"time"
+
+	"repro/internal/maestro"
 )
 
 // TestChaosSingleSeed exercises one full chaos run end to end and spells
@@ -40,14 +42,21 @@ func TestChaosCorpus(t *testing.T) {
 	}
 	var totalInjected [NumKinds]uint64
 	var activations, failsafes, restarts, quarantines uint64
+	var adaptiveRuns, adaptiveActivations uint64
 	for seed := 0; seed < runs; seed++ {
-		rep, err := RunChaos(ChaosConfig{Seed: uint64(seed)})
+		cfg := ChaosConfig{Seed: uint64(seed)}
+		// Every fourth seed runs the adaptive policy so its model and
+		// hill-climb face the same fault schedules as the static gate.
+		if seed%4 == 3 {
+			cfg.Policy = maestro.Adaptive.String()
+		}
+		rep, err := RunChaos(cfg)
 		if err != nil {
 			t.Fatalf("seed %d: RunChaos: %v", seed, err)
 		}
 		if !rep.Passed() {
 			for _, v := range rep.Violations {
-				t.Errorf("seed %d: %s", seed, v)
+				t.Errorf("seed %d (policy %q): %s", seed, cfg.Policy, v)
 			}
 			continue
 		}
@@ -58,6 +67,10 @@ func TestChaosCorpus(t *testing.T) {
 		failsafes += rep.Daemon.FailsafeEntries
 		restarts += rep.SamplerRestarts
 		quarantines += rep.Quarantines
+		if cfg.Policy != "" {
+			adaptiveRuns++
+			adaptiveActivations += rep.Daemon.Activations
+		}
 	}
 	if t.Failed() {
 		return
@@ -79,8 +92,44 @@ func TestChaosCorpus(t *testing.T) {
 	if quarantines == 0 {
 		t.Error("no run ever quarantined a domain: the corpus never exercised the guard")
 	}
-	t.Logf("%d runs: injected %v, activations %d, failsafes %d, restarts %d, quarantines %d",
-		runs, totalInjected, activations, failsafes, restarts, quarantines)
+	if adaptiveRuns == 0 {
+		t.Error("no run ever used the adaptive policy: the corpus never exercised the hill-climb under faults")
+	} else if adaptiveActivations == 0 {
+		t.Error("no adaptive run ever engaged throttling: the adaptive arm was tested vacuously")
+	}
+	t.Logf("%d runs (%d adaptive): injected %v, activations %d, failsafes %d, restarts %d, quarantines %d",
+		runs, adaptiveRuns, totalInjected, activations, failsafes, restarts, quarantines)
+}
+
+// TestChaosEveryRegisteredPolicy subjects every policy in the maestro
+// registry — built-ins and any third-party registration — to a handful
+// of fault schedules. The invariant under test is the ISSUE's: no
+// policy, whatever its internal model, can cause a throttle decision on
+// data older than the staleness horizon, because the daemon's watchdog
+// gates the policy's inputs rather than trusting the policy to check.
+func TestChaosEveryRegisteredPolicy(t *testing.T) {
+	policies := maestro.RegisteredPolicies()
+	if len(policies) < 3 {
+		t.Fatalf("registry lists %d policies, want at least the three built-ins: %v", len(policies), policies)
+	}
+	seeds := []uint64{3, 11, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, policy := range policies {
+		for _, seed := range seeds {
+			rep, err := RunChaos(ChaosConfig{Seed: seed, Policy: policy})
+			if err != nil {
+				t.Fatalf("policy %q seed %d: RunChaos: %v", policy, seed, err)
+			}
+			if rep.StaleDecisions != 0 {
+				t.Errorf("policy %q seed %d: %d decision(s) on stale-horizon data", policy, seed, rep.StaleDecisions)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("policy %q seed %d: %s", policy, seed, v)
+			}
+		}
+	}
 }
 
 // TestChaosDeterministic: the same seed must produce the same schedule,

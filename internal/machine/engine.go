@@ -36,6 +36,14 @@ func (m *Machine) engine() {
 		if m.wakeReadyLocked() {
 			continue
 		}
+		if m.held > 0 {
+			// A Hold has the clock parked: zero-time activity (wakes on
+			// already-satisfied conditions, enrolment, task pickup) still
+			// proceeds above, but time never advances and tickers never
+			// fire until the hold is released.
+			m.engCond.Wait()
+			continue
+		}
 		m.applyFrequencyRequestsLocked()
 		dt, tickerOnly, ok := m.planStepLocked()
 		if !ok {
@@ -66,7 +74,7 @@ func (m *Machine) engine() {
 				// continue itself. Leaving it set would livelock the
 				// ticker-only path (plan, sleep, see the stale kick,
 				// discard the plan, forever).
-				if m.running > 0 || m.stopped || m.kicked {
+				if m.running > 0 || m.stopped || m.kicked || m.held > 0 {
 					m.kicked = false
 					continue
 				}

@@ -158,6 +158,7 @@ type Machine struct {
 	tickers      map[int]*ticker
 	nextTickerID int
 	kicked       bool
+	held         int // outstanding Hold()s; >0 freezes virtual time
 
 	// stepHook, when non-nil, observes every engine step (see trace.go).
 	stepHook StepHook
@@ -392,6 +393,33 @@ func (m *Machine) RemoveTicker(id int) {
 	if tk, ok := m.tickers[id]; ok {
 		m.tkRemoveLocked(tk)
 		delete(m.tickers, id)
+	}
+}
+
+// Hold freezes virtual time and returns the matching release function.
+// While at least one hold is outstanding the engine neither advances
+// time nor fires tickers; cores may still enroll and park, and tickers
+// may still be registered. A hold lets a caller assemble a whole
+// experiment stack (runtime, sampler, daemon) with the clock parked at
+// a known instant, so every run starts with identical ticker phases
+// regardless of how the host scheduler interleaves construction with
+// the engine's paced ticker-only steps. Holds nest; the release
+// function is idempotent.
+func (m *Machine) Hold() func() {
+	m.mu.Lock()
+	m.held++
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			m.held--
+			// Force a re-plan, exactly as AddTicker does: the engine may
+			// never have planned a step for state built under the hold.
+			m.kicked = true
+			m.engCond.Signal()
+			m.mu.Unlock()
+		})
 	}
 }
 

@@ -1,0 +1,211 @@
+package maestro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// adaptiveHarness drives an adaptive Decider against a synthetic
+// efficiency landscape: each poll's power/bandwidth readings are derived
+// from the operating point the controller most recently asked for, which
+// is exactly the feedback loop the daemon provides (one poll of sampler
+// lag is modelled by windowDone's skipped first dwell poll).
+type adaptiveHarness struct {
+	t   *testing.T
+	a   Decider
+	env PolicyEnv
+	now time.Duration
+	// eff maps an operating point to bandwidth-per-watt; the harness
+	// fixes bandwidth and derives power so windows measure exactly eff.
+	eff func(pt OperatingPoint) float64
+	bw  float64
+	pt  OperatingPoint
+}
+
+func newAdaptiveHarness(t *testing.T, eff func(OperatingPoint) float64, bw float64) *adaptiveHarness {
+	t.Helper()
+	env := PolicyEnv{
+		Machine:       machine.M620(),
+		Period:        DefaultPeriod,
+		ThrottleLimit: 6,
+		FrequencyGear: 0.8,
+	}
+	env.Thresholds = DefaultThresholds(env.Machine.Mem)
+	dec, err := NewAdaptiveDecider(AdaptiveConfig{})(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &adaptiveHarness{t: t, a: dec, env: env, eff: eff, bw: bw}
+	h.pt = OperatingPoint{Throttled: false, Limit: env.ThrottleLimit, FreqScale: 1}
+	return h
+}
+
+// poll advances one daemon poll. hot=true feeds High/High levels on
+// every socket; hot=false feeds all-Low. scale multiplies the workload
+// signature (to provoke the change-point detector).
+func (h *adaptiveHarness) poll(hot bool, scale float64) OperatingPoint {
+	h.t.Helper()
+	e := h.eff(h.pt)
+	if e <= 0 {
+		h.t.Fatalf("landscape has no efficiency for %+v", h.pt)
+	}
+	bw := h.bw * scale
+	power := bw / e
+	lv := Low
+	if hot {
+		lv = High
+	}
+	in := PolicyInput{
+		Now:     h.now,
+		Power:   []float64{power / 2, power / 2},
+		Conc:    []float64{56, 56}, // knee 28 over 8 cores/socket seeds the climb at limit 4
+		Membw:   []float64{bw / 2, bw / 2},
+		PowerLv: []int8{int8(lv), int8(lv)},
+		ConcLv:  []int8{int8(lv), int8(lv)},
+		Current: h.pt,
+	}
+	h.pt = h.a.Decide(in)
+	h.now += h.env.Period
+	return h.pt
+}
+
+// settle polls hot until the requested point stops changing (quiet
+// consecutive polls), failing after limit polls.
+func (h *adaptiveHarness) settle(quiet, limit int) OperatingPoint {
+	h.t.Helper()
+	stable := 0
+	for i := 0; i < limit; i++ {
+		prev := h.pt
+		if h.poll(true, 1) == prev {
+			stable++
+			if stable >= quiet {
+				return h.pt
+			}
+		} else {
+			stable = 0
+		}
+	}
+	h.t.Fatalf("operating point never settled within %d polls (last %+v)", limit, h.pt)
+	return OperatingPoint{}
+}
+
+// limitLandscape peaks at a per-shepherd limit of 5; gears only ever
+// lose. Unknown limits fall off toward zero so the climb can never walk
+// away unbounded.
+func limitLandscape(pt OperatingPoint) float64 {
+	base := map[int]float64{3: 0.80, 4: 1.00, 5: 1.25, 6: 1.10, 7: 0.95, 8: 0.85}[pt.Limit]
+	if base == 0 {
+		base = 0.1
+	}
+	if !pt.Throttled {
+		base = 1.05 // released: decent but below the optimum
+	}
+	if pt.FreqScale < 1 {
+		base *= 0.8
+	}
+	return base
+}
+
+func TestAdaptiveClimbsToEfficiencyPeak(t *testing.T) {
+	// Bandwidth well under half the node plateau: the gear sweep's
+	// saturation gate must keep DVFS out of the picture.
+	h := newAdaptiveHarness(t, limitLandscape, 1e9)
+
+	if got := h.poll(false, 1); got.Throttled {
+		t.Fatalf("throttled while idle: %+v", got)
+	}
+	pt := h.settle(12, 400)
+	want := OperatingPoint{Throttled: true, Limit: 5, FreqScale: 1}
+	if pt != want {
+		t.Fatalf("converged on %+v, want %+v (efficiency peak)", pt, want)
+	}
+}
+
+func TestAdaptiveReleasesWhenCold(t *testing.T) {
+	h := newAdaptiveHarness(t, limitLandscape, 1e9)
+	h.settle(12, 400)
+	var pt OperatingPoint
+	for i := 0; i < 4; i++ { // ReleasePolls defaults to 2
+		pt = h.poll(false, 1)
+	}
+	if pt.Throttled || pt.FreqScale != 1 {
+		t.Fatalf("still engaged after sustained all-Low: %+v", pt)
+	}
+}
+
+func TestAdaptiveGearSweepNeedsSaturation(t *testing.T) {
+	// Same limit peak, but gears now improve efficiency (memory-bound
+	// phase: less clock, same bandwidth, less power) and the workload
+	// moves 60% of the node's plateau bandwidth.
+	capacity := float64(machine.M620().Mem.BandwidthPerSocket) * 2
+	eff := func(pt OperatingPoint) float64 {
+		base := limitLandscape(OperatingPoint{Throttled: pt.Throttled, Limit: pt.Limit, FreqScale: 1})
+		switch pt.FreqScale {
+		case 0.9:
+			base *= 1.10
+		case 0.8:
+			base *= 1.05
+		case 0.7, 0.6:
+			base *= 0.90
+		}
+		return base
+	}
+	h := newAdaptiveHarness(t, eff, 0.6*capacity)
+	pt := h.settle(20, 600)
+	want := OperatingPoint{Throttled: true, Limit: 5, FreqScale: 0.9}
+	if pt != want {
+		t.Fatalf("converged on %+v, want %+v (gear 0.9 pays, 0.8 does not)", pt, want)
+	}
+}
+
+func TestAdaptiveResetReentersMonitor(t *testing.T) {
+	h := newAdaptiveHarness(t, limitLandscape, 1e9)
+	h.poll(true, 1) // engage: mid-climb now
+	if !h.pt.Throttled {
+		t.Fatalf("hot poll did not engage: %+v", h.pt)
+	}
+	h.a.Reset(h.now)
+	// A Reset means fail-safe fired: the next decision must ask for the
+	// released state, and learned climb state must be gone.
+	if pt := h.poll(false, 1); pt.Throttled || pt.FreqScale != 1 {
+		t.Fatalf("post-reset decision still engaged: %+v", pt)
+	}
+	// Re-engagement works from scratch.
+	if pt := h.poll(true, 1); !pt.Throttled {
+		t.Fatalf("monitor did not re-engage after reset: %+v", pt)
+	}
+}
+
+func TestAdaptivePhaseChangeRestartsClimb(t *testing.T) {
+	h := newAdaptiveHarness(t, limitLandscape, 1e9)
+	h.settle(12, 400)
+	ph, ok := h.a.(interface{ Phase() int })
+	if !ok {
+		t.Fatal("adaptive decider does not expose Phase()")
+	}
+	before := ph.Phase()
+	// The workload triples its signature while the operating point holds
+	// still: a genuine phase transition the detector must catch, after
+	// which the climb restarts (FreqScale back to 1, exploring limits).
+	restarted := false
+	for i := 0; i < 40; i++ {
+		h.poll(true, 3)
+		if ph.Phase() > before {
+			restarted = true
+			break
+		}
+	}
+	if !restarted {
+		t.Fatalf("detector never reported the regime shift (phase still %d)", ph.Phase())
+	}
+	if !h.pt.Throttled || h.pt.FreqScale != 1 {
+		t.Fatalf("climb not restarted from seed after phase change: %+v", h.pt)
+	}
+	// And the controller re-converges for the new phase.
+	pt := h.settle(12, 400)
+	if !pt.Throttled || pt.Limit != 5 {
+		t.Fatalf("did not re-converge after phase change: %+v", pt)
+	}
+}

@@ -233,3 +233,129 @@ func TestDaemonCadenceUnderActuationDelay(t *testing.T) {
 		}
 	}
 }
+
+// TestPendingActuationTracksLatestDesired is the regression test for
+// grid drift when a policy changes its mind while an actuation is in
+// flight (ISSUE satellite: actuation-grid drift). The machine is frozen
+// and the poll/fire callbacks are driven by hand, which makes the racy
+// interleaving deterministic: a poll lands exactly at the end of the
+// busy window, flips the desired state, and only then does the delayed
+// actuation fire. The in-flight actuation must carry no payload — the
+// fire applies the *latest* desired point — and the flip must neither
+// invoke the hook a second time nor re-anchor the busy window off the
+// k×Period grid.
+func TestPendingActuationTracksLatestDesired(t *testing.T) {
+	leak.Check(t)
+	const period = 100 * time.Millisecond
+	mcfg := machine.M620()
+	mcfg.Sockets = 1
+	mcfg.CoresPerSocket = 2
+	m, err := machine.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	bb, err := rcr.NewBlackboard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := qthreads.DefaultConfig()
+	qcfg.Workers = 2
+	rt, err := qthreads.New(m, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+
+	hooks := 0
+	d, err := Start(rt, bb, Config{
+		// The daemon's own ticker never fires: the engine is stopped and
+		// this test calls poll/firePending directly, single-threaded.
+		Period:           time.Hour,
+		StalenessHorizon: -1,
+		ActuationHook: func(now time.Duration, engage bool) (time.Duration, bool) {
+			hooks++
+			return 250 * time.Millisecond, false // 2.5 polling periods
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	m.Stop() // freeze virtual time; callbacks below run on this goroutine
+
+	feed := func(now time.Duration, hot bool) {
+		power, conc := 30.0, 2.0 // Low/Low
+		if hot {
+			power, conc = 100, 0.9*28 // High/High
+		}
+		bb.SetSocket(0, rcr.MeterPower, power, now)
+		bb.SetSocket(0, rcr.MeterMemConcurrency, conc, now)
+	}
+
+	// Poll 1: High/High → engage decided, actuation deferred 2.5 periods.
+	feed(period, true)
+	d.poll(period, nil)
+	if hooks != 1 {
+		t.Fatalf("after engage decision: hook ran %d times, want 1", hooks)
+	}
+	if d.pendingID < 0 {
+		t.Fatal("no pending actuation registered")
+	}
+	if rt.Throttled() {
+		t.Fatal("throttle applied before the deferred actuation fired")
+	}
+	if want := period + 250*time.Millisecond; d.busyUntil != want {
+		t.Fatalf("busyUntil = %v, want %v", d.busyUntil, want)
+	}
+
+	// Poll 2 overlaps the busy window: missed, not shifted.
+	d.poll(2*period, nil)
+	if got := d.Stats().MissedPolls; got != 1 {
+		t.Fatalf("MissedPolls = %d, want 1", got)
+	}
+
+	// Poll 3 lands exactly when the busy window ends but before the
+	// pending actuation fires (a same-deadline tie the engine's heap may
+	// order either way). The load has dropped: desired flips to released
+	// while the engage actuation is still in flight. The flip must not
+	// re-invoke the hook and must not move the busy window.
+	tie := period + 250*time.Millisecond
+	feed(tie, false)
+	d.poll(tie, nil)
+	if hooks != 1 {
+		t.Fatalf("desired flip while pending re-invoked the hook: %d calls, want 1", hooks)
+	}
+	if want := period + 250*time.Millisecond; d.busyUntil != want {
+		t.Fatalf("desired flip re-anchored busyUntil to %v, want %v", d.busyUntil, want)
+	}
+
+	// The deferred actuation now fires: it must apply the *latest*
+	// desired point (released), not the engage captured at issue time.
+	d.firePending(tie, nil)
+	if d.pendingID >= 0 {
+		t.Fatal("pending actuation still registered after firing")
+	}
+	if rt.Throttled() {
+		t.Fatal("fire applied the stale engage payload over the newer release decision")
+	}
+
+	// The next hot poll re-issues the actuation anchored at its own
+	// on-grid timestamp — not at any earlier decision time.
+	feed(4*period, true)
+	d.poll(4*period, nil)
+	if hooks != 2 {
+		t.Fatalf("re-engage after fire: hook ran %d times, want 2", hooks)
+	}
+	if want := 4*period + 250*time.Millisecond; d.busyUntil != want {
+		t.Fatalf("re-engage busyUntil = %v, want %v (anchored at the poll, on-grid)", d.busyUntil, want)
+	}
+	d.firePending(4*period, nil)
+	if !rt.Throttled() {
+		t.Fatal("re-engage never applied")
+	}
+	st := d.Stats()
+	if st.Activations != 2 || st.Deactivations != 1 {
+		t.Fatalf("activations/deactivations = %d/%d, want 2/1", st.Activations, st.Deactivations)
+	}
+}

@@ -16,6 +16,7 @@ package maestro
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -50,17 +51,26 @@ func (l Level) String() string {
 	}
 }
 
-// Classify buckets a value against a low and high threshold. Values at or
-// above high are High; at or below low are Low; otherwise Medium. The
-// Medium band is the hysteresis guard of §IV-A: it neither engages nor
-// releases throttling, avoiding oscillation when a metric hovers near a
-// threshold.
+// Classify buckets a value against a low and high threshold: Low on the
+// closed interval (-inf, low], High on the closed interval [high, +inf),
+// Medium strictly between. The Medium band is the hysteresis guard of
+// §IV-A: it neither engages nor releases throttling, avoiding
+// oscillation when a metric hovers near a threshold.
+//
+// Boundary semantics are deliberate and fail toward *not* throttling:
+// the Low test wins over the High test, so the degenerate low == high
+// config (which Thresholds.Validate rejects, but Classify must still be
+// total for callers with their own validation) classifies the shared
+// boundary value Low rather than High — the band collapses toward
+// release, never toward engagement. NaN never classifies High or Low:
+// all its comparisons are false, so it lands in Medium and holds the
+// current state rather than acting on garbage.
 func Classify(v, low, high float64) Level {
 	switch {
-	case v >= high:
-		return High
 	case v <= low:
 		return Low
+	case v >= high:
+		return High
 	default:
 		return Medium
 	}
@@ -95,8 +105,20 @@ func DefaultThresholds(mem machine.MemParams) Thresholds {
 	}
 }
 
-// Validate reports the first problem with the thresholds.
+// Validate reports the first problem with the thresholds: inverted or
+// degenerate (low >= high) bands, non-positive power bounds, and NaN
+// anywhere. NaN needs an explicit check because every comparison
+// against it is false — a NaN threshold would otherwise sail through
+// the ordering checks and silently disable a classification band.
 func (th Thresholds) Validate() error {
+	for _, v := range [...]float64{
+		float64(th.LowPower), float64(th.HighPower),
+		th.LowConcurrency, th.HighConcurrency,
+	} {
+		if math.IsNaN(v) {
+			return fmt.Errorf("maestro: thresholds %+v contain NaN", th)
+		}
+	}
 	if th.LowPower <= 0 || th.HighPower <= th.LowPower {
 		return fmt.Errorf("maestro: power thresholds %v/%v must satisfy 0 < low < high", th.LowPower, th.HighPower)
 	}
@@ -194,6 +216,11 @@ const (
 	// limits thread count for programs running at high efficiency and
 	// increased overall energy consumption". Kept for the ablation.
 	PowerOnly
+	// Adaptive goes beyond the static classifier: an online phase
+	// detector plus a per-phase hill-climbed speedup/power model picks
+	// the energy-optimal operating point (thread count × DVFS gear) per
+	// workload phase. See adaptive.go and docs/DESIGN.md §Adaptive.
+	Adaptive
 )
 
 // String returns the policy name.
@@ -203,6 +230,8 @@ func (p Policy) String() string {
 		return "dual-condition"
 	case PowerOnly:
 		return "power-only"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -225,8 +254,17 @@ type Config struct {
 	// choice) or socket-wide frequency scaling.
 	Mechanism Mechanism
 	// Policy selects the gating condition (default: the paper's dual
-	// condition).
+	// condition). Adaptive routes decisions through a Decider (the
+	// default adaptive controller unless Decider overrides it).
 	Policy Policy
+	// Decider, when non-nil, supplies a custom policy implementation
+	// consulted on every healthy poll in place of the static
+	// classifier. The staleness watchdog, fail-safe latch and
+	// actuation reconciliation stay daemon-owned: no Decider can act
+	// on stale data or keep the machine throttled through an outage.
+	// Most callers set Policy instead; this seam exists for registered
+	// third-party policies (see RegisterPolicy).
+	Decider DeciderFactory
 	// FrequencyGear is the DVFS scale applied while ScaleFrequency is
 	// engaged; zero selects 0.6.
 	FrequencyGear float64
@@ -275,12 +313,26 @@ type Daemon struct {
 	tickerID int
 
 	// Engine-goroutine control state (poll and firePending callbacks
-	// only). engaged is the desired mechanism state from classification;
-	// applied is what has actually been actuated — they diverge while an
+	// only). desired is the operating point the policy wants; applied
+	// is what has actually been actuated — they diverge while an
 	// actuation is delayed or after one is dropped, and every poll
-	// reconciles applied toward engaged.
+	// reconciles applied toward desired. engaged caches
+	// desired != fullPoint (the "is any mechanism active" view the
+	// stats, metrics and journal expose).
+	desired OperatingPoint
+	applied OperatingPoint
 	engaged bool
-	applied bool
+	// fullPoint is the released state: throttle off at the configured
+	// limit, full clock. engagedPoint is the static policies' single
+	// throttled state (the Adaptive policy picks its own points).
+	fullPoint    OperatingPoint
+	engagedPoint OperatingPoint
+	// decider is non-nil for Adaptive/custom policies; phaseFn exposes
+	// its current phase id when it has one.
+	decider Decider
+	phaseFn func() int
+	// maxLimit is the hardware bound on a per-shepherd worker limit.
+	maxLimit int
 	// failsafe is the watchdog latch: while set, classification is
 	// suspended and the throttle is released. freshPolls counts
 	// consecutive healthy polls toward recovery.
@@ -292,10 +344,12 @@ type Daemon struct {
 	// landing inside the window are missed (the control thread is busy),
 	// but the ticker keeps the absolute-deadline grid, so cadence holds.
 	busyUntil time.Duration
-	// pendingID/pendingOn track the one-shot ticker of a delayed
-	// actuation (-1 when none).
+	// pendingID tracks the one-shot ticker of a delayed actuation (-1
+	// when none). The pending actuation carries no payload: when it
+	// fires it applies whatever is desired *then*, so a policy that
+	// moves while an actuation is in flight is never overwritten by a
+	// stale snapshot (see reconcile).
 	pendingID int
-	pendingOn bool
 
 	failsafeA       atomic.Bool
 	stopped         atomic.Bool
@@ -319,6 +373,7 @@ type Daemon struct {
 
 	activations   atomic.Uint64
 	deactivations atomic.Uint64
+	opChanges     atomic.Uint64
 	samples       atomic.Uint64
 	throttledTime atomic.Int64 // ns spent with throttling active
 	lastSample    atomic.Int64 // ns timestamp of previous sample
@@ -351,7 +406,42 @@ func Start(rt *qthreads.Runtime, bb *rcr.Blackboard, cfg Config) (*Daemon, error
 	if cfg.RecoveryPolls <= 0 {
 		cfg.RecoveryPolls = 2
 	}
+	if cfg.Decider == nil && cfg.Policy == Adaptive {
+		cfg.Decider = NewAdaptiveDecider(AdaptiveConfig{})
+	}
 	d := &Daemon{rt: rt, bb: bb, cfg: cfg, journal: cfg.Journal, pendingID: -1}
+	d.maxLimit = mcfg.CoresPerSocket
+	if d.maxLimit < 1 {
+		d.maxLimit = 1
+	}
+	d.fullPoint = OperatingPoint{Throttled: false, Limit: cfg.ThrottleLimit, FreqScale: 1}
+	if cfg.Mechanism == ScaleFrequency {
+		d.engagedPoint = OperatingPoint{Throttled: false, Limit: cfg.ThrottleLimit, FreqScale: cfg.FrequencyGear}
+	} else {
+		d.engagedPoint = OperatingPoint{Throttled: true, Limit: cfg.ThrottleLimit, FreqScale: 1}
+	}
+	d.desired, d.applied = d.fullPoint, d.fullPoint
+	if cfg.Decider != nil {
+		dec, err := cfg.Decider(PolicyEnv{
+			Machine:       mcfg,
+			Thresholds:    cfg.Thresholds,
+			Period:        cfg.Period,
+			ThrottleLimit: cfg.ThrottleLimit,
+			FrequencyGear: cfg.FrequencyGear,
+			Telemetry:     cfg.Telemetry,
+			Journal:       cfg.Journal,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if dec == nil {
+			return nil, errors.New("maestro: Decider factory returned nil")
+		}
+		d.decider = dec
+		if p, ok := dec.(interface{ Phase() int }); ok {
+			d.phaseFn = p.Phase
+		}
+	}
 	switch {
 	case cfg.StalenessHorizon == 0:
 		d.horizon = 3 * cfg.Period
@@ -384,7 +474,10 @@ func (d *Daemon) Stop() {
 	d.stopped.Store(true)
 	d.rt.Machine().RemoveTicker(d.tickerID)
 	d.rt.SetThrottle(false, d.cfg.ThrottleLimit)
-	if d.cfg.Mechanism == ScaleFrequency {
+	// decider is written once before Start returns, so this read is
+	// safe from the stopping goroutine. A Decider may have engaged
+	// either mechanism, so both are released.
+	if d.cfg.Mechanism == ScaleFrequency || d.decider != nil {
 		d.setFrequency(1)
 	}
 }
@@ -397,6 +490,10 @@ type Stats struct {
 	Samples       uint64
 	Activations   uint64
 	Deactivations uint64
+	// OpChanges counts every desired operating-point move a Decider
+	// policy made, including retunes between two throttled points that
+	// the activation/deactivation counters cannot see.
+	OpChanges     uint64
 	ThrottledTime time.Duration
 	// Fail-safe accounting: sensor faults observed, fail-safe windows
 	// entered, recoveries back to normal operation, polls missed while
@@ -415,6 +512,7 @@ func (d *Daemon) Stats() Stats {
 		Samples:         d.samples.Load(),
 		Activations:     d.activations.Load(),
 		Deactivations:   d.deactivations.Load(),
+		OpChanges:       d.opChanges.Load(),
 		ThrottledTime:   time.Duration(d.throttledTime.Load()),
 		FaultsSeen:      d.faultsSeen.Load(),
 		FailsafeEntries: d.failsafeEntries.Load(),
@@ -543,43 +641,36 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 			allLow = false
 		}
 	}
-	dec := Hold
-	switch {
-	case anyBothHigh:
-		dec = Enable
-	case allLow:
-		dec = Disable
-	}
-	outcome := "hold"
-	switch dec {
-	case Enable:
-		outcome = "enable"
-		if met != nil {
-			met.decEnable.Inc()
+	var outcome string
+	if d.decider != nil {
+		outcome = d.decideAdaptive(now, staleness, nSock)
+	} else {
+		dec := Hold
+		switch {
+		case anyBothHigh:
+			dec = Enable
+		case allLow:
+			dec = Disable
 		}
-		if !d.engaged {
-			d.engaged = true
-			d.activations.Add(1)
+		outcome = "hold"
+		switch dec {
+		case Enable:
+			outcome = "enable"
 			if met != nil {
-				met.transitions.Inc()
+				met.decEnable.Inc()
 			}
-		}
-	case Disable:
-		outcome = "disable"
-		if met != nil {
-			met.decDisable.Inc()
-		}
-		if d.engaged {
-			d.engaged = false
-			d.deactivations.Add(1)
+			d.setDesired(now, d.engagedPoint, staleness)
+		case Disable:
+			outcome = "disable"
 			if met != nil {
-				met.transitions.Inc()
+				met.decDisable.Inc()
 			}
-		}
-	default:
-		// Hysteresis band: leave the mechanism as-is.
-		if met != nil {
-			met.decHold.Inc()
+			d.setDesired(now, d.fullPoint, staleness)
+		default:
+			// Hysteresis band: leave the mechanism as-is.
+			if met != nil {
+				met.decHold.Inc()
+			}
 		}
 	}
 	d.reconcile(now)
@@ -615,10 +706,130 @@ func (d *Daemon) poll(now time.Duration, _ *machine.Snapshot) {
 			},
 			Outcome:   outcome,
 			Engaged:   d.engaged,
-			Limit:     d.cfg.ThrottleLimit,
+			Limit:     d.desired.Limit,
+			Freq:      d.desired.FreqScale,
+			Phase:     d.phase(),
 			Staleness: staleness,
 		})
 	}
+}
+
+// setDesired records a new desired operating point, maintaining the
+// engaged view and (for Decider policies) the operating_point_changed
+// journal trail. Static policies move only between fullPoint and
+// engagedPoint, so their journal output is unchanged from before the
+// Decider seam existed.
+func (d *Daemon) setDesired(now time.Duration, pt OperatingPoint, staleness time.Duration) {
+	if pt == d.desired {
+		return
+	}
+	d.desired = pt
+	eng := pt != d.fullPoint
+	if eng != d.engaged {
+		d.engaged = eng
+		if eng {
+			d.activations.Add(1)
+		} else {
+			d.deactivations.Add(1)
+		}
+		if d.met != nil {
+			d.met.transitions.Inc()
+		}
+	}
+	if d.decider == nil {
+		return
+	}
+	d.opChanges.Add(1)
+	if d.met != nil {
+		d.met.phaseOpChanges.Inc()
+	}
+	if d.journal != nil {
+		d.journal.Record(telemetry.Decision{
+			T:         now,
+			Kind:      telemetry.KindOperatingPointChanged,
+			Engaged:   d.engaged,
+			Limit:     pt.Limit,
+			Freq:      pt.FreqScale,
+			Phase:     d.phase(),
+			Staleness: staleness,
+		})
+	}
+}
+
+// decideAdaptive routes one healthy poll's readings through the
+// Decider. The daemon still owns clamping (a Decider cannot exceed the
+// hardware's limits or emit NaN gears), the engaged bookkeeping, and
+// actuation; the Decider only picks the point.
+func (d *Daemon) decideAdaptive(now, staleness time.Duration, nSock int) string {
+	d.powerF, d.concF, d.membwF = d.powerF[:0], d.concF[:0], d.membwF[:0]
+	for s := 0; s < nSock; s++ {
+		bw, _ := d.bb.Socket(s, rcr.MeterMemBandwidth)
+		d.membwF = append(d.membwF, bw.Value)
+		d.powerF = append(d.powerF, float64(d.power[s]))
+		d.concF = append(d.concF, d.conc[s])
+	}
+	pt := d.clampPoint(d.decider.Decide(PolicyInput{
+		Now:       now,
+		Power:     d.powerF,
+		Conc:      d.concF,
+		Membw:     d.membwF,
+		PowerLv:   d.powerLv,
+		ConcLv:    d.concLv,
+		Current:   d.desired,
+		Staleness: staleness,
+	}))
+	outcome := "hold"
+	switch {
+	case pt == d.desired:
+		if d.met != nil {
+			d.met.decHold.Inc()
+		}
+	case pt == d.fullPoint:
+		outcome = "disable"
+		if d.met != nil {
+			d.met.decDisable.Inc()
+		}
+	case d.desired == d.fullPoint:
+		outcome = "enable"
+		if d.met != nil {
+			d.met.decEnable.Inc()
+		}
+	default:
+		// A move between two throttled points.
+		outcome = "retune"
+	}
+	d.setDesired(now, pt, staleness)
+	return outcome
+}
+
+// clampPoint bounds a Decider's output to what the hardware can do.
+// Non-finite or out-of-range gears fall back to full clock (fail toward
+// speed, never toward an unbounded throttle).
+func (d *Daemon) clampPoint(pt OperatingPoint) OperatingPoint {
+	if !(pt.FreqScale > 0 && pt.FreqScale <= 1) { // NaN lands here too
+		pt.FreqScale = 1
+	}
+	if pt.Throttled {
+		if pt.Limit < 1 {
+			pt.Limit = 1
+		}
+		if pt.Limit > d.maxLimit {
+			pt.Limit = d.maxLimit
+		}
+	} else {
+		// Released points are normalized so there is exactly one
+		// representation of "not throttled" to compare against.
+		pt.Limit = d.cfg.ThrottleLimit
+	}
+	return pt
+}
+
+// phase is the Decider's current phase id (0 for static policies).
+func (d *Daemon) phase() int {
+	if d.phaseFn != nil {
+		return d.phaseFn()
+	}
+	return 0
 }
 
 // noteFault handles a poll whose inputs are missing or older than the
@@ -647,6 +858,7 @@ func (d *Daemon) noteFault(now, staleness time.Duration, missing bool) {
 			met.failsafeEntered.Inc()
 			met.failsafeG.Set(1)
 		}
+		d.desired = d.fullPoint
 		if d.engaged {
 			d.engaged = false
 			d.deactivations.Add(1)
@@ -655,14 +867,21 @@ func (d *Daemon) noteFault(now, staleness time.Duration, missing bool) {
 			}
 		}
 		d.cancelPending()
-		d.applyNow(false)
+		d.forceRelease()
+		if d.decider != nil {
+			// The Decider's model was fed by the sensors that just went
+			// dark; whatever it learned during the outage window is not
+			// trustworthy. Reset so recovery restarts exploration from
+			// scratch rather than resuming a possibly-poisoned climb.
+			d.decider.Reset(now)
+		}
 		d.recordEvent(now, telemetry.KindFailsafeEntered, detail, staleness)
 		return
 	}
 	// Already in fail-safe: keep asserting the release in case a
 	// concurrent fault path flipped the mechanism back.
-	if d.applied {
-		d.applyNow(false)
+	if d.applied != d.fullPoint {
+		d.forceRelease()
 	}
 }
 
@@ -681,24 +900,29 @@ func (d *Daemon) recordEvent(now time.Duration, kind, detail string, staleness t
 	})
 }
 
-// reconcile drives the applied mechanism state toward the desired one.
+// reconcile drives the applied operating point toward the desired one.
 // With no ActuationHook this is a direct call; with one, the actuation
 // may be deferred (a one-shot ticker applies it later while overlapped
 // polls are missed) or dropped (nothing happens now — the next poll
-// finds applied != engaged and retries).
+// finds applied != desired and retries).
 func (d *Daemon) reconcile(now time.Duration) {
 	if d.pendingID >= 0 {
-		if d.pendingOn == d.engaged {
-			return // the right actuation is already in flight
-		}
-		d.cancelPending()
-	}
-	if d.applied == d.engaged {
+		// An actuation is already in flight. It carries no payload —
+		// firePending applies whatever is desired when it fires — so a
+		// desired-state change needs no new hook invocation here.
+		// Cancelling and re-issuing instead would invoke the hook a
+		// second time and re-anchor the busy window at this decision's
+		// timestamp (busyUntil = now + delay), dragging subsequent
+		// actuations off the absolute k×Period grid every time a policy
+		// moved mid-flight.
 		return
 	}
-	on := d.engaged
+	if d.applied == d.desired {
+		return
+	}
+	engage := d.desired != d.fullPoint
 	if h := d.cfg.ActuationHook; h != nil {
-		delay, drop := h(now, on)
+		delay, drop := h(now, engage)
 		if drop {
 			if d.met != nil {
 				d.met.actDropped.Inc()
@@ -710,14 +934,13 @@ func (d *Daemon) reconcile(now time.Duration) {
 				d.met.actDelayed.Inc()
 			}
 			d.busyUntil = now + delay
-			d.pendingOn = on
 			if id, err := d.rt.Machine().AddTicker(delay, d.firePending); err == nil {
 				d.pendingID = id
 			}
 			return
 		}
 	}
-	d.applyNow(on)
+	d.applyNow(d.desired)
 }
 
 // firePending is the one-shot completion of a delayed actuation. It runs
@@ -731,29 +954,52 @@ func (d *Daemon) firePending(time.Duration, *machine.Snapshot) {
 	if d.stopped.Load() {
 		return
 	}
-	d.applyNow(d.pendingOn)
+	// Apply the operating point desired *now*, not the one desired when
+	// the delay began: if the policy moved while the actuation was in
+	// flight, a stale captured point must not overwrite the newer
+	// decision.
+	d.applyNow(d.desired)
 }
 
-// cancelPending discards an in-flight delayed actuation.
+// cancelPending discards an in-flight delayed actuation and its busy
+// window — a cancelled actuation no longer occupies the control thread,
+// so a stale window must not keep eating subsequent polls.
 func (d *Daemon) cancelPending() {
 	if d.pendingID >= 0 {
 		d.rt.Machine().RemoveTicker(d.pendingID)
 		d.pendingID = -1
 	}
+	d.busyUntil = 0
 }
 
-// applyNow actuates the configured mechanism immediately.
-func (d *Daemon) applyNow(on bool) {
-	d.applied = on
-	switch d.cfg.Mechanism {
-	case ScaleFrequency:
-		if on {
-			d.setFrequency(d.cfg.FrequencyGear)
-		} else {
-			d.setFrequency(1)
-		}
+// applyNow actuates an operating point immediately, touching only the
+// mechanisms that changed: a concurrency-only policy never issues a
+// DVFS request and a DVFS-only policy never flips the throttle flag.
+func (d *Daemon) applyNow(pt OperatingPoint) {
+	prev := d.applied
+	d.applied = pt
+	if pt.Throttled != prev.Throttled || (pt.Throttled && pt.Limit != prev.Limit) {
+		d.rt.SetThrottle(pt.Throttled, pt.Limit)
+	}
+	if pt.FreqScale != prev.FreqScale {
+		d.setFrequency(pt.FreqScale)
+	}
+}
+
+// forceRelease unconditionally re-asserts the released state through
+// the mechanism the active policy can have engaged, bypassing the
+// change-detection in applyNow — the fail-safe path must work even if
+// some fault desynchronized the bookkeeping from the hardware.
+func (d *Daemon) forceRelease() {
+	d.applied = d.fullPoint
+	switch {
+	case d.decider != nil:
+		d.rt.SetThrottle(false, d.cfg.ThrottleLimit)
+		d.setFrequency(1)
+	case d.cfg.Mechanism == ScaleFrequency:
+		d.setFrequency(1)
 	default:
-		d.rt.SetThrottle(on, d.cfg.ThrottleLimit)
+		d.rt.SetThrottle(false, d.cfg.ThrottleLimit)
 	}
 }
 

@@ -1,6 +1,7 @@
 package maestro
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -13,15 +14,42 @@ import (
 )
 
 func TestClassify(t *testing.T) {
+	nan := math.NaN()
 	cases := []struct {
-		v    float64
-		want Level
+		name      string
+		v         float64
+		low, high float64
+		want      Level
 	}{
-		{10, Low}, {25, Low}, {26, Medium}, {50, Medium}, {74, Medium}, {75, High}, {100, High},
+		{"well below", 10, 25, 75, Low},
+		{"at low boundary", 25, 25, 75, Low},
+		{"just above low", 26, 25, 75, Medium},
+		{"mid band", 50, 25, 75, Medium},
+		{"just below high", 74, 25, 75, Medium},
+		{"at high boundary", 75, 25, 75, High},
+		{"well above", 100, 25, 75, High},
+		// Degenerate low == high: the boundary value belongs to Low —
+		// ties fail toward releasing the throttle, not holding it.
+		{"degenerate at bound", 50, 50, 50, Low},
+		{"degenerate below", 49, 50, 50, Low},
+		{"degenerate above", 51, 50, 50, High},
+		// Inverted thresholds (low > high) slip past a missing Validate
+		// call; the overlap region must fail toward Low, never High.
+		{"inverted mid", 50, 75, 25, Low},
+		{"inverted low side", 10, 75, 25, Low},
+		{"inverted high side", 80, 75, 25, High},
+		// NaN compares false with everything: it must land in the inert
+		// Medium band and never classify High (which could engage the
+		// throttle off a poisoned sample).
+		{"NaN value", nan, 25, 75, Medium},
+		{"NaN value degenerate", nan, 50, 50, Medium},
+		{"NaN low bound", 50, nan, 75, Medium},
+		{"NaN high bound", 50, 25, nan, Medium},
+		{"NaN both bounds", 50, nan, nan, Medium},
 	}
 	for _, c := range cases {
-		if got := Classify(c.v, 25, 75); got != c.want {
-			t.Errorf("Classify(%g) = %v, want %v", c.v, got, c.want)
+		if got := Classify(c.v, c.low, c.high); got != c.want {
+			t.Errorf("%s: Classify(%g, %g, %g) = %v, want %v", c.name, c.v, c.low, c.high, got, c.want)
 		}
 	}
 }
@@ -53,11 +81,18 @@ func TestDefaultThresholds(t *testing.T) {
 }
 
 func TestThresholdsValidate(t *testing.T) {
+	nan := math.NaN()
 	bad := []Thresholds{
 		{HighPower: 50, LowPower: 75, HighConcurrency: 10, LowConcurrency: 1},
 		{HighPower: 75, LowPower: 0, HighConcurrency: 10, LowConcurrency: 1},
 		{HighPower: 75, LowPower: 50, HighConcurrency: 1, LowConcurrency: 10},
 		{HighPower: 75, LowPower: 50, HighConcurrency: 5, LowConcurrency: -1},
+		// NaN bounds would make every Classify comparison false and
+		// silently disable the daemon; Validate must refuse them.
+		{HighPower: units.Watts(nan), LowPower: 50, HighConcurrency: 10, LowConcurrency: 1},
+		{HighPower: 75, LowPower: units.Watts(nan), HighConcurrency: 10, LowConcurrency: 1},
+		{HighPower: 75, LowPower: 50, HighConcurrency: nan, LowConcurrency: 1},
+		{HighPower: 75, LowPower: 50, HighConcurrency: 10, LowConcurrency: nan},
 	}
 	for i, th := range bad {
 		if err := th.Validate(); err == nil {

@@ -29,6 +29,9 @@ type daemonMetrics struct {
 	actDelayed      *telemetry.Counter // actuations deferred by the hook
 	actDropped      *telemetry.Counter // actuations lost by the hook
 	failsafeG       *telemetry.Gauge   // 1 while the fail-safe latch holds
+
+	// Decider-policy instruments (static policies never touch them).
+	phaseOpChanges *telemetry.Counter // desired operating-point moves
 }
 
 func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
@@ -64,6 +67,31 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 		actDelayed:      reg.Counter("maestro_actuation_delayed_total"),
 		actDropped:      reg.Counter("maestro_actuation_dropped_total"),
 		failsafeG:       reg.Gauge("maestro_failsafe"),
+		phaseOpChanges:  reg.Counter("maestro_phase_op_changes_total"),
+	}
+}
+
+// adaptiveMetrics is the Adaptive policy's instrument set; the rest of
+// the maestro_phase_* family (op changes live in daemonMetrics since
+// the daemon owns the desired point).
+type adaptiveMetrics struct {
+	detected *telemetry.Counter // maestro_phase_detected_total
+	refits   *telemetry.Counter // maestro_phase_refits_total
+	steps    *telemetry.Counter // maestro_phase_explore_steps_total
+	phaseG   *telemetry.Gauge   // maestro_phase_current
+	lockedG  *telemetry.Gauge   // maestro_phase_locked
+}
+
+func newAdaptiveMetrics(reg *telemetry.Registry) *adaptiveMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &adaptiveMetrics{
+		detected: reg.Counter("maestro_phase_detected_total"),
+		refits:   reg.Counter("maestro_phase_refits_total"),
+		steps:    reg.Counter("maestro_phase_explore_steps_total"),
+		phaseG:   reg.Gauge("maestro_phase_current"),
+		lockedG:  reg.Gauge("maestro_phase_locked"),
 	}
 }
 

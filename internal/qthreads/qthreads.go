@@ -199,34 +199,69 @@ var ErrAborted = errors.New("qthreads: machine aborted during run")
 // one "application" execution, and its completion is a parallel-phase
 // boundary for throttled workers.
 func (rt *Runtime) Run(fn Task) error {
+	_, err := rt.RunHeld(fn, nil)
+	return err
+}
+
+// RunHeld is Run for a machine whose clock the caller parked with
+// Machine.Hold while assembling the stack. It pins both ends of the run
+// to the virtual timeline instead of racing the engine's paced
+// ticker-only steps:
+//
+//   - release is invoked as soon as the root task is enqueued, so the
+//     engine's next pass wakes a parked worker on the queued-work
+//     condition — before any paced step can advance time — and the run
+//     starts at exactly the held instant (the release cannot live inside
+//     the task: fetching the task already charges DequeueCost, which
+//     needs the clock running);
+//   - the completing worker re-parks the clock immediately after the
+//     implicit join, before the host-side wait can observe completion,
+//     so the caller reads end-of-run state at exactly the last task's
+//     completion time.
+//
+// The returned end function releases the final hold; it is nil when
+// release is nil (plain Run semantics, no holds taken) or when the run
+// aborted before the join. RunHeld always consumes release: it is called
+// exactly once even on early error returns.
+func (rt *Runtime) RunHeld(fn Task, release func()) (end func(), err error) {
 	rt.runMu.Lock()
 	defer rt.runMu.Unlock()
 	if rt.shutdown.Load() {
-		return errors.New("qthreads: runtime is shut down")
+		if release != nil {
+			release()
+		}
+		return nil, errors.New("qthreads: runtime is shut down")
 	}
 	var done atomic.Bool
+	var endHold func() // written before done.Store, read after done.Load
 	root := &taskItem{fn: func(tc *TC) {
 		fn(tc)
 		// Implicit join: the root does not return to the scheduler until
 		// everything it transitively spawned has finished.
 		tc.waitAllSpawned()
+		if release != nil {
+			endHold = rt.m.Hold()
+		}
 		done.Store(true) // not reached if the machine aborts the task
 	}}
 	rt.shepherds[0].push(root)
 	rt.queued.Add(1)
 	rt.m.Kick() // host-side enqueue: wake parked workers
+	if release != nil {
+		release()
+	}
 	// Wait host-side for completion; the machine engine drives progress.
 	for !done.Load() {
 		if rt.aborted.Load() {
-			return ErrAborted
+			return nil, ErrAborted
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
 	rt.epoch.Add(1) // application completion is a phase boundary
 	if rt.aborted.Load() {
-		return ErrAborted
+		return endHold, ErrAborted
 	}
-	return nil
+	return endHold, nil
 }
 
 // SetThrottle enables or disables concurrency throttling with the given

@@ -70,6 +70,18 @@ const (
 	KindShardRestarted = "cluster_shard_restarted"
 )
 
+// Record kinds written by the phase-aware Adaptive maestro policy
+// (internal/maestro/adaptive.go, docs/observability.md §Adaptive): the
+// change-point detector segmenting the telemetry stream into a new
+// workload phase, the per-phase speedup/power model being (re)fitted
+// after an exploration pass, and the daemon actuating a different
+// operating point (thread limit × DVFS gear) than before.
+const (
+	KindPhaseDetected         = "phase_detected"
+	KindModelRefit            = "model_refit"
+	KindOperatingPointChanged = "operating_point_changed"
+)
+
 // LevelName returns the human name of a recorded level.
 func LevelName(l int8) string {
 	switch l {
@@ -110,6 +122,12 @@ type Decision struct {
 	Engaged bool `json:"engaged"`
 	// Limit is the per-shepherd active-worker limit in force.
 	Limit int `json:"limit"`
+	// Freq is the DVFS gear in force (1 = full clock). Zero on records
+	// from writers that predate operating points; treat as 1.
+	Freq float64 `json:"freq,omitempty"`
+	// Phase is the policy's workload-phase id at record time (0 for
+	// static policies, which have no phase model).
+	Phase int `json:"phase,omitempty"`
 	// Staleness is the age of the oldest input meter at poll time — how
 	// out-of-date the data behind this decision was.
 	Staleness time.Duration `json:"staleness_ns"`
@@ -269,12 +287,21 @@ func ReadJSONL(r io.Reader) ([]Decision, error) {
 	return out, nil
 }
 
+// csvFreq normalizes the legacy zero value (records written before
+// operating points existed) to full clock for plotting.
+func csvFreq(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
 // WriteCSV writes the journal in long form for spreadsheet plotting:
 // one row per decision with per-socket columns.
 func (j *Journal) WriteCSV(w io.Writer) error {
 	entries := j.Entries()
 	cw := csv.NewWriter(w)
-	header := []string{"t_seconds", "kind", "outcome", "engaged", "limit", "staleness_ms"}
+	header := []string{"t_seconds", "kind", "outcome", "engaged", "limit", "freq", "phase", "staleness_ms"}
 	for s := 0; s < j.Sockets(); s++ {
 		header = append(header,
 			fmt.Sprintf("pkg%d_watts", s),
@@ -309,6 +336,8 @@ func (j *Journal) WriteCSV(w io.Writer) error {
 			d.Outcome,
 			strconv.FormatBool(d.Engaged),
 			strconv.Itoa(d.Limit),
+			strconv.FormatFloat(csvFreq(d.Freq), 'f', 2, 64),
+			strconv.Itoa(d.Phase),
 			strconv.FormatFloat(float64(d.Staleness)/1e6, 'f', 3, 64),
 		}
 		for s := 0; s < j.Sockets(); s++ {

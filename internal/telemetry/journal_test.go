@@ -88,7 +88,7 @@ func TestJournalWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "t_seconds,kind,outcome,engaged,limit,staleness_ms,pkg0_watts") {
+	if !strings.HasPrefix(lines[0], "t_seconds,kind,outcome,engaged,limit,freq,phase,staleness_ms,pkg0_watts") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "decision") || !strings.Contains(lines[1], "enable") || !strings.Contains(lines[1], "High") {

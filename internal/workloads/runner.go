@@ -35,13 +35,34 @@ func RunOnce(m *machine.Machine, wl Workload, workers int) (rcr.RegionReport, er
 // daemon lifecycles, which lets throttling experiments wrap the run with
 // a MAESTRO daemon.
 func RunOnRuntime(rt *qthreads.Runtime, reader rapl.Reader, bb *rcr.Blackboard, wl Workload) (rcr.RegionReport, error) {
-	m := rt.Machine()
-	region, err := rcr.StartRegion(wl.Name(), m, reader, bb)
+	return RunOnRuntimeHeld(rt, reader, bb, wl, nil)
+}
+
+// RunOnRuntimeHeld is RunOnRuntime for a machine whose clock the caller
+// parked with Machine.Hold while assembling the stack. The region opens
+// on the parked clock and Runtime.RunHeld pins both ends of the run to
+// the virtual timeline (release on enqueue, re-hold at the implicit
+// join), so the region closes at exactly the last task's completion
+// rather than wherever the engine paced to while the main goroutine woke
+// up. Together with per-run seeding this makes single-worker
+// measurements bit-for-bit reproducible; multi-worker runs stay subject
+// to work-stealing order only. A nil release means the caller took no
+// hold: the run degrades to plain RunOnRuntime semantics with no pinned
+// boundaries.
+func RunOnRuntimeHeld(rt *qthreads.Runtime, reader rapl.Reader, bb *rcr.Blackboard, wl Workload, release func()) (rcr.RegionReport, error) {
+	region, err := rcr.StartRegion(wl.Name(), rt.Machine(), reader, bb)
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		return rcr.RegionReport{}, err
 	}
-	if err := rt.Run(wl.Root()); err != nil {
-		return rcr.RegionReport{}, fmt.Errorf("workloads: running %s: %w", wl.Name(), err)
+	end, runErr := rt.RunHeld(wl.Root(), release)
+	if end != nil {
+		defer end()
+	}
+	if runErr != nil {
+		return rcr.RegionReport{}, fmt.Errorf("workloads: running %s: %w", wl.Name(), runErr)
 	}
 	rep, err := region.End()
 	if err != nil {
