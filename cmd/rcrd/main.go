@@ -76,16 +76,18 @@ func main() {
 		clusterN   = flag.Int("cluster", 0, "run an N-shard fleet under a hierarchical global power cap instead of a single daemon")
 		globalCap  = flag.Float64("global-cap", 0, "fleet-wide power budget in watts (cluster mode; 0 = 50 W per shard)")
 		clusterDir = flag.String("cluster-dir", "", "directory for the fleet's shard sockets (cluster mode; empty = a temp dir)")
+		aggN       = flag.Int("aggregators", 1, "aggregator replicas in cluster mode; ≥2 runs the HA control plane (lease-based leader, fenced cap writes, hot standbys)")
 	)
 	flag.Parse()
 
 	if *clusterN > 0 {
 		if err := serveCluster(clusterServeConfig{
-			shards:   *clusterN,
-			dir:      *clusterDir,
-			loads:    strings.Split(*load, ","),
-			global:   units.Watts(*globalCap),
-			duration: *duration,
+			shards:      *clusterN,
+			dir:         *clusterDir,
+			loads:       strings.Split(*load, ","),
+			global:      units.Watts(*globalCap),
+			duration:    *duration,
+			aggregators: *aggN,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "rcrd:", err)
 			os.Exit(1)
@@ -363,11 +365,12 @@ func serve(cfg serveConfig) error {
 
 // clusterServeConfig collects the cluster-mode settings.
 type clusterServeConfig struct {
-	shards   int
-	dir      string
-	loads    []string
-	global   units.Watts
-	duration time.Duration
+	shards      int
+	dir         string
+	loads       []string
+	global      units.Watts
+	duration    time.Duration
+	aggregators int
 }
 
 // serveCluster runs the fleet: N full daemons on their own sockets, a
@@ -384,27 +387,68 @@ func serveCluster(cfg clusterServeConfig) error {
 	}
 	defer fleet.Close()
 
+	if cfg.aggregators <= 0 {
+		cfg.aggregators = 1
+	}
 	reg := telemetry.NewRegistry()
 	t0 := time.Now()
-	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
-		Shards:        fleet.Endpoints(),
-		Global:        cfg.global,
-		Period:        50 * time.Millisecond,
-		HealthHorizon: 500 * time.Millisecond,
-		Clock:         func() time.Duration { return time.Since(t0) },
-		SetCap:        fleet.SetCap,
-		Telemetry:     reg,
-		Journal:       telemetry.NewJournal(1<<10, 1),
-	})
-	if err != nil {
-		return err
-	}
+	journal := telemetry.NewJournal(1<<10, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	aggDone := make(chan error, 1)
-	go func() { aggDone <- agg.Run(ctx) }()
-	fmt.Printf("rcrd: cluster of %d shards under a %.0f W global cap for %v (mix %v)\n",
-		cfg.shards, float64(cfg.global), cfg.duration, cfg.loads)
+	aggs := make([]*cluster.Aggregator, cfg.aggregators)
+	aggDone := make(chan error, cfg.aggregators)
+	for i := range aggs {
+		acfg := cluster.AggregatorConfig{
+			Shards:        fleet.Endpoints(),
+			Global:        cfg.global,
+			Period:        50 * time.Millisecond,
+			HealthHorizon: 500 * time.Millisecond,
+			Clock:         func() time.Duration { return time.Since(t0) },
+			SetCap:        fleet.SetCap,
+			Telemetry:     reg,
+			Journal:       journal,
+		}
+		if cfg.aggregators > 1 {
+			// Redundant control plane: every replica writes over the
+			// fenced wire path. The lease must outrun the cap write's
+			// socket-dial tail on a loaded host — a lease shorter than the
+			// tail reads its own slow writes as a dead leader and churns
+			// elections — hence seconds here versus the soak's tens of
+			// milliseconds over in-process guards (docs/cluster.md §HA).
+			acfg.SetCap = nil
+			acfg.HA = &cluster.HAConfig{
+				ID:         uint32(i + 1),
+				LeaseTTL:   2 * time.Second,
+				Grace:      500 * time.Millisecond,
+				JitterSeed: uint64(t0.UnixNano()) ^ uint64(i+1)<<40,
+				WriteCap:   fleet.WriteCap,
+			}
+		}
+		agg, err := cluster.NewAggregator(acfg)
+		if err != nil {
+			return err
+		}
+		aggs[i] = agg
+		go func(a *cluster.Aggregator) { aggDone <- a.Run(ctx) }(agg)
+	}
+	// fleetStatus picks the ruling replica's view (any replica's when no
+	// leader is currently elected, so shard health stays visible).
+	fleetStatus := func() cluster.AggregatorStatus {
+		st := aggs[0].Status()
+		for _, a := range aggs[1:] {
+			if s := a.Status(); s.Leader {
+				st = s
+			}
+		}
+		return st
+	}
+	if cfg.aggregators > 1 {
+		fmt.Printf("rcrd: cluster of %d shards under a %.0f W global cap, %d HA aggregators, for %v (mix %v)\n",
+			cfg.shards, float64(cfg.global), cfg.aggregators, cfg.duration, cfg.loads)
+	} else {
+		fmt.Printf("rcrd: cluster of %d shards under a %.0f W global cap for %v (mix %v)\n",
+			cfg.shards, float64(cfg.global), cfg.duration, cfg.loads)
+	}
 
 	// One looping background load per shard, cycled from the mix.
 	stop := make(chan struct{})
@@ -446,10 +490,17 @@ loop:
 	for {
 		select {
 		case <-status.C:
-			st := agg.Status()
-			fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts\n",
-				st.Healthy, cfg.shards, float64(st.CapsSum), float64(cfg.global),
-				reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts)
+			st := fleetStatus()
+			if cfg.aggregators > 1 {
+				fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts, fence %d, %d elections\n",
+					st.Healthy, cfg.shards, float64(st.CapsSum), float64(cfg.global),
+					reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts,
+					st.Fence, reg.Counter("cluster_leader_elections_total").Value())
+			} else {
+				fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts\n",
+					st.Healthy, cfg.shards, float64(st.CapsSum), float64(cfg.global),
+					reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts)
+			}
 		case sig := <-sigCh:
 			fmt.Printf("rcrd: %v: stopping fleet\n", sig)
 			break loop
@@ -460,8 +511,10 @@ loop:
 	close(stop)
 	wg.Wait()
 	cancel()
-	<-aggDone
-	st := agg.Status()
+	for range aggs {
+		<-aggDone
+	}
+	st := fleetStatus()
 	fmt.Printf("rcrd: final caps (W):")
 	for _, c := range st.Caps {
 		fmt.Printf(" %.1f", float64(c))

@@ -64,8 +64,16 @@ type AggregatorConfig struct {
 	// timebases.
 	Clock func() time.Duration
 	// SetCap pushes an assignment down into one shard's enforcement
-	// loop (maestro.PowerCap.SetCap behind the fleet seam). Required.
+	// loop (maestro.PowerCap.SetCap behind the fleet seam). Required
+	// unless HA is set — the HA control plane writes caps through the
+	// fenced HA.WriteCap seam instead.
 	SetCap func(shard int, cap units.Watts) error
+	// HA, when non-nil, runs this aggregator as one replica of a
+	// redundant control plane (ha.go): it only pushes caps while holding
+	// the fleet lease, renews that lease through fenced cap writes, and
+	// stands by — electing itself with a fresh fence after the observed
+	// lease expires — otherwise.
+	HA *HAConfig
 	// Tune, when non-nil, adjusts each shard client's config before the
 	// client is built — the test seam for scripted transports and faster
 	// backoff.
@@ -89,6 +97,16 @@ type shardState struct {
 	power     float64
 	headroom  float64
 	beatStamp time.Duration // virtual-time Updated of the newest heartbeat
+
+	// Lease state passively observed through the shard's delta stream:
+	// the fence guard mirrors fence/holder/expiry/applied-cap into the
+	// shard blackboard (rcr.FenceGuard), so every standby replica knows
+	// who leads and what assignment is committed without any extra
+	// coordination traffic.
+	obsFence  uint64
+	obsExpiry time.Duration // host-time lease expiry reported by the shard
+	obsCap    float64       // shard's last committed fenced cap
+	obsHasCap bool
 }
 
 // aggMetrics is the aggregator's instrument set.
@@ -98,10 +116,14 @@ type aggMetrics struct {
 	violations    *telemetry.Counter // conservation self-checks failed (must stay 0)
 	shardRestarts *telemetry.Counter
 	capErrors     *telemetry.Counter // SetCap pushes that failed
+	capRetries    *telemetry.Counter // failed pushes retried immediately
+	elections     *telemetry.Counter // lease elections won (HA)
+	demotions     *telemetry.Counter // leaderships surrendered (HA)
 	budgetW       *telemetry.Gauge
 	capsSumW      *telemetry.Gauge
 	powerW        *telemetry.Gauge
 	unhealthy     *telemetry.Gauge
+	isLeader      *telemetry.Gauge
 }
 
 // Aggregator subscribes to every shard's delta stream, rolls the fleet
@@ -127,6 +149,37 @@ type Aggregator struct {
 	lastChange uint64 // poll index of the last applied cap change
 	restarts   uint64
 	healthyN   int
+
+	// HA replica state (ha.go); untouched when cfg.HA is nil.
+	leader      bool
+	fence       uint64        // this replica's fence while leading
+	knownFence  uint64        // highest fence observed anywhere
+	leaseUntil  time.Duration // this replica's lease validity while leading
+	obsExpiry   time.Duration // freshest lease expiry observed fleet-wide
+	candidateAt time.Duration // scheduled election instant (0: none)
+	jitterState uint64
+	replay      bool // promoted: re-assert the adopted assignment first
+	elections   uint64
+	demotions   uint64
+	seq         uint64 // per-fence write sequence; reset on election
+	// pendingCap/pendingSeq track, per shard, the largest cap value of
+	// this fence's writes that failed in transport and may still be in
+	// flight (held by a partition, say). Until the shard acks a write at
+	// or past pendingSeq — proof the guard's seq barrier has passed the
+	// pending write's slot, so it can never land — the leader must
+	// assume the pending cap may yet apply, and suppresses every
+	// increase fleet-wide (pushFenced's blocked rule): the conservation
+	// invariant is then kept against Σ max(applied, pending).
+	pendingCap []float64
+	pendingSeq []uint64
+	// granted marks shards whose guard has accepted this replica's
+	// current fence. Until every shard has granted it, the leader writes
+	// lease-only: a deposed predecessor may still hold live leases on
+	// the minority and keep capping those shards by its own (individually
+	// conserving, jointly unbounded) book, so actuating before exclusive
+	// control could break conservation. Once a shard grants, its adopted
+	// cap is frozen — the predecessor's writes bounce off the fence.
+	granted []bool
 }
 
 // NewAggregator validates cfg and builds the aggregator. Caps start
@@ -141,7 +194,14 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Clock == nil {
 		return nil, errors.New("cluster: aggregator requires a host clock")
 	}
-	if cfg.SetCap == nil {
+	if cfg.HA != nil {
+		if cfg.HA.ID == 0 {
+			return nil, errors.New("cluster: HA replica ID 0 is reserved")
+		}
+		if cfg.HA.WriteCap == nil {
+			return nil, errors.New("cluster: HA requires a fenced WriteCap seam")
+		}
+	} else if cfg.SetCap == nil {
 		return nil, errors.New("cluster: aggregator requires a SetCap seam")
 	}
 	if cfg.Floor <= 0 {
@@ -149,6 +209,13 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	}
 	if cfg.Max <= 0 {
 		cfg.Max = 200
+	}
+	if cfg.Max < cfg.Floor {
+		// An inverted band is a configuration error, not something to
+		// clamp silently: every shard would be pinned to its floor and the
+		// water-fill could never distribute the surplus the caller asked
+		// to budget.
+		return nil, fmt.Errorf("cluster: cap band inverted: Max %v < Floor %v", cfg.Max, cfg.Floor)
 	}
 	if cfg.Period <= 0 {
 		cfg.Period = 50 * time.Millisecond
@@ -201,12 +268,22 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 			violations:    reg.Counter("cluster_conservation_violations_total"),
 			shardRestarts: reg.Counter("cluster_shard_restarts_total"),
 			capErrors:     reg.Counter("cluster_cap_push_errors_total"),
+			capRetries:    reg.Counter("cluster_cap_retries_total"),
+			elections:     reg.Counter("cluster_leader_elections_total"),
+			demotions:     reg.Counter("cluster_leader_demotions_total"),
 			budgetW:       reg.Gauge("cluster_budget_watts"),
 			capsSumW:      reg.Gauge("cluster_caps_sum_watts"),
 			powerW:        reg.Gauge("cluster_power_watts"),
 			unhealthy:     reg.Gauge("cluster_unhealthy_shards"),
+			isLeader:      reg.Gauge("cluster_leader"),
 		}
 		a.met.budgetW.Set(float64(cfg.Global))
+	}
+	if cfg.HA != nil {
+		a.jitterState = cfg.HA.JitterSeed ^ uint64(cfg.HA.ID)*0x9e3779b97f4a7c15
+		a.pendingCap = make([]float64, len(cfg.Shards))
+		a.pendingSeq = make([]uint64, len(cfg.Shards))
+		a.granted = make([]bool, len(cfg.Shards))
 	}
 	return a, nil
 }
@@ -284,8 +361,13 @@ func (a *Aggregator) Poll() {
 		}
 	}
 
-	a.nextCaps = Partition(a.cfg.Global, a.reports, a.nextCaps)
-	changed := a.push(a.nextCaps)
+	var changed bool
+	if a.cfg.HA != nil {
+		changed = a.haStep(now)
+	} else {
+		a.nextCaps = Partition(a.cfg.Global, a.reports, a.nextCaps)
+		changed = a.push(a.nextCaps)
+	}
 
 	a.polls++
 	if changed {
@@ -326,9 +408,21 @@ func (a *Aggregator) Poll() {
 func (a *Aggregator) observe(id int, st *shardState, snap *rcr.Snapshot, now time.Duration) {
 	var beat *rcr.MeterValue
 	for j := range snap.System {
-		if snap.System[j].Name == rcr.MeterHeartbeat {
-			beat = &snap.System[j]
-			break
+		m := &snap.System[j]
+		switch m.Name {
+		case rcr.MeterHeartbeat:
+			beat = m
+		case rcr.MeterFence:
+			if f := uint64(m.Value); f > st.obsFence {
+				st.obsFence = f
+				st.obsExpiry = 0 // expiry below belongs to the new fence
+			}
+		case rcr.MeterLeaseExpiry:
+			if e := time.Duration(m.Value * float64(time.Second)); e > st.obsExpiry {
+				st.obsExpiry = e
+			}
+		case rcr.MeterFencedCap:
+			st.obsCap, st.obsHasCap = m.Value, true
 		}
 	}
 	if beat == nil {
@@ -391,13 +485,24 @@ func (a *Aggregator) push(next []units.Watts) bool {
 			continue // the unacknowledged decrease still holds its watts
 		}
 		if err := a.cfg.SetCap(a.cfg.Shards[i].ID, next[i]); err != nil {
+			// One bounded immediate retry: a transient drop on a decrease
+			// would otherwise stall the whole decrease-before-increase
+			// sequence for a full poll period.
 			if a.met != nil {
-				a.met.capErrors.Inc()
+				a.met.capRetries.Inc()
 			}
-			if next[i] < a.applied[i] {
-				blocked = true
+			a.journal(telemetry.KindCapRetry,
+				fmt.Sprintf("shard %d cap %.1f W: %v", a.cfg.Shards[i].ID, float64(next[i]), err))
+			err = a.cfg.SetCap(a.cfg.Shards[i].ID, next[i])
+			if err != nil {
+				if a.met != nil {
+					a.met.capErrors.Inc()
+				}
+				if next[i] < a.applied[i] {
+					blocked = true
+				}
+				continue
 			}
-			continue
 		}
 		a.applied[i] = next[i]
 		changed = true
@@ -425,6 +530,12 @@ type AggregatorStatus struct {
 	CapsSum       units.Watts
 	ShardRestarts uint64
 	Caps          []units.Watts
+
+	// HA replica state; zero values for single-aggregator deployments.
+	Leader    bool
+	Fence     uint64
+	Elections uint64
+	Demotions uint64
 }
 
 // Status snapshots the aggregator's bookkeeping.
@@ -439,6 +550,10 @@ func (a *Aggregator) Status() AggregatorStatus {
 		CapsSum:       Sum(a.applied),
 		ShardRestarts: a.restarts,
 		Caps:          append([]units.Watts(nil), a.applied...),
+		Leader:        a.leader,
+		Fence:         a.fence,
+		Elections:     a.elections,
+		Demotions:     a.demotions,
 	}
 }
 

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +31,7 @@ import (
 type Fleet struct {
 	dir    string
 	ownDir bool
+	base   time.Time // fence-lease host-time origin
 	shards []*fleetShard
 }
 
@@ -36,6 +39,7 @@ type Fleet struct {
 type fleetShard struct {
 	sys      *core.System
 	srv      *rcr.Server
+	fence    *rcr.FenceGuard
 	socket   string
 	serveErr chan error
 }
@@ -71,7 +75,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.InitialCap <= 0 {
 		cfg.InitialCap = 1000
 	}
-	f := &Fleet{dir: cfg.Dir}
+	f := &Fleet{dir: cfg.Dir, base: time.Now()}
 	if f.dir == "" {
 		dir, err := os.MkdirTemp("", "rcrd-fleet")
 		if err != nil {
@@ -82,7 +86,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := startFleetShard(i, f.dir, cfg)
+		sh, err := startFleetShard(i, f.dir, cfg, f.base)
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -92,7 +96,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	return f, nil
 }
 
-func startFleetShard(id int, dir string, cfg FleetConfig) (*fleetShard, error) {
+func startFleetShard(id int, dir string, cfg FleetConfig, base time.Time) (*fleetShard, error) {
 	sys, err := core.New(core.Options{
 		Machine:      cfg.Machine,
 		Workers:      cfg.Workers,
@@ -119,7 +123,21 @@ func startFleetShard(id int, dir string, cfg FleetConfig) (*fleetShard, error) {
 	srv.Pub = rcr.NewPublisher(sys.Blackboard())
 	srv.Pub.Instrument(sys.Telemetry())
 	sys.AttachPublisher(srv.Pub)
-	sh := &fleetShard{sys: sys, srv: srv, socket: socket, serveErr: make(chan error, 1)}
+	// The shard's fencing authority: fenced cap writes land in the
+	// node's own controller through the fence ratchet, and the lease
+	// state mirrors into the blackboard so standby aggregators track it
+	// passively through their delta subscriptions.
+	pc := sys.PowerCapController()
+	guard := rcr.NewFenceGuard(
+		func() time.Duration { return time.Since(base) },
+		func(cap float64, fence uint64) error {
+			return pc.SetCapFenced(units.Watts(cap), fence)
+		},
+	)
+	guard.Instrument(sys.Telemetry())
+	guard.Bind(sys.Blackboard())
+	srv.Fence = guard
+	sh := &fleetShard{sys: sys, srv: srv, fence: guard, socket: socket, serveErr: make(chan error, 1)}
 	go func() { sh.serveErr <- srv.Serve() }()
 	return sh, nil
 }
@@ -149,15 +167,42 @@ func (f *Fleet) SetCap(i int, cap units.Watts) error {
 	return f.shards[i].sys.PowerCapController().SetCap(cap)
 }
 
-// Close tears every shard down (server first, then the stack) and
-// removes the socket dir if the fleet created it. Idempotent.
+// WriteCap sends a fenced cap write to shard i over its real daemon
+// socket — the seam handed to HAConfig.WriteCap so redundant
+// aggregators exercise the full wire path (CAP op, fence guard, node
+// controller) rather than an in-process shortcut.
+func (f *Fleet) WriteCap(i int, w rcr.CapWrite) (rcr.CapAck, error) {
+	if i < 0 || i >= len(f.shards) {
+		return rcr.CapAck{}, fmt.Errorf("cluster: no shard %d", i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return rcr.WriteCap(ctx, "unix", f.shards[i].socket, w)
+}
+
+// Close tears the fleet down in two phases: first every shard server
+// drains concurrently (in-flight exchanges finish, subscriptions close
+// cleanly), then every core.System stops. Closing a shard's system
+// while other shards' servers were still draining used to kill live
+// delta streams mid-exchange and show up as spurious sub_lost noise in
+// the aggregator's telemetry; the barrier between the phases guarantees
+// no server is serving by the time any stack goes down. Idempotent.
 func (f *Fleet) Close() {
+	var wg sync.WaitGroup
 	for _, sh := range f.shards {
-		if sh.srv != nil {
+		if sh.srv == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *fleetShard) {
+			defer wg.Done()
 			_ = sh.srv.Close()
 			<-sh.serveErr
-			sh.srv = nil
-		}
+		}(sh)
+	}
+	wg.Wait()
+	for _, sh := range f.shards {
+		sh.srv = nil
 		sh.sys.Close()
 	}
 	f.shards = nil

@@ -1,0 +1,449 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rcr"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// HA control plane (docs/cluster.md §HA). N aggregator replicas watch
+// the same shard fleet through their own delta subscriptions; exactly
+// one — the lease holder — pushes caps. There is no coordination
+// service: the shard fleet itself is the quorum. Every fenced cap write
+// doubles as a lease renewal, every shard's FenceGuard mirrors its
+// lease state into the shard blackboard, and every standby learns that
+// state passively through the delta stream it already consumes.
+//
+// Leadership protocol:
+//
+//   - The leader renews its lease by writing to every shard each poll
+//     (changed caps carry the new bound; unchanged shards get a
+//     lease-only write). Renewal on a majority extends the lease one
+//     TTL from the poll's start. A leader that cannot renew a majority
+//     steps down when its lease runs out; a leader that sees a higher
+//     fence — in an ack or in a shard's mirrored meters — steps down
+//     immediately and stops writing.
+//   - A standby watches the freshest lease expiry the fleet reports.
+//     Once host time passes expiry + grace it schedules a candidacy
+//     after a deterministic per-replica jitter (so replicas don't
+//     stampede), then campaigns: fence = highest-observed + 1, written
+//     to every shard. A majority of grants makes it leader; a failed
+//     campaign releases whatever minority it won so the real winner
+//     need not wait out the TTL.
+//   - A promoted standby adopts the fleet's committed assignment — from
+//     the campaign acks (every ack reports the shard's applied cap) and
+//     the mirrored fencedcap meters — and replays it under its own
+//     fence before computing any new partition, so the conservation
+//     invariant Σ(applied) ≤ budget holds across the hand-off: the new
+//     leader's baseline is what the shards actually hold, not a guess.
+//
+// Shards enforce the fence (rcr.FenceGuard): a write from a demoted
+// leader — lower fence, or equal fence after a takeover — is rejected
+// no matter how delayed its delivery, which is what makes split-brain
+// windows safe: both replicas may *believe* they lead, but the fleet
+// applies caps from at most one.
+
+// HAConfig tunes one replica of the redundant control plane.
+type HAConfig struct {
+	// ID identifies this replica in fence ownership; required non-zero
+	// and unique across replicas.
+	ID uint32
+	// LeaseTTL is the lease duration requested with every fenced write.
+	// Zero selects 6× the poll period.
+	LeaseTTL time.Duration
+	// Grace is how long past the observed lease expiry a standby waits
+	// before scheduling its candidacy — headroom for a renewal that is
+	// merely late in the delta stream. Zero selects LeaseTTL/4.
+	Grace time.Duration
+	// JitterSeed seeds the deterministic election jitter (0..Grace)
+	// that separates replicas' candidacies.
+	JitterSeed uint64
+	// WriteCap performs one fenced cap write against a shard:
+	// rcr.WriteCap over the shard's socket in production, the fault
+	// injector's gated seam in the soak. Required.
+	WriteCap func(shard int, w rcr.CapWrite) (rcr.CapAck, error)
+}
+
+func (a *Aggregator) leaseTTL() time.Duration {
+	if ttl := a.cfg.HA.LeaseTTL; ttl > 0 {
+		return ttl
+	}
+	return 6 * a.cfg.Period
+}
+
+func (a *Aggregator) electionGrace() time.Duration {
+	if g := a.cfg.HA.Grace; g > 0 {
+		return g
+	}
+	return a.leaseTTL() / 4
+}
+
+// electionJitter advances the replica's deterministic jitter stream and
+// returns a delay in [0, grace).
+func (a *Aggregator) electionJitter() time.Duration {
+	a.jitterState = splitmix64ha(a.jitterState)
+	grace := a.electionGrace()
+	if grace <= 0 {
+		return 0
+	}
+	return time.Duration(a.jitterState % uint64(grace))
+}
+
+func splitmix64ha(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// haStep is the HA replica's per-poll leadership step: fold observed
+// lease state, then act as leader (renew + push) or standby (watch +
+// campaign). Called from Poll with a.mu held, after observe/health.
+// Reports whether any cap changed.
+func (a *Aggregator) haStep(now time.Duration) bool {
+	// Fold the lease state the shards mirror through their streams.
+	for i := range a.shards {
+		st := &a.shards[i]
+		if st.obsFence > a.knownFence {
+			a.knownFence = st.obsFence
+		}
+		if st.obsExpiry > a.obsExpiry {
+			a.obsExpiry = st.obsExpiry
+			if !a.leader {
+				// Someone's lease is being renewed: stand down any
+				// scheduled candidacy.
+				a.candidateAt = 0
+			}
+		}
+	}
+	if !a.leader {
+		a.standbyStep(now)
+	}
+	if a.leader {
+		return a.leaderStep(now)
+	}
+	return false
+}
+
+// standbyStep watches the lease and campaigns once it has demonstrably
+// lapsed. May promote the replica (a.leader) so the same poll can push.
+func (a *Aggregator) standbyStep(now time.Duration) {
+	if now <= a.obsExpiry+a.electionGrace() {
+		a.candidateAt = 0
+		return
+	}
+	if a.candidateAt == 0 {
+		a.candidateAt = now + a.electionJitter()
+		return
+	}
+	if now < a.candidateAt {
+		return
+	}
+	a.elect(now)
+}
+
+// elect campaigns for the fleet lease with a fresh fence. On a majority
+// of grants the replica promotes itself and schedules a replay of the
+// fleet's committed assignment; on a minority it releases what it won.
+func (a *Aggregator) elect(now time.Duration) {
+	ha := a.cfg.HA
+	ttl := a.leaseTTL()
+	fence := a.knownFence + 1
+	if fence <= a.fence {
+		fence = a.fence + 1
+	}
+	// A fresh fence opens a fresh write-sequence stream, and obsoletes
+	// any of our old writes still in flight: once this fence lands on a
+	// shard, its guard rejects them as stale, so the pending pessimism
+	// can be dropped.
+	a.seq = 0
+	for i := range a.pendingCap {
+		a.pendingCap[i], a.pendingSeq[i] = 0, 0
+		a.granted[i] = false
+	}
+	// Baseline adoption starts from the mirrored fencedcap meters; the
+	// campaign acks below override with each reachable shard's
+	// authoritative value.
+	for i := range a.shards {
+		if a.shards[i].obsHasCap {
+			a.applied[i] = units.Watts(a.shards[i].obsCap)
+		}
+	}
+	var granted []int
+	for i := range a.shards {
+		ack, err := ha.WriteCap(a.cfg.Shards[i].ID, rcr.CapWrite{Fence: fence, Leader: ha.ID, Lease: ttl, Seq: a.nextSeq()})
+		if err != nil {
+			continue
+		}
+		if ack.HasApplied {
+			a.applied[i] = units.Watts(ack.Applied)
+		}
+		if ack.Status == rcr.CapApplied {
+			granted = append(granted, i)
+			a.granted[i] = true
+			continue
+		}
+		// Lost this shard: learn who actually holds it.
+		if ack.Fence > a.knownFence {
+			a.knownFence = ack.Fence
+		}
+		if ack.Expiry > a.obsExpiry {
+			a.obsExpiry = ack.Expiry
+		}
+	}
+	a.candidateAt = 0
+	if len(granted) < len(a.shards)/2+1 {
+		// Minority: release the grants so the eventual winner need not
+		// wait out our TTL on those shards.
+		for _, i := range granted {
+			_, _ = ha.WriteCap(a.cfg.Shards[i].ID, rcr.CapWrite{Fence: fence, Leader: ha.ID, Release: true, Seq: a.nextSeq()})
+		}
+		return
+	}
+	// Belt-and-braces: shards that granted above handed over their
+	// authoritative caps (frozen from the grant on — a predecessor's
+	// writes now bounce), but any not-yet-granted shard's value is a
+	// mirrored-meter guess that the claiming phase will re-adopt on
+	// grant. Scale the interim baseline back under the budget so no
+	// intermediate read of the book ever reports an over-budget whole.
+	if sum := float64(Sum(a.applied)); sum > float64(a.cfg.Global) {
+		scale := float64(a.cfg.Global) / sum
+		for i := range a.applied {
+			a.applied[i] = units.Watts(float64(a.applied[i]) * scale)
+		}
+	}
+	a.leader = true
+	a.fence = fence
+	if fence > a.knownFence {
+		a.knownFence = fence
+	}
+	a.leaseUntil = now + ttl
+	a.replay = true
+	a.elections++
+	if a.met != nil {
+		a.met.elections.Inc()
+		a.met.isLeader.Set(1)
+	}
+	a.journal(telemetry.KindLeaderElected,
+		fmt.Sprintf("replica %d fence %d: %d/%d grants, adopted %.1f W committed",
+			ha.ID, fence, len(granted), len(a.shards), float64(Sum(a.applied))))
+}
+
+// demote surrenders leadership. The fence stays where it was — a
+// demoted replica never reuses it — and any scheduled candidacy is
+// cleared so the standby path re-evaluates from scratch.
+func (a *Aggregator) demote(reason string) {
+	a.leader = false
+	a.replay = false
+	a.candidateAt = 0
+	a.demotions++
+	if a.met != nil {
+		a.met.demotions.Inc()
+		a.met.isLeader.Set(0)
+	}
+	a.journal(telemetry.KindLeaderDemoted,
+		fmt.Sprintf("replica %d fence %d: %s", a.cfg.HA.ID, a.fence, reason))
+}
+
+// leaderStep renews the lease and pushes the assignment: the adopted
+// committed assignment first (replay, right after promotion), the
+// freshly partitioned one otherwise.
+func (a *Aggregator) leaderStep(now time.Duration) bool {
+	if a.knownFence > a.fence {
+		a.demote(fmt.Sprintf("superseded by fence %d", a.knownFence))
+		return false
+	}
+	if now >= a.leaseUntil {
+		a.demote("lease expired unrenewed")
+		return false
+	}
+	var next []units.Watts
+	if a.replay {
+		// Re-assert what the fleet already holds under our fence before
+		// issuing anything new: the promoted standby's first writes must
+		// not move any cap, only re-commit the inherited assignment.
+		a.nextCaps = append(a.nextCaps[:0], a.applied...)
+		next = a.nextCaps
+	} else {
+		a.nextCaps = Partition(a.cfg.Global, a.reports, a.nextCaps)
+		next = a.nextCaps
+	}
+	return a.pushFenced(next, now)
+}
+
+// pushFenced is push over the fenced write path: conservation-safe
+// apply order, one bounded retry per transport failure, a lease-only
+// renewal for every shard whose cap is unchanged, quorum-counted lease
+// renewal, and immediate demotion when any ack reveals a higher fence.
+// Transport-failed cap writes are tracked as pending — they may be held
+// in flight, not lost — and suppress every increase until an ack proves
+// the shard's seq barrier has passed them.
+//
+// Until every shard has granted this replica's fence, all writes stay
+// lease-only (claiming phase). A deposed predecessor may still hold
+// live leases on a minority and keep writing those shards by its own
+// book, which is individually conserving but jointly unbounded against
+// ours; deferring actuation until the fleet is exclusively fenced means
+// at most one regime's caps are ever in flight, and each grant ack
+// hands over that shard's authoritative committed cap, frozen from
+// then on because the predecessor's writes bounce.
+func (a *Aggregator) pushFenced(next []units.Watts, now time.Duration) bool {
+	ha := a.cfg.HA
+	ttl := a.leaseTTL()
+	changed := false
+	blocked := false // a decrease failed; increases must wait
+	for i := range a.pendingCap {
+		if a.pendingCap[i] > 0 {
+			// One of our caps may still be in flight from an earlier
+			// poll; until a fresher ack proves the guard's seq barrier
+			// has passed it, every increase stays suppressed so that
+			// Σ max(applied, pending) keeps to the budget.
+			blocked = true
+			break
+		}
+	}
+	claiming := false
+	for i := range a.granted {
+		if !a.granted[i] {
+			claiming = true
+			break
+		}
+	}
+	renewed := 0
+	order := ApplyOrder(a.applied, next)
+	for _, i := range order {
+		if a.cfg.Clock() >= a.leaseUntil {
+			// The lease ran out mid-push: every further write would be a
+			// stale-fence hazard. Stop; the expiry check next poll demotes.
+			break
+		}
+		w := rcr.CapWrite{Fence: a.fence, Leader: ha.ID, Lease: ttl}
+		decrease := next[i] < a.applied[i]
+		wantCap := a.replay || next[i] != a.applied[i]
+		if blocked && next[i] > a.applied[i] {
+			wantCap = false // the unacknowledged decrease still holds its watts
+		}
+		if claiming && !(a.granted[i] && next[i] == a.applied[i]) {
+			// No cap *changes* until the fleet is exclusively ours. A
+			// re-commit of a granted shard's adopted value is exempt: the
+			// shard is already fenced to us, the value is its authoritative
+			// committed cap, and writing it back moves nothing — it only
+			// commits the inherited assignment under the new fence.
+			wantCap = false
+		}
+		if wantCap && next[i] > 0 {
+			w.HasCap, w.Cap = true, float64(next[i])
+		}
+		ack, usedSeq, err := a.writeCapRetry(i, w)
+		if err != nil {
+			if a.met != nil {
+				a.met.capErrors.Inc()
+			}
+			if w.HasCap {
+				// The write may be held in flight, not lost: remember the
+				// largest cap that might still land and the last seq it
+				// could ride in on.
+				if w.Cap > a.pendingCap[i] {
+					a.pendingCap[i] = w.Cap
+				}
+				a.pendingSeq[i] = usedSeq
+			}
+			if decrease {
+				blocked = true
+			}
+			continue
+		}
+		if a.pendingSeq[i] != 0 && a.pendingSeq[i] < usedSeq {
+			// This ack proves the guard's seq barrier has moved past every
+			// pending write for this shard: none of them can apply now.
+			a.pendingCap[i], a.pendingSeq[i] = 0, 0
+		}
+		if ack.Status == rcr.CapFenceRejected {
+			if ack.Fence > a.knownFence {
+				a.knownFence = ack.Fence
+			}
+			if ack.Fence < a.fence {
+				// A hold-out: the shard still honours a predecessor's live
+				// lease, so our (higher) fence was refused outright. Not a
+				// supersession — keep leading the majority, keep probing;
+				// the predecessor cannot renew a quorum, its lease runs
+				// out, and the shard grants on a later poll.
+				continue
+			}
+			// Either a successor's higher fence, or our own fence number
+			// burned on this shard by a failed rival's released grant —
+			// the guard pins a fence to its first holder forever, so an
+			// equal-fence rejection can never lapse back to us. Both cases
+			// read the same: this fence cannot drive the whole fleet again.
+			// Surrender now and re-campaign with a fresh fence rather than
+			// leave the shard orphaned until the lease runs out.
+			a.demote(fmt.Sprintf("shard %d acked fence %d holder %d (ours %d)",
+				a.cfg.Shards[i].ID, ack.Fence, ack.Holder, a.fence))
+			return changed
+		}
+		a.granted[i] = true // the guard accepted our fence for this shard
+		renewed++           // CapApplied and CapApplyFailed both renew the lease
+		if ack.Status == rcr.CapApplied && w.HasCap {
+			if a.applied[i] != next[i] {
+				changed = true
+			}
+			a.applied[i] = next[i]
+		} else if ack.HasApplied {
+			// Lease-only ack (or refused actuation): adopt the shard's
+			// authoritative committed cap.
+			a.applied[i] = units.Watts(ack.Applied)
+		}
+		if ack.Status == rcr.CapApplyFailed && decrease {
+			blocked = true
+		}
+	}
+	if renewed >= len(a.shards)/2+1 {
+		a.leaseUntil = now + ttl
+		// Replay is done only once a poll that was allowed to carry caps
+		// (claiming over, at the poll's start, so every write above
+		// re-asserted the inherited assignment) renews the quorum clean.
+		if a.replay && !blocked && !claiming {
+			a.replay = false
+		}
+	}
+	if changed {
+		if a.met != nil {
+			a.met.repartitions.Inc()
+		}
+		a.journal(telemetry.KindRepartition,
+			fmt.Sprintf("fence %d caps sum %.1f W of %.1f W budget", a.fence, float64(Sum(a.applied)), float64(a.cfg.Global)))
+	}
+	return changed
+}
+
+// nextSeq advances the per-fence write-sequence counter. Every write
+// gets its own seq — retries included — so the shard guards can order
+// delayed deliveries against fresher writes.
+func (a *Aggregator) nextSeq() uint64 {
+	a.seq++
+	return a.seq
+}
+
+// writeCapRetry performs one fenced write with a single bounded
+// immediate retry on transport failure (the fenced-path counterpart of
+// push's cap_retry). It assigns each attempt a fresh seq and reports
+// the last one used, so the caller can track what may still be in
+// flight.
+func (a *Aggregator) writeCapRetry(i int, w rcr.CapWrite) (rcr.CapAck, uint64, error) {
+	w.Seq = a.nextSeq()
+	ack, err := a.cfg.HA.WriteCap(a.cfg.Shards[i].ID, w)
+	if err == nil {
+		return ack, w.Seq, nil
+	}
+	if a.met != nil {
+		a.met.capRetries.Inc()
+	}
+	a.journal(telemetry.KindCapRetry,
+		fmt.Sprintf("shard %d fence %d: %v", a.cfg.Shards[i].ID, w.Fence, err))
+	w.Seq = a.nextSeq()
+	ack, err = a.cfg.HA.WriteCap(a.cfg.Shards[i].ID, w)
+	return ack, w.Seq, err
+}

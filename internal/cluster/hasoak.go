@@ -1,0 +1,690 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// HA chaos soak: the fleet soak (soak.go) with a redundant control
+// plane on top. N aggregator replicas run the HA leadership protocol
+// (ha.go) over the same synthetic shard fleet; every shard carries a
+// real rcr.FenceGuard that outlives server restarts. Two fault tiers
+// run at once: the shard-side FleetSchedule (restarts, resets, loris)
+// and a WAN-tier faults.WANSchedule against the control plane itself —
+// leader kills, asymmetric partitions, added latency and split-brain
+// hold-and-release windows.
+//
+// The auditor sits at the guards' apply seam — the only place a cap
+// can actually land — and checks, after every single application:
+//
+//   - conservation: Σ(applied caps) ≤ global budget;
+//   - fenced-write safety: the applying fence never regresses on a
+//     shard (a demoted leader's write landed);
+//   - single leadership: no cap lands under fence f once a strictly
+//     higher fence has been actuating the fleet for more than a poll
+//     period (two replicas applying caps at once);
+//   - hand-off latency: the gap from each leader kill to the first cap
+//     applied under a higher fence.
+
+// HASoakConfig tunes one HA fleet soak run.
+type HASoakConfig struct {
+	// Seed determines both fault schedules and all jitter.
+	Seed uint64
+	// Shards is the fleet size. Zero selects 8.
+	Shards int
+	// Replicas is the control-plane size. Zero selects 2.
+	Replicas int
+	// Budget is the wall-time length of the run. Zero selects 2 s; all
+	// fault windows close by 64% of it, leaving a convergence tail.
+	Budget time.Duration
+	// FeedPeriod is the synthetic shards' sample cadence. Zero selects
+	// 2 ms.
+	FeedPeriod time.Duration
+	// Period is each replica's poll cadence. Zero selects 10 ms.
+	Period time.Duration
+	// Global is the fleet-wide budget. Zero selects 60 W per shard.
+	Global units.Watts
+	// LeaseTTL is the leadership lease. Zero selects 8×Period. Guard
+	// offers are in-process here, so the TTL need not absorb the socket
+	// dial tails that bound it in a real deployment (docs/cluster.md).
+	LeaseTTL time.Duration
+	// Dir hosts the shard sockets; empty selects a fresh temp dir.
+	Dir string
+	// SkipResourceAudit disables the goroutine/heap audit (the corpus
+	// fan-out runs many soaks concurrently and audits once).
+	SkipResourceAudit bool
+	// Telemetry, when non-nil, receives every component's instruments.
+	Telemetry *telemetry.Registry
+}
+
+// HASoakReport is the audited outcome of one HA soak run.
+type HASoakReport struct {
+	Seed      uint64
+	Shards    int
+	Replicas  int
+	Events    int // shard-tier fault events
+	WANEvents int // control-plane-tier fault events
+	LeaseTTL  time.Duration
+	ClearTime time.Duration
+
+	// Control-plane activity.
+	Elections    uint64
+	Demotions    uint64
+	FenceGrants  uint64
+	FenceRejects uint64
+	CapRetries   uint64
+	CapApplies   uint64 // accepted fenced cap applications audited
+	LeaderKills  uint64
+	GapResyncs   uint64
+	Resubscribes uint64
+
+	// Shard-tier faults injected (same meanings as SoakReport).
+	ShardKills uint64
+	Resets     uint64
+	LorisConns uint64
+
+	// WAN-tier faults injected.
+	WANDropped uint64
+	WANDelayed uint64
+	WANHeld    uint64
+	WANFlushed uint64
+
+	// Invariant audit.
+	FencedWriteViolations  uint64 // applying fence regressed on a shard
+	DoubleLeaderApplies    uint64 // cap landed under a long-superseded fence
+	ConservationViolations uint64
+	HandoffMarks           int             // authority kills awaiting takeover
+	Handoffs               []time.Duration // resolved kill→takeover gaps
+	HandoffMedian          time.Duration
+	LeadersAtEnd           int
+	HealthyAtEnd           int
+	Converged              bool
+	FinalCapsSumW          float64
+	GoroutineGrowth        int
+	HeapGrowthBytes        int64
+
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *HASoakReport) Passed() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as one line.
+func (r *HASoakReport) Summary() string {
+	return fmt.Sprintf("seed %d: %d shards × %d replicas, %d+%d events, %d elections, %d demotions, %d leader-kills, %d applies, %d rejects, %d retries, %d shard-kills, wan %d dropped/%d held/%d flushed, handoff median %v, %d fence-violations, %d double-leader, %d conservation, leaders %d, healthy %d/%d, converged %v, goroutines %+d",
+		r.Seed, r.Shards, r.Replicas, r.Events, r.WANEvents,
+		r.Elections, r.Demotions, r.LeaderKills, r.CapApplies, r.FenceRejects, r.CapRetries,
+		r.ShardKills, r.WANDropped, r.WANHeld, r.WANFlushed,
+		r.HandoffMedian, r.FencedWriteViolations, r.DoubleLeaderApplies, r.ConservationViolations,
+		r.LeadersAtEnd, r.HealthyAtEnd, r.Shards, r.Converged, r.GoroutineGrowth)
+}
+
+// haKillMark is one leader kill awaiting its takeover: resolved by the
+// first cap applied under a fence above the level held at kill time.
+type haKillMark struct {
+	at      time.Duration
+	fence   uint64
+	handoff time.Duration // 0 = unresolved
+}
+
+// haCapAuditor audits the guards' apply seam. One instance is shared by
+// every shard's FenceGuard, so it sees the fleet's applications in a
+// single serialized order — which is what makes the cross-shard
+// invariants (conservation, double leadership) checkable at all.
+type haCapAuditor struct {
+	global float64
+	period time.Duration
+	clock  *hostClock
+
+	mu           sync.Mutex
+	caps         []float64
+	lastFence    []uint64
+	firstSeen    map[uint64]time.Duration // fence → first accepted apply
+	applies      uint64
+	conservation uint64
+	fenceRegress uint64
+	doubleLeader uint64
+	kills        []*haKillMark
+}
+
+// applyFn builds the guard apply closure for one shard.
+func (a *haCapAuditor) applyFn(shard int) func(cap float64, fence uint64) error {
+	return func(capW float64, fence uint64) error {
+		now := a.clock.Now()
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.applies++
+		if fence < a.lastFence[shard] {
+			a.fenceRegress++
+		}
+		a.lastFence[shard] = fence
+		// Two leaders at once: a cap landing under fence f after a
+		// strictly higher fence has been actuating for more than one
+		// poll period. The one-period grace absorbs the legitimate
+		// overlap where a superseded leader's final in-flight write
+		// lands just as its successor starts.
+		for f, t0 := range a.firstSeen {
+			if f > fence && now-t0 > a.period {
+				a.doubleLeader++
+				break
+			}
+		}
+		if _, ok := a.firstSeen[fence]; !ok {
+			a.firstSeen[fence] = now
+		}
+		for _, k := range a.kills {
+			if k.handoff == 0 && fence > k.fence && now > k.at {
+				k.handoff = now - k.at
+			}
+		}
+		a.caps[shard] = capW
+		sum := 0.0
+		for _, c := range a.caps {
+			sum += c
+		}
+		if sum > a.global+sumEps {
+			a.conservation++
+		}
+		return nil
+	}
+}
+
+func (a *haCapAuditor) cap(shard int) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.caps[shard]
+}
+
+// markKill records a leader kill at the fleet's current max fence.
+func (a *haCapAuditor) markKill(at time.Duration, fence uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.kills = append(a.kills, &haKillMark{at: at, fence: fence})
+}
+
+func (a *haCapAuditor) handoffs() []time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var hs []time.Duration
+	for _, k := range a.kills {
+		if k.handoff > 0 {
+			hs = append(hs, k.handoff)
+		}
+	}
+	return hs
+}
+
+// haSoakReplica is one restartable control-plane replica slot.
+type haSoakReplica struct {
+	agg    *Aggregator
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// RunHASoak executes one HA fleet chaos soak and audits it.
+func RunHASoak(cfg HASoakConfig) (*HASoakReport, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2 * time.Second
+	}
+	if cfg.FeedPeriod <= 0 {
+		cfg.FeedPeriod = 2 * time.Millisecond
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.Global <= 0 {
+		cfg.Global = units.Watts(60 * float64(cfg.Shards))
+	}
+	if raceEnabled {
+		cfg.Budget *= 4
+		cfg.FeedPeriod *= 4
+		cfg.Period *= 4
+		if cfg.LeaseTTL > 0 {
+			cfg.LeaseTTL *= 4
+		}
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 8 * cfg.Period
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "hasoak"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	horizon := cfg.Budget * 4 / 5
+	sched := faults.GenerateFleetSchedule(cfg.Seed, cfg.Shards, horizon)
+	wan := faults.GenerateWANSchedule(cfg.Seed, cfg.Replicas, cfg.Shards, horizon)
+	inj := faults.NewWANInjector(wan)
+	clear := sched.ClearTime()
+	if wc := wan.ClearTime(); wc > clear {
+		clear = wc
+	}
+	rep := &HASoakReport{
+		Seed: cfg.Seed, Shards: cfg.Shards, Replicas: cfg.Replicas,
+		Events: len(sched.Events), WANEvents: len(wan.Events),
+		LeaseTTL: cfg.LeaseTTL, ClearTime: clear,
+	}
+
+	var goroutinesBefore int
+	var msBefore runtime.MemStats
+	if !cfg.SkipResourceAudit {
+		goroutinesBefore = runtime.NumGoroutine()
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+	}
+
+	clock := &hostClock{t0: time.Now()}
+	auditor := &haCapAuditor{
+		global:    float64(cfg.Global),
+		period:    cfg.Period,
+		clock:     clock,
+		caps:      make([]float64, cfg.Shards),
+		lastFence: make([]uint64, cfg.Shards),
+		firstSeen: make(map[uint64]time.Duration),
+	}
+	journal := telemetry.NewJournal(1<<12, 1)
+
+	// Shards. Each guard lives in the soakShard — outside the
+	// restartable server — and actuates straight into the auditor.
+	shards := make([]*soakShard, cfg.Shards)
+	endpoints := make([]ShardEndpoint, cfg.Shards)
+	for i := range shards {
+		guard := rcr.NewFenceGuard(clock.Now, auditor.applyFn(i))
+		guard.Instrument(reg)
+		guard.Journal(journal)
+		shards[i] = &soakShard{
+			id:     i,
+			socket: filepath.Join(dir, fmt.Sprintf("shard-%d.sock", i)),
+			clock:  clock,
+			sched:  sched,
+			reg:    reg,
+			rep:    &SoakReport{}, // shard-tier counters, folded in below
+			fence:  guard,
+		}
+		if err := shards[i].start(); err != nil {
+			for j := 0; j < i; j++ {
+				shards[j].stop()
+			}
+			return nil, err
+		}
+		endpoints[i] = ShardEndpoint{ID: i, Network: "unix", Addr: shards[i].socket}
+	}
+
+	// Replica slots. A killed replica's slot is rebuilt with a fresh
+	// Aggregator carrying the same ID — a restarted daemon, not a new
+	// peer — and a generation-salted jitter seed.
+	buildReplica := func(idx, gen int) (*haSoakReplica, error) {
+		agg, err := NewAggregator(AggregatorConfig{
+			Shards:        endpoints,
+			Global:        cfg.Global,
+			Floor:         10,
+			Max:           200,
+			Period:        cfg.Period,
+			HealthHorizon: 6 * cfg.Period,
+			Clock:         clock.Now,
+			Telemetry:     reg,
+			Journal:       journal,
+			HA: &HAConfig{
+				ID:         uint32(idx + 1),
+				LeaseTTL:   cfg.LeaseTTL,
+				JitterSeed: cfg.Seed ^ uint64(idx+1)<<40 ^ uint64(gen)<<8,
+				WriteCap: func(shard int, w rcr.CapWrite) (rcr.CapAck, error) {
+					// The held-write closure may run later on the
+					// flusher goroutine; the buffered channel keeps the
+					// ack hand-off properly synchronized.
+					res := make(chan rcr.CapAck, 1)
+					err := inj.GateWrite(idx, shard, clock.Now(), func() error {
+						ack, err := shards[shard].offerCap(w)
+						if err != nil {
+							return err
+						}
+						res <- ack
+						return nil
+					})
+					if err != nil {
+						return rcr.CapAck{}, err
+					}
+					return <-res, nil
+				},
+			},
+			Tune: func(shard int, ccfg *resilience.ClientConfig) {
+				ccfg.Backoff = resilience.Backoff{
+					Base: 5 * time.Millisecond,
+					Max:  40 * time.Millisecond,
+					Seed: cfg.Seed ^ uint64(idx+1)<<30 ^ uint64(shard)<<20,
+				}
+				ccfg.Subscribe = func(ctx context.Context, network, addr string) (resilience.SubStream, error) {
+					if inj.SubBlocked(idx, shard, clock.Now()) {
+						return nil, fmt.Errorf("wan: replica %d partitioned from shard %d", idx, shard)
+					}
+					return rcr.Subscribe(ctx, network, addr)
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r := &haSoakReplica{agg: agg, cancel: cancel, done: make(chan error, 1)}
+		go func() { r.done <- agg.Run(ctx) }()
+		return r, nil
+	}
+
+	var repMu sync.Mutex
+	replicas := make([]*haSoakReplica, cfg.Replicas)
+	for i := range replicas {
+		r, err := buildReplica(i, 0)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				replicas[j].cancel()
+				<-replicas[j].done
+			}
+			for _, sh := range shards {
+				sh.stop()
+			}
+			return nil, err
+		}
+		replicas[i] = r
+	}
+	liveReplicas := func() []*haSoakReplica {
+		repMu.Lock()
+		defer repMu.Unlock()
+		out := make([]*haSoakReplica, len(replicas))
+		copy(out, replicas)
+		return out
+	}
+
+	// Feeder.
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		tick := time.NewTicker(cfg.FeedPeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopFeed:
+				return
+			case <-tick.C:
+				now := clock.Now()
+				for i, sh := range shards {
+					sh.feed(now, auditor.cap(i))
+				}
+			}
+		}
+	}()
+
+	// Chaos, tier 1: shard restarts + loris (same as the plain soak).
+	var chaosWG sync.WaitGroup
+	for _, sh := range shards {
+		chaosWG.Add(1)
+		go func(sh *soakShard) {
+			defer chaosWG.Done()
+			sh.run(cfg.Budget, &rep.ShardKills)
+		}(sh)
+	}
+	shardRep := &SoakReport{}
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		runFleetLoris(clock, shards, sched, cfg.Budget, shardRep)
+	}()
+
+	// Chaos, tier 2a: the split-brain flusher releases held writes when
+	// their window closes — the delayed delivery the fence exists for.
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		tick := time.NewTicker(cfg.Period)
+		defer tick.Stop()
+		for clock.Now() < cfg.Budget {
+			<-tick.C
+			inj.Flush(clock.Now())
+		}
+	}()
+
+	// Chaos, tier 2b: leader kills. The schedule's Agg is advisory; each
+	// kill resolves to whichever replica actually leads at that moment
+	// (waiting up to half the window for one to emerge), so the fault
+	// always lands on the control plane's active element.
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		for _, ev := range wan.Kills() {
+			if d := ev.Start - clock.Now(); d > 0 {
+				time.Sleep(d)
+			}
+			if clock.Now() >= cfg.Budget {
+				return
+			}
+			// Prefer the authoritative leader: among replicas claiming
+			// leadership, the one with the highest fence (a partitioned
+			// stale claimant still inside its old lease may also claim).
+			victim, victimFence := -1, uint64(0)
+			mid := ev.Start + (ev.End-ev.Start)/2
+			for victim < 0 && clock.Now() < mid {
+				for i, r := range liveReplicas() {
+					if r == nil {
+						continue
+					}
+					if st := r.agg.Status(); st.Leader && st.Fence >= victimFence {
+						victim, victimFence = i, st.Fence
+					}
+				}
+				if victim < 0 {
+					time.Sleep(cfg.Period / 2)
+				}
+			}
+			if victim < 0 {
+				victim = ev.Agg % cfg.Replicas
+			}
+			var fmax uint64
+			for _, g := range shards {
+				if st := g.fence.State(); st.Fence > fmax {
+					fmax = st.Fence
+				}
+			}
+			repMu.Lock()
+			r := replicas[victim]
+			replicas[victim] = nil
+			repMu.Unlock()
+			if r == nil { // advisory slot still rebuilding from a prior kill
+				continue
+			}
+			// Only a kill that removes the fleet's actual authority has a
+			// hand-off to measure; killing a stale claimant or an idle
+			// standby leaves the real leader running.
+			if st := r.agg.Status(); st.Leader && st.Fence >= fmax {
+				auditor.markKill(clock.Now(), fmax)
+			}
+			r.cancel()
+			<-r.done
+			atomic.AddUint64(&rep.LeaderKills, 1)
+			if d := ev.End - clock.Now(); d > 0 {
+				time.Sleep(d)
+			}
+			nr, err := buildReplica(victim, 1+int(rep.LeaderKills))
+			if err != nil {
+				return
+			}
+			repMu.Lock()
+			replicas[victim] = nr
+			repMu.Unlock()
+		}
+	}()
+
+	// Let the run play out, then tear down in dependency order.
+	time.Sleep(cfg.Budget - clock.Now())
+	chaosWG.Wait()
+	inj.Flush(cfg.Budget * 2) // late split-brain deliveries must bounce off fences
+
+	// Census with bounded patience: a demotion in the run's last moments
+	// legitimately leaves the fleet leaderless until the next election
+	// cycle completes (observed expiry + grace + jitter + campaign), and
+	// on a loaded host that cycle can straddle the budget's end. The
+	// convergence gate is "eventually exactly one leader", so give the
+	// control plane up to six lease TTLs past the budget to settle.
+	leaders, healthy := 0, 0
+	var capsSum units.Watts
+	census := func() {
+		leaders, healthy = 0, 0
+		capsSum = 0
+		for _, r := range liveReplicas() {
+			if r == nil {
+				continue
+			}
+			st := r.agg.Status()
+			if st.Leader {
+				leaders++
+				healthy = st.Healthy
+				capsSum = st.CapsSum
+			}
+		}
+	}
+	census()
+	for deadline := time.Now().Add(6 * cfg.LeaseTTL); (leaders != 1 || healthy != cfg.Shards) && time.Now().Before(deadline); {
+		time.Sleep(cfg.Period / 2)
+		census()
+	}
+	for _, r := range liveReplicas() {
+		if r == nil {
+			continue
+		}
+		r.cancel()
+		<-r.done
+	}
+	close(stopFeed)
+	feedWG.Wait()
+	for _, sh := range shards {
+		sh.stop()
+	}
+
+	rep.Elections = reg.Counter("cluster_leader_elections_total").Value()
+	rep.Demotions = reg.Counter("cluster_leader_demotions_total").Value()
+	rep.FenceGrants = reg.Counter("cluster_fence_grants_total").Value()
+	rep.FenceRejects = reg.Counter("cluster_fence_rejects_total").Value()
+	rep.CapRetries = reg.Counter("cluster_cap_retries_total").Value()
+	rep.GapResyncs = reg.Counter("resilience_client_gap_resyncs_total").Value()
+	rep.Resubscribes = reg.Counter("resilience_client_resubscribes_total").Value()
+	rep.Resets = shardRep.Resets
+	for _, sh := range shards {
+		rep.Resets += sh.rep.Resets
+	}
+	rep.LorisConns = shardRep.LorisConns
+	ws := inj.Stats()
+	rep.WANDropped, rep.WANDelayed, rep.WANHeld, rep.WANFlushed =
+		ws.Dropped, ws.Delayed, ws.Captured, ws.Flushed
+
+	auditor.mu.Lock()
+	rep.CapApplies = auditor.applies
+	rep.FencedWriteViolations = auditor.fenceRegress
+	rep.DoubleLeaderApplies = auditor.doubleLeader
+	rep.ConservationViolations = auditor.conservation
+	rep.HandoffMarks = len(auditor.kills)
+	auditor.mu.Unlock()
+	rep.Handoffs = auditor.handoffs()
+	rep.HandoffMedian = medianDuration(rep.Handoffs)
+	rep.LeadersAtEnd = leaders
+	rep.HealthyAtEnd = healthy
+	rep.Converged = leaders == 1 && healthy == cfg.Shards
+	rep.FinalCapsSumW = float64(capsSum)
+
+	if !cfg.SkipResourceAudit {
+		deadline := time.Now().Add(2 * time.Second)
+		growth := runtime.NumGoroutine() - goroutinesBefore
+		for growth > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			growth = runtime.NumGoroutine() - goroutinesBefore
+		}
+		rep.GoroutineGrowth = growth
+		var msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msAfter)
+		rep.HeapGrowthBytes = int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+	}
+
+	rep.audit(cfg)
+	return rep, nil
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// audit fills Violations: the invariants every seed must hold.
+func (r *HASoakReport) audit(cfg HASoakConfig) {
+	if r.FencedWriteViolations > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d fenced-write violations: a demoted leader's cap landed", r.FencedWriteViolations))
+	}
+	if r.DoubleLeaderApplies > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d double-leadership applications: two fences actuated the fleet at once", r.DoubleLeaderApplies))
+	}
+	if r.ConservationViolations > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d conservation violations: Σ applied caps exceeded the %.0f W budget", r.ConservationViolations, float64(cfg.Global)))
+	}
+	if r.Elections == 0 {
+		r.Violations = append(r.Violations, "no replica was ever elected leader")
+	}
+	if r.CapApplies == 0 {
+		r.Violations = append(r.Violations, "no fenced cap was ever applied")
+	}
+	if r.HandoffMarks > 0 && len(r.Handoffs) == 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d authority kills but no successor ever applied a cap under a higher fence", r.HandoffMarks))
+	}
+	// Per-run hand-off bound: 4× TTL per seed absorbs a takeover that
+	// collides with a partition window; the corpus gates the median of
+	// all hand-offs at the 2×TTL target from the HA design.
+	if r.HandoffMedian > 4*r.LeaseTTL {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("hand-off median %v exceeds 4× lease TTL (%v)", r.HandoffMedian, r.LeaseTTL))
+	}
+	if !r.Converged {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("control plane did not converge: %d leaders at end, %d/%d healthy", r.LeadersAtEnd, r.HealthyAtEnd, r.Shards))
+	}
+	if r.GoroutineGrowth > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("goroutine leak: %+d after teardown", r.GoroutineGrowth))
+	}
+	if r.HeapGrowthBytes > soakHeapBound {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("heap grew %d bytes (bound %d)", r.HeapGrowthBytes, soakHeapBound))
+	}
+}

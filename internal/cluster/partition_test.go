@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/units"
 )
@@ -191,6 +192,99 @@ func TestPartitionDegenerateInputs(t *testing.T) {
 	}
 	if s := float64(Sum(caps)); s > 50+sumEps {
 		t.Errorf("garbage reports broke conservation: Σ %.6f", s)
+	}
+}
+
+// TestPartitionDegenerateProperties property-tests the shapes the
+// generator above cannot reach: empty fleets, single-shard fleets,
+// fleets whose floors exactly exhaust the budget, and inverted
+// Floor/Max bands (which Partition clamps to a floor-pinned band and
+// NewAggregator rejects outright).
+func TestPartitionDegenerateProperties(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		r := &prng{state: seed ^ 0xde9e}
+		global := units.Watts(1 + 1000*r.float())
+
+		// Zero shards: no caps, regardless of budget, nil or empty input.
+		if got := Partition(global, nil, nil); len(got) != 0 {
+			t.Fatalf("seed %d: nil fleet produced %v", seed, got)
+		}
+		if got := Partition(global, []NodeReport{}, nil); len(got) != 0 {
+			t.Fatalf("seed %d: empty fleet produced %v", seed, got)
+		}
+
+		// One shard: the whole eligible budget lands on it — a healthy
+		// shard is driven to min(Max, budget) whenever the budget covers
+		// its floor; an unhealthy one is pinned to its floor.
+		floor := 5 + 20*r.float()
+		one := []NodeReport{{
+			Headroom: r.float(),
+			Floor:    units.Watts(floor),
+			Max:      units.Watts(floor + 150*r.float()),
+			Healthy:  r.next()%2 == 0,
+		}}
+		caps := Partition(global, one, nil)
+		checkInvariants(t, seed, global, one, caps)
+		if float64(global) >= floor {
+			want := clampFloor(one[0])
+			if one[0].Healthy {
+				want = math.Min(clampMax(one[0]), float64(global))
+			}
+			if math.Abs(float64(caps[0])-want) > sumEps {
+				t.Fatalf("seed %d: single shard (healthy=%v) got %v, want %.6f",
+					seed, one[0].Healthy, caps[0], want)
+			}
+		}
+
+		// Floors exactly exhaust the budget: every shard gets precisely
+		// its floor — no scaling, no surplus, healthy or not.
+		nodes := genNodes(r)
+		floorSum := 0.0
+		for i := range nodes {
+			floorSum += clampFloor(nodes[i])
+		}
+		caps = Partition(units.Watts(floorSum), nodes, nil)
+		checkInvariants(t, seed, units.Watts(floorSum), nodes, caps)
+		for i, c := range caps {
+			if math.Abs(float64(c)-clampFloor(nodes[i])) > sumEps {
+				t.Fatalf("seed %d: floors == budget but shard %d got %v, floor %.6f",
+					seed, i, c, clampFloor(nodes[i]))
+			}
+		}
+
+		// Inverted band (Max < Floor): Partition clamps the max up to the
+		// floor, so an affordable fleet pins every shard exactly at its
+		// floor and conservation still holds.
+		inverted := genNodes(r)
+		for i := range inverted {
+			inverted[i].Max = inverted[i].Floor - units.Watts(1+10*r.float())
+			inverted[i].Healthy = true
+		}
+		big := units.Watts(5000)
+		caps = Partition(big, inverted, nil)
+		checkInvariants(t, seed, big, inverted, caps)
+		for i, c := range caps {
+			if math.Abs(float64(c)-clampFloor(inverted[i])) > sumEps {
+				t.Fatalf("seed %d: inverted band shard %d got %v, want its %.6f floor",
+					seed, i, c, clampFloor(inverted[i]))
+			}
+		}
+	}
+}
+
+// TestAggregatorRejectsInvertedBand: the config layer refuses Max <
+// Floor instead of silently clamping the whole fleet to its floors.
+func TestAggregatorRejectsInvertedBand(t *testing.T) {
+	_, err := NewAggregator(AggregatorConfig{
+		Shards: []ShardEndpoint{{ID: 0, Network: "unix", Addr: "x.sock"}},
+		Global: 100,
+		Floor:  50,
+		Max:    20,
+		Clock:  func() time.Duration { return 0 },
+		SetCap: func(int, units.Watts) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("NewAggregator accepted Max < Floor")
 	}
 }
 

@@ -162,6 +162,13 @@ type soakShard struct {
 	reg    *telemetry.Registry
 	rep    *SoakReport
 
+	// fence, when non-nil, is the shard's fencing authority. It lives
+	// here — outside the restartable server — because a real node's
+	// controller-side fence ratchet survives daemon restarts: a new
+	// incarnation must not grant a stale fence its dead predecessor
+	// already refused. start() re-binds it to each fresh blackboard.
+	fence *rcr.FenceGuard
+
 	mu       sync.Mutex
 	bb       *rcr.Blackboard
 	srv      *rcr.Server
@@ -192,12 +199,30 @@ func (s *soakShard) start() error {
 	srv.Pub = rcr.NewPublisher(bb)
 	srv.Pub.Instrument(s.reg)
 	srv.Instrument(s.reg)
+	if s.fence != nil {
+		s.fence.Bind(bb)
+		srv.Fence = s.fence
+	}
 	ch := make(chan error, 1)
 	go func() { ch <- srv.Serve() }()
 	s.mu.Lock()
 	s.bb, s.srv, s.serveErr, s.beat = bb, srv, ch, 0
 	s.mu.Unlock()
 	return nil
+}
+
+// offerCap delivers one fenced cap write to the shard's guard — but
+// only while the shard is up: a killed or restarting shard cannot ack,
+// exactly like a dead daemon, so the HA leader sees a transport error
+// and its lease renewal on this shard fails.
+func (s *soakShard) offerCap(w rcr.CapWrite) (rcr.CapAck, error) {
+	s.mu.Lock()
+	up := s.srv != nil
+	s.mu.Unlock()
+	if !up || s.fence == nil {
+		return rcr.CapAck{}, fmt.Errorf("shard %d: down (injected)", s.id)
+	}
+	return s.fence.Offer(w), nil
 }
 
 func (s *soakShard) stop() {

@@ -1,0 +1,68 @@
+package maestro
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// TestPowerCapFenced checks the controller-side fence ratchet: equal or
+// higher fences pass and move the high-water mark, stale fences fail
+// with ErrFenceRejected and leave the cap untouched, and the unfenced
+// SetCap keeps working regardless.
+func TestPowerCapFenced(t *testing.T) {
+	m, err := machine.New(machine.M620())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	bb, rt := stackOn(t, m, 4)
+	pc, err := StartPowerCap(rt, bb, 150, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Stop)
+
+	if err := pc.SetCapFenced(120, 3); err != nil {
+		t.Fatalf("fence 3: %v", err)
+	}
+	if got := pc.Cap(); got != 120 {
+		t.Fatalf("cap %v after fence-3 write", got)
+	}
+	// Equal fence (renewal by the same leader) still applies.
+	if err := pc.SetCapFenced(110, 3); err != nil {
+		t.Fatalf("equal fence: %v", err)
+	}
+	// A stale fence is refused and the cap stays where fence 3 left it.
+	if err := pc.SetCapFenced(200, 2); !errors.Is(err, ErrFenceRejected) {
+		t.Fatalf("stale fence: err %v, want ErrFenceRejected", err)
+	}
+	if got := pc.Cap(); got != 110 {
+		t.Fatalf("cap %v changed by a rejected write", got)
+	}
+	if pc.FenceRejects() != 1 {
+		t.Fatalf("fence rejects %d, want 1", pc.FenceRejects())
+	}
+	// Higher fence moves the ratchet; the old fence is dead for good.
+	if err := pc.SetCapFenced(90, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.SetCapFenced(100, 3); !errors.Is(err, ErrFenceRejected) {
+		t.Fatalf("resurrected fence accepted: %v", err)
+	}
+	// An invalid cap under a fresh fence is still rejected by SetCap's
+	// own validation, but the fence high-water mark has already moved —
+	// fencing guards ordering, not payload validity.
+	if err := pc.SetCapFenced(-5, 9); err == nil || errors.Is(err, ErrFenceRejected) {
+		t.Fatalf("invalid cap: %v", err)
+	}
+	// Unfenced SetCap ignores the ratchet entirely.
+	if err := pc.SetCap(130); err != nil {
+		t.Fatal(err)
+	}
+	if got := pc.Cap(); got != 130 {
+		t.Fatalf("cap %v after unfenced SetCap", got)
+	}
+}

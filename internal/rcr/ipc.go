@@ -28,6 +28,10 @@ import (
 //	                   ("RCRF") first, then delta frames ("RCRD"); see
 //	                   delta.go for the wire format and pubsub.go for the
 //	                   fan-out. Requires Server.Pub; rejected otherwise.
+//	request:  "CAP\n"  then a uint32-length-prefixed CAPW payload
+//	                   (fence.go): a fenced cap write / lease renewal.
+//	                   Response: a uint32-length-prefixed CAPA ack.
+//	                   Requires Server.Fence; rejected otherwise.
 //
 // An overloaded server may answer any request with the 4-byte BUSY
 // header (0xFFFFFFFF) and close the connection — a cheap load-shed
@@ -117,6 +121,10 @@ type Server struct {
 	// sampler (Sampler.AttachPublisher) or Pub.Run. Close detaches all
 	// subscribers. Set before Serve.
 	Pub *Publisher
+	// Fence, when non-nil, enables the "CAP\n" op: fenced cap writes and
+	// lease renewals from the cluster tier's aggregator replicas are
+	// decided by this guard (fence.go). Set before Serve.
+	Fence *FenceGuard
 
 	reg         *telemetry.Registry
 	requests    *telemetry.Counter
@@ -457,6 +465,33 @@ func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration, scr *encod
 			}
 		}
 		payload = buf.Bytes()
+	case "CAP\n":
+		if s.Fence == nil {
+			s.rejected.Inc()
+			return false
+		}
+		var lenHdr [4]byte
+		if _, err := io.ReadFull(conn, lenHdr[:]); err != nil {
+			s.errors.Inc()
+			return false
+		}
+		n := binary.LittleEndian.Uint32(lenHdr[:])
+		if n != capWriteLen {
+			s.rejected.Inc()
+			return false
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			s.errors.Inc()
+			return false
+		}
+		w, err := DecodeCapWrite(body)
+		if err != nil {
+			s.rejected.Inc()
+			return false
+		}
+		scr.buf = AppendCapAck(scr.buf[:0], s.Fence.Offer(w))
+		payload = scr.buf
 	case "SUB\n":
 		if s.Pub == nil {
 			s.rejected.Inc()
@@ -518,6 +553,49 @@ func QueryMetrics(ctx context.Context, network, addr string) (string, error) {
 		return "", err
 	}
 	return string(payload), nil
+}
+
+// WriteCap performs one fenced cap write ("CAP\n" op) against addr and
+// returns the shard's ack. A transport failure returns an error; a
+// fence rejection is not an error — it comes back in the ack so the
+// caller can distinguish "shard unreachable" from "you were demoted".
+func WriteCap(ctx context.Context, network, addr string, w CapWrite) (CapAck, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return CapAck{}, fmt.Errorf("rcr: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return CapAck{}, fmt.Errorf("rcr: deadline: %w", err)
+		}
+	}
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	req := make([]byte, 0, 4+4+capWriteLen)
+	req = append(req, "CAP\n"...)
+	req = binary.LittleEndian.AppendUint32(req, uint32(capWriteLen))
+	req = AppendCapWrite(req, w)
+	if _, err := conn.Write(req); err != nil {
+		return CapAck{}, fmt.Errorf("rcr: cap write: %w", err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return CapAck{}, fmt.Errorf("rcr: cap ack header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == busyHeader {
+		return CapAck{}, ErrBusy
+	}
+	if n != capAckLen {
+		return CapAck{}, fmt.Errorf("rcr: implausible cap ack size %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return CapAck{}, fmt.Errorf("rcr: cap ack body: %w", err)
+	}
+	return DecodeCapAck(body)
 }
 
 // roundTrip performs one request/response exchange under ctx.

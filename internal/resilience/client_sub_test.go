@@ -363,3 +363,101 @@ func TestClientSubscribeGapResync(t *testing.T) {
 		t.Errorf("resubscribes = %d, want 0: a delta gap must not tear the stream down", n)
 	}
 }
+
+// TestClientSubscribeBackToBackFailovers rides two ServerRestart windows
+// with no clean frames between them: the first restart gaps the primary's
+// stream and then tears it down mid-episode; the failover stream lands on
+// a replica whose own restart window is already open, so it gaps
+// immediately after the handshake before its resync frame arrives. Each
+// restart must cost exactly one sub_gap_resync episode — not one per
+// gapped frame, and not zero because a teardown interrupted the first
+// episode — the outage must journal as exactly one lost/resumed pair,
+// and the cache must serve the pre-gap state throughout.
+func TestClientSubscribeBackToBackFailovers(t *testing.T) {
+	leak.Check(t)
+	clk := &fakeClock{at: 50 * time.Millisecond}
+	primary := &gapStream{events: make(chan gapEvent)}
+	replica := &gapStream{events: make(chan gapEvent)}
+	var (
+		dialMu  sync.Mutex
+		dialed  []string
+		streams = []SubStream{primary, replica}
+	)
+	c, reg, j := newTestClient(t, clk, &scriptedTransport{now: clk.now}, func(cfg *ClientConfig) {
+		cfg.Subscribe = func(_ context.Context, _, addr string) (SubStream, error) {
+			dialMu.Lock()
+			defer dialMu.Unlock()
+			dialed = append(dialed, addr)
+			if len(streams) == 0 {
+				return nil, errors.New("dial: connection refused")
+			}
+			s := streams[0]
+			streams = streams[1:]
+			return s, nil
+		}
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Subscribe(ctx) }()
+
+	// Healthy primary feeds the cache.
+	primary.events <- gapEvent{snap: rcr.Snapshot{Now: 10 * time.Millisecond}}
+	waitLatest(t, c, 10*time.Millisecond)
+
+	// Restart window 1: the primary's queued deltas stop connecting (one
+	// episode however many gapped frames arrive), then the dying server
+	// tears the stream down before any resync frame can land.
+	primary.events <- gapEvent{err: rcr.ErrDeltaGap}
+	primary.events <- gapEvent{err: rcr.ErrDeltaGap}
+	if snap, err := c.Latest(); err != nil || snap.Now != 10*time.Millisecond {
+		t.Fatalf("mid-gap Latest = (%v, %v), want the pre-gap snapshot", snap.Now, err)
+	}
+	close(primary.events)
+
+	// Restart window 2 is already open on the failover target: the
+	// replica's stream gaps straight after the handshake — no clean frame
+	// separates the two windows — until its resync full frame closes the
+	// second episode.
+	replica.events <- gapEvent{err: rcr.ErrDeltaGap}
+	if snap, err := c.Latest(); err != nil || snap.Now != 10*time.Millisecond {
+		t.Fatalf("Latest during second window = (%v, %v), want the pre-gap snapshot", snap.Now, err)
+	}
+	replica.events <- gapEvent{snap: rcr.Snapshot{Now: 30 * time.Millisecond}}
+	waitLatest(t, c, 30*time.Millisecond)
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Subscribe returned %v, want context.Canceled", err)
+	}
+
+	if n := reg.Counter("resilience_client_gap_resyncs_total").Value(); n != 2 {
+		t.Errorf("gap_resyncs = %d, want 2 (exactly one episode per restart)", n)
+	}
+	if n := reg.Counter("resilience_client_resubscribes_total").Value(); n != 1 {
+		t.Errorf("resubscribes = %d, want 1 (one failover for the torn-down primary)", n)
+	}
+	var gaps, lost, resumed int
+	for _, d := range j.Entries() {
+		switch d.Kind {
+		case telemetry.KindSubGapResync:
+			gaps++
+		case telemetry.KindSubLost:
+			lost++
+		case telemetry.KindSubResumed:
+			resumed++
+		}
+	}
+	if gaps != 2 {
+		t.Errorf("journal has %d sub_gap_resync records, want 2", gaps)
+	}
+	if lost != 1 || resumed != 1 {
+		t.Errorf("outage journaled as lost=%d resumed=%d, want exactly one pair across the back-to-back windows", lost, resumed)
+	}
+	dialMu.Lock()
+	d := append([]string(nil), dialed...)
+	dialMu.Unlock()
+	if len(d) != 2 || d[0] != "primary" || d[1] != "replica" {
+		t.Errorf("dial sequence %v, want [primary replica]", d)
+	}
+}

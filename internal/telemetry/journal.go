@@ -70,6 +70,18 @@ const (
 	KindShardRestarted = "cluster_shard_restarted"
 )
 
+// Record kinds written by the HA control plane (docs/cluster.md §HA): a
+// replica winning a lease election, a leader stepping down (lease
+// expired, quorum lost, or a higher fence observed), a shard-side fence
+// guard refusing a stale cap write, and the aggregator retrying one
+// failed SetCap push immediately instead of waiting out a poll period.
+const (
+	KindLeaderElected = "leader_elected"
+	KindLeaderDemoted = "leader_demoted"
+	KindFenceRejected = "fence_rejected"
+	KindCapRetry      = "cap_retry"
+)
+
 // Record kinds written by the phase-aware Adaptive maestro policy
 // (internal/maestro/adaptive.go, docs/observability.md §Adaptive): the
 // change-point detector segmenting the telemetry stream into a new
