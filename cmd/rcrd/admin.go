@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Membership admin ops for cluster mode (docs/cluster.md §Membership).
+// The -join/-drain/-decommission flags each take a comma-separated list
+// of "id@offset" specs — "4@10s,5@12s" — scheduled against the run's
+// host clock. Ops are applied to every aggregator replica's registry:
+// the operator's config push reaches all controllers, so a standby
+// promoted later steers the same fleet the deposed leader did.
+
+// memberOpKind names one admin operation.
+type memberOpKind int
+
+const (
+	opJoin memberOpKind = iota
+	opDrain
+	opDecommission
+)
+
+func (k memberOpKind) String() string {
+	switch k {
+	case opJoin:
+		return "join"
+	case opDrain:
+		return "drain"
+	default:
+		return "decommission"
+	}
+}
+
+// memberOp is one scheduled membership change.
+type memberOp struct {
+	kind  memberOpKind
+	shard int
+	at    time.Duration
+}
+
+// parseMemberOps parses one flag's "id@offset,id@offset" spec. maxShard
+// bounds the shard IDs against the fleet size.
+func parseMemberOps(kind memberOpKind, spec string, maxShard int) ([]memberOp, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var ops []memberOp
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		id, off, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("%s spec %q: want id@offset (e.g. 4@10s)", kind, part)
+		}
+		shard, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || shard < 0 || shard >= maxShard {
+			return nil, fmt.Errorf("%s spec %q: shard id must be in [0, %d)", kind, part, maxShard)
+		}
+		at, err := time.ParseDuration(strings.TrimSpace(off))
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("%s spec %q: bad offset: %v", kind, part, err)
+		}
+		ops = append(ops, memberOp{kind: kind, shard: shard, at: at})
+	}
+	return ops, nil
+}
+
+// sortOps orders scheduled ops by fire time (stable for equal times, so
+// a drain and a decommission of the same shard at the same offset keep
+// their flag order: join < drain < decommission by construction site).
+func sortOps(ops []memberOp) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].at < ops[j].at })
+}
+
+// applyMemberOp applies one op to a registry, returning a status string
+// for the run log. Errors are reported, not fatal — an op against a
+// member in the wrong state is an operator mistake, not a daemon bug.
+func applyMemberOp(op memberOp, m *cluster.Membership, endpoints []cluster.ShardEndpoint) string {
+	var err error
+	switch op.kind {
+	case opJoin:
+		err = m.Join(endpoints[op.shard])
+	case opDrain:
+		err = m.Drain(op.shard)
+	case opDecommission:
+		err = m.Decommission(op.shard)
+	}
+	if err != nil {
+		return fmt.Sprintf("rcrd: %s shard %d: %v", op.kind, op.shard, err)
+	}
+	return fmt.Sprintf("rcrd: %s shard %d (epoch %d)", op.kind, op.shard, m.Epoch())
+}

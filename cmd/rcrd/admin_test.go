@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestParseMemberOps(t *testing.T) {
+	ops, err := parseMemberOps(opJoin, " 2@5s , 3@1500ms", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []memberOp{
+		{kind: opJoin, shard: 2, at: 5 * time.Second},
+		{kind: opJoin, shard: 3, at: 1500 * time.Millisecond},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+
+	if ops, err := parseMemberOps(opDrain, "   ", 4); err != nil || ops != nil {
+		t.Fatalf("blank spec: (%v, %v), want (nil, nil)", ops, err)
+	}
+	for name, spec := range map[string]string{
+		"missing at":   "2",
+		"bad id":       "x@5s",
+		"id too big":   "4@5s",
+		"negative id":  "-1@5s",
+		"bad offset":   "2@fast",
+		"negative off": "2@-5s",
+	} {
+		if _, err := parseMemberOps(opDecommission, spec, 4); err == nil {
+			t.Errorf("%s: spec %q accepted", name, spec)
+		}
+	}
+}
+
+func TestSortMemberOpsStable(t *testing.T) {
+	ops := []memberOp{
+		{kind: opDrain, shard: 1, at: 10 * time.Second},
+		{kind: opJoin, shard: 2, at: 5 * time.Second},
+		{kind: opDecommission, shard: 1, at: 10 * time.Second},
+	}
+	sortOps(ops)
+	if ops[0].kind != opJoin {
+		t.Fatalf("first op = %v, want join", ops[0].kind)
+	}
+	// Equal fire times keep flag order: drain before decommission.
+	if ops[1].kind != opDrain || ops[2].kind != opDecommission {
+		t.Fatalf("equal-time order = %v, %v; want drain, decommission", ops[1].kind, ops[2].kind)
+	}
+}
+
+func TestApplyMemberOp(t *testing.T) {
+	endpoints := make([]cluster.ShardEndpoint, 4)
+	for i := range endpoints {
+		endpoints[i] = cluster.ShardEndpoint{ID: i, Network: "unix", Addr: "/tmp/adm.sock"}
+	}
+	m, err := cluster.NewMembership(endpoints[:2], func() time.Duration { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := applyMemberOp(memberOp{kind: opJoin, shard: 2}, m, endpoints); !strings.Contains(got, "join shard 2 (epoch") {
+		t.Fatalf("join status %q", got)
+	}
+	if mb, ok := m.Get(2); !ok || mb.State != cluster.MemberJoining {
+		t.Fatalf("member 2 after join: %+v ok=%v", mb, ok)
+	}
+	if got := applyMemberOp(memberOp{kind: opDrain, shard: 0}, m, endpoints); !strings.Contains(got, "drain shard 0 (epoch") {
+		t.Fatalf("drain status %q", got)
+	}
+	if got := applyMemberOp(memberOp{kind: opDecommission, shard: 0}, m, endpoints); !strings.Contains(got, "decommission shard 0 (epoch") {
+		t.Fatalf("decommission status %q", got)
+	}
+	// An op against the wrong state reports the error instead of failing.
+	if got := applyMemberOp(memberOp{kind: opDrain, shard: 0}, m, endpoints); !strings.Contains(got, "not active") && !strings.Contains(got, "cluster:") {
+		t.Fatalf("bad-state drain status %q", got)
+	}
+}

@@ -18,6 +18,12 @@
 // shards:
 //
 //	rcrd -cluster 4 -global-cap 200 -load lulesh,nqueens -duration 30s
+//
+// Elastic membership: -initial seeds a smaller fleet and scheduled
+// admin ops grow, drain, and shrink it mid-run (docs/cluster.md
+// §Membership):
+//
+//	rcrd -cluster 4 -initial 2 -join "2@5s,3@8s" -drain "0@20s" -decommission "0@25s"
 package main
 
 import (
@@ -77,10 +83,31 @@ func main() {
 		globalCap  = flag.Float64("global-cap", 0, "fleet-wide power budget in watts (cluster mode; 0 = 50 W per shard)")
 		clusterDir = flag.String("cluster-dir", "", "directory for the fleet's shard sockets (cluster mode; empty = a temp dir)")
 		aggN       = flag.Int("aggregators", 1, "aggregator replicas in cluster mode; ≥2 runs the HA control plane (lease-based leader, fenced cap writes, hot standbys)")
+		initialN   = flag.Int("initial", 0, "initial fleet size in cluster mode (0 = all shards); the rest join later via -join")
+		joinSpec   = flag.String("join", "", "scheduled shard joins, \"id@offset,...\" (cluster mode; e.g. \"3@10s\")")
+		drainSpec  = flag.String("drain", "", "scheduled shard drains, \"id@offset,...\" (cluster mode)")
+		decomSpec  = flag.String("decommission", "", "scheduled shard decommissions, \"id@offset,...\" (cluster mode)")
 	)
 	flag.Parse()
 
 	if *clusterN > 0 {
+		var ops []memberOp
+		for _, src := range []struct {
+			kind memberOpKind
+			spec string
+		}{{opJoin, *joinSpec}, {opDrain, *drainSpec}, {opDecommission, *decomSpec}} {
+			parsed, err := parseMemberOps(src.kind, src.spec, *clusterN)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcrd:", err)
+				os.Exit(2)
+			}
+			ops = append(ops, parsed...)
+		}
+		sortOps(ops)
+		if *initialN < 0 || *initialN > *clusterN {
+			fmt.Fprintf(os.Stderr, "rcrd: -initial %d out of range [0, %d]\n", *initialN, *clusterN)
+			os.Exit(2)
+		}
 		if err := serveCluster(clusterServeConfig{
 			shards:      *clusterN,
 			dir:         *clusterDir,
@@ -88,6 +115,8 @@ func main() {
 			global:      units.Watts(*globalCap),
 			duration:    *duration,
 			aggregators: *aggN,
+			initial:     *initialN,
+			ops:         ops,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "rcrd:", err)
 			os.Exit(1)
@@ -278,7 +307,7 @@ func serve(cfg serveConfig) error {
 	var keeper *resilience.Keeper
 	if cfg.statePath != "" {
 		restoreState(sys, cfg.statePath)
-		keeper, err = resilience.StartKeeper(sys.Machine(), cfg.statePath, 0, sys.Checkpoint, sys.Telemetry())
+		keeper, err = resilience.StartKeeper(sys.Machine(), cfg.statePath, 0, sys.Checkpoint, sys.Telemetry(), sys.Journal())
 		if err != nil {
 			return err
 		}
@@ -371,6 +400,11 @@ type clusterServeConfig struct {
 	global      units.Watts
 	duration    time.Duration
 	aggregators int
+	// initial is the seeded fleet size (0 = all shards Active from the
+	// start); ops are the scheduled -join/-drain/-decommission admin
+	// operations, sorted by fire time.
+	initial int
+	ops     []memberOp
 }
 
 // serveCluster runs the fleet: N full daemons on their own sockets, a
@@ -395,6 +429,32 @@ func serveCluster(cfg clusterServeConfig) error {
 	journal := telemetry.NewJournal(1<<10, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Elastic fleet: with -initial/-join/-drain/-decommission the
+	// controllers steer a Membership registry instead of the static shard
+	// list. Each replica owns its own registry — the operator's admin op
+	// is broadcast to all of them, the same way a config push reaches
+	// every controller, so a promoted standby steers the same fleet.
+	elastic := len(cfg.ops) > 0 || (cfg.initial > 0 && cfg.initial < cfg.shards)
+	endpoints := fleet.Endpoints()
+	var registries []*cluster.Membership
+	if elastic {
+		seed := endpoints
+		if cfg.initial > 0 {
+			seed = endpoints[:cfg.initial]
+		}
+		registries = make([]*cluster.Membership, cfg.aggregators)
+		for i := range registries {
+			m, err := cluster.NewMembership(seed, func() time.Duration { return time.Since(t0) })
+			if err != nil {
+				return err
+			}
+			m.Journal(journal)
+			if i == 0 {
+				m.Instrument(reg)
+			}
+			registries[i] = m
+		}
+	}
 	aggs := make([]*cluster.Aggregator, cfg.aggregators)
 	aggDone := make(chan error, cfg.aggregators)
 	for i := range aggs {
@@ -407,6 +467,9 @@ func serveCluster(cfg clusterServeConfig) error {
 			SetCap:        fleet.SetCap,
 			Telemetry:     reg,
 			Journal:       journal,
+		}
+		if elastic {
+			acfg.Members = registries[i]
 		}
 		if cfg.aggregators > 1 {
 			// Redundant control plane: every replica writes over the
@@ -452,6 +515,30 @@ func serveCluster(cfg clusterServeConfig) error {
 
 	// One looping background load per shard, cycled from the mix.
 	stop := make(chan struct{})
+
+	// Admin op scheduler: fire each -join/-drain/-decommission at its
+	// offset, broadcasting to every replica's registry. Only the first
+	// replica's outcome is printed — they all see the same op stream.
+	if len(cfg.ops) > 0 {
+		go func() {
+			for _, op := range cfg.ops {
+				wait := op.at - time.Since(t0)
+				if wait > 0 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(wait):
+					}
+				}
+				for ri, m := range registries {
+					line := applyMemberOp(op, m, endpoints)
+					if ri == 0 {
+						fmt.Println(line)
+					}
+				}
+			}
+		}()
+	}
 	loadErrs := make([]error, cfg.shards)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.shards; i++ {
@@ -491,15 +578,20 @@ loop:
 		select {
 		case <-status.C:
 			st := fleetStatus()
+			member := ""
+			if elastic {
+				member = fmt.Sprintf(", members %d (%d joining, %d draining), epoch %d",
+					int(reg.Gauge("cluster_members").Value()), st.Joining, st.Draining, st.MembershipEpoch)
+			}
 			if cfg.aggregators > 1 {
-				fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts, fence %d, %d elections\n",
+				fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts, fence %d, %d elections%s\n",
 					st.Healthy, cfg.shards, float64(st.CapsSum), float64(cfg.global),
 					reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts,
-					st.Fence, reg.Counter("cluster_leader_elections_total").Value())
+					st.Fence, reg.Counter("cluster_leader_elections_total").Value(), member)
 			} else {
-				fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts\n",
+				fmt.Printf("rcrd: healthy %d/%d, Σcaps %.1f/%.0f W, %d repartitions, %d shard restarts%s\n",
 					st.Healthy, cfg.shards, float64(st.CapsSum), float64(cfg.global),
-					reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts)
+					reg.Counter("cluster_repartitions_total").Value(), st.ShardRestarts, member)
 			}
 		case sig := <-sigCh:
 			fmt.Printf("rcrd: %v: stopping fleet\n", sig)

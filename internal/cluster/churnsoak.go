@@ -1,0 +1,959 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rcr"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Membership churn soak: the HA soak (hasoak.go) with the fleet's
+// *composition* under fault as well. A faults.MembershipSchedule grows
+// the fleet from Base to Peak through join storms, churns it through
+// dead-on-arrival joins, forced decommissions, drains and re-joins
+// under prior identity, then drains it back down — all while the WAN
+// tier keeps killing leaders, partitioning replicas and holding
+// split-brain deliveries. A driver goroutine plays the schedule the way
+// an operator would: it owns the shard processes (a server starts
+// before its join, stops at its crash instant, powers off only after a
+// drain completes) and applies every registry op to whichever replica
+// currently leads, retrying across leader changes because an op applied
+// to a leader that dies before replicating it is simply lost.
+//
+// The audited invariants extend the HA soak's:
+//
+//   - conservation across composition changes: Σ(applied caps) ≤ global
+//     after every apply, with a departed member's watts leaving the
+//     audited sum before any survivor's increase can land;
+//   - fenced-write and single-leadership safety, unchanged;
+//   - membership convergence: once the schedule clears, the surviving
+//     leader's registry must settle to exactly the schedule's replayed
+//     final fleet, every member Active and healthy;
+//   - clean departure: a decommissioned member's server is down and its
+//     socket no longer accepts connections at the end of the run, and
+//     the goroutine audit proves its subscription and server goroutines
+//     died with it.
+//
+// The shard-restart fault tier is deliberately absent here: membership
+// churn is the shard-lifecycle chaos in this soak, and a schedule-driven
+// restart of a decommissioned server would violate the clean-departure
+// gate by design. soak.go and hasoak.go keep that tier covered.
+
+// ChurnSoakConfig tunes one membership churn soak run.
+type ChurnSoakConfig struct {
+	// Seed determines the membership and WAN schedules and all jitter.
+	Seed uint64
+	// Base is the seed fleet size. Zero selects 4.
+	Base int
+	// Peak is the high-water fleet size the join storms grow to. Zero
+	// selects 10.
+	Peak int
+	// Replicas is the control-plane size. Zero selects 2.
+	Replicas int
+	// Budget is the wall-time length of the run. Zero selects 2 s; all
+	// churn and WAN ops resolve by 80% of it, leaving a convergence tail.
+	Budget time.Duration
+	// FeedPeriod is the synthetic shards' sample cadence. Zero selects
+	// 2 ms.
+	FeedPeriod time.Duration
+	// Period is each replica's poll cadence. Zero selects 10 ms.
+	Period time.Duration
+	// Global is the fleet-wide budget. Zero selects 60 W per Peak shard,
+	// so the budget stays binding at the high-water fleet and feasible
+	// (above the sum of floors) through every transient.
+	Global units.Watts
+	// LeaseTTL is the leadership lease. Zero selects 8×Period.
+	LeaseTTL time.Duration
+	// Dir hosts the shard sockets; empty selects a fresh temp dir.
+	Dir string
+	// SkipResourceAudit disables the goroutine/heap audit (the corpus
+	// fan-out runs many soaks concurrently and audits once).
+	SkipResourceAudit bool
+	// Telemetry, when non-nil, receives every component's instruments.
+	Telemetry *telemetry.Registry
+}
+
+// ChurnSoakReport is the audited outcome of one churn soak run.
+type ChurnSoakReport struct {
+	Seed      uint64
+	Base      int
+	Peak      int
+	Replicas  int
+	MemEvents int // membership churn ops scheduled
+	WANEvents int
+	LeaseTTL  time.Duration
+	ClearTime time.Duration
+
+	// Control-plane activity.
+	Elections    uint64
+	Demotions    uint64
+	LeaderKills  uint64
+	CapApplies   uint64
+	FenceGrants  uint64
+	FenceRejects uint64
+	CapRetries   uint64
+
+	// Membership activity (registry counters plus driver outcomes).
+	Joins         uint64
+	Drains        uint64
+	Decommissions uint64
+	CleanDrains   uint64 // drains that reached Drained before power-off
+	ForcedDrains  uint64 // drains the driver forced out after its patience
+	OpFailures    uint64 // ops that missed their deadline at fire time
+	OpRepairs     uint64 // settle-phase re-asserts of lost ops
+
+	// WAN-tier faults injected.
+	WANDropped uint64
+	WANDelayed uint64
+	WANHeld    uint64
+	WANFlushed uint64
+
+	// Invariant audit.
+	FencedWriteViolations  uint64
+	DoubleLeaderApplies    uint64
+	ConservationViolations uint64
+	HandoffMarks           int
+	Handoffs               []time.Duration
+	HandoffMedian          time.Duration
+	OrphanSockets          int // departed members still accepting connections
+	LeadersAtEnd           int
+	MembersAtEnd           int
+	HealthyAtEnd           int
+	FinalFleetOK           bool // leader's registry matches the replayed final fleet
+	Converged              bool
+	FinalCapsSumW          float64
+	GoroutineGrowth        int
+	HeapGrowthBytes        int64
+
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *ChurnSoakReport) Passed() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as one line.
+func (r *ChurnSoakReport) Summary() string {
+	return fmt.Sprintf("seed %d: fleet %d->%d->%d × %d replicas, %d+%d events, %d elections, %d demotions, %d leader-kills, %d applies, %d joins, %d drains (%d clean/%d forced), %d decommissions, %d op-failures, %d repairs, wan %d dropped/%d held/%d flushed, %d fence-violations, %d double-leader, %d conservation, %d orphan-sockets, leaders %d, members %d, healthy %d, final-fleet %v, converged %v, goroutines %+d",
+		r.Seed, r.Base, r.Peak, r.MembersAtEnd, r.Replicas, r.MemEvents, r.WANEvents,
+		r.Elections, r.Demotions, r.LeaderKills, r.CapApplies,
+		r.Joins, r.Drains, r.CleanDrains, r.ForcedDrains, r.Decommissions, r.OpFailures, r.OpRepairs,
+		r.WANDropped, r.WANHeld, r.WANFlushed,
+		r.FencedWriteViolations, r.DoubleLeaderApplies, r.ConservationViolations, r.OrphanSockets,
+		r.LeadersAtEnd, r.MembersAtEnd, r.HealthyAtEnd, r.FinalFleetOK, r.Converged, r.GoroutineGrowth)
+}
+
+// retire zeroes a departed shard's audited cap. The driver stops the
+// shard's server first — no further apply can land — and retires the
+// slot *before* decommissioning the member, so the departed watts are
+// out of the audited sum before any survivor's increase arrives and the
+// conservation check stays strict across the hand-back.
+func (a *haCapAuditor) retire(shard int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.caps[shard] = 0
+}
+
+// offerMem delivers one fenced membership-carrying write to the shard's
+// guard, with the same down-shard semantics as offerCap: a stopped
+// server cannot ack, so delayed split-brain deliveries against a
+// departed member bounce in transport.
+func (s *soakShard) offerMem(w rcr.MemWrite) (rcr.MemAck, error) {
+	s.mu.Lock()
+	up := s.srv != nil
+	s.mu.Unlock()
+	if !up || s.fence == nil {
+		return rcr.MemAck{}, fmt.Errorf("shard %d: down (injected)", s.id)
+	}
+	return s.fence.OfferMem(w), nil
+}
+
+// up reports whether the shard's server is currently running.
+func (s *soakShard) up() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv != nil
+}
+
+// RunChurnSoak executes one membership churn soak and audits it.
+func RunChurnSoak(cfg ChurnSoakConfig) (*ChurnSoakReport, error) {
+	if cfg.Base <= 0 {
+		cfg.Base = 4
+	}
+	if cfg.Peak <= 0 {
+		cfg.Peak = 10
+	}
+	if cfg.Peak < cfg.Base {
+		cfg.Peak = cfg.Base
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2 * time.Second
+	}
+	if cfg.FeedPeriod <= 0 {
+		cfg.FeedPeriod = 2 * time.Millisecond
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.Global <= 0 {
+		cfg.Global = units.Watts(60 * float64(cfg.Peak))
+	}
+	if raceEnabled {
+		cfg.Budget *= 4
+		cfg.FeedPeriod *= 4
+		cfg.Period *= 4
+		if cfg.LeaseTTL > 0 {
+			cfg.LeaseTTL *= 4
+		}
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 8 * cfg.Period
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "churnsoak"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	horizon := cfg.Budget * 4 / 5
+	msched := faults.GenerateMembershipSchedule(cfg.Seed, cfg.Base, cfg.Peak, horizon)
+	// The pool covers every identity the schedule will ever use; shards
+	// beyond Base exist from the start (guard included — a node's fence
+	// ledger is durable across its lives) but their servers only run
+	// while the member is in the fleet.
+	pool := msched.Base
+	for _, ev := range msched.Events {
+		if ev.Shard+1 > pool {
+			pool = ev.Shard + 1
+		}
+	}
+	wan := faults.GenerateWANSchedule(cfg.Seed, cfg.Replicas, pool, horizon)
+	inj := faults.NewWANInjector(wan)
+	clear := msched.ClearTime()
+	if wc := wan.ClearTime(); wc > clear {
+		clear = wc
+	}
+	final := msched.FinalFleet()
+	wantFinal := make(map[int]bool, len(final))
+	for _, id := range final {
+		wantFinal[id] = true
+	}
+	rep := &ChurnSoakReport{
+		Seed: cfg.Seed, Base: msched.Base, Peak: msched.Peak, Replicas: cfg.Replicas,
+		MemEvents: len(msched.Events), WANEvents: len(wan.Events),
+		LeaseTTL: cfg.LeaseTTL, ClearTime: clear,
+	}
+
+	var goroutinesBefore int
+	var msBefore runtime.MemStats
+	if !cfg.SkipResourceAudit {
+		goroutinesBefore = runtime.NumGoroutine()
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+	}
+
+	clock := &hostClock{t0: time.Now()}
+	auditor := &haCapAuditor{
+		global:    float64(cfg.Global),
+		debugTag:  fmt.Sprintf("seed=%d", cfg.Seed),
+		period:    cfg.Period,
+		clock:     clock,
+		caps:      make([]float64, pool),
+		lastFence: make([]uint64, pool),
+		firstSeen: make(map[uint64]time.Duration),
+	}
+	journal := telemetry.NewJournal(1<<12, 1)
+
+	shards := make([]*soakShard, pool)
+	endpoints := make([]ShardEndpoint, pool)
+	for i := range shards {
+		guard := rcr.NewFenceGuard(clock.Now, auditor.applyFn(i))
+		guard.Instrument(reg)
+		guard.Journal(journal)
+		shards[i] = &soakShard{
+			id:     i,
+			socket: filepath.Join(dir, fmt.Sprintf("shard-%d.sock", i)),
+			clock:  clock,
+			reg:    reg,
+			rep:    &SoakReport{},
+			fence:  guard,
+		}
+		endpoints[i] = ShardEndpoint{ID: i, Network: "unix", Addr: shards[i].socket}
+	}
+	for i := 0; i < msched.Base; i++ {
+		if err := shards[i].start(); err != nil {
+			for j := 0; j < i; j++ {
+				shards[j].stop()
+			}
+			return nil, err
+		}
+	}
+	baseEndpoints := endpoints[:msched.Base]
+
+	// Replica slots. Every replica — rebuilt ones included — starts from
+	// the static Base config, the way a restarted daemon reads its stale
+	// config file; it learns the actual fleet by adopting the committed
+	// membership record its campaign acks return.
+	buildReplica := func(idx, gen int) (*haSoakReplica, error) {
+		members, err := NewMembership(baseEndpoints, clock.Now)
+		if err != nil {
+			return nil, err
+		}
+		members.Instrument(reg)
+		members.Journal(journal)
+		agg, err := NewAggregator(AggregatorConfig{
+			Members:       members,
+			Global:        cfg.Global,
+			Floor:         10,
+			Max:           200,
+			Period:        cfg.Period,
+			HealthHorizon: 6 * cfg.Period,
+			Clock:         clock.Now,
+			Telemetry:     reg,
+			Journal:       journal,
+			HA: &HAConfig{
+				ID:         uint32(idx + 1),
+				LeaseTTL:   cfg.LeaseTTL,
+				JitterSeed: cfg.Seed ^ uint64(idx+1)<<40 ^ uint64(gen)<<8,
+				WriteMem: func(shard int, mw rcr.MemWrite) (rcr.MemAck, error) {
+					// Every fenced write rides the membership op, so the
+					// committed record is replicated and fetched through the
+					// same gated, fault-injected path as the caps. The held
+					// closure may run later on the flusher goroutine; the
+					// buffered channel keeps the ack hand-off synchronized.
+					res := make(chan rcr.MemAck, 1)
+					err := inj.GateWrite(idx, shard, clock.Now(), func() error {
+						ack, err := shards[shard].offerMem(mw)
+						if err != nil {
+							return err
+						}
+						res <- ack
+						return nil
+					})
+					if err != nil {
+						return rcr.MemAck{}, err
+					}
+					return <-res, nil
+				},
+			},
+			Tune: func(shard int, ccfg *resilience.ClientConfig) {
+				ccfg.Backoff = resilience.Backoff{
+					Base: 5 * time.Millisecond,
+					Max:  40 * time.Millisecond,
+					Seed: cfg.Seed ^ uint64(idx+1)<<30 ^ uint64(shard)<<20,
+				}
+				ccfg.Subscribe = func(ctx context.Context, network, addr string) (resilience.SubStream, error) {
+					if inj.SubBlocked(idx, shard, clock.Now()) {
+						return nil, fmt.Errorf("wan: replica %d partitioned from shard %d", idx, shard)
+					}
+					return rcr.Subscribe(ctx, network, addr)
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if soakApplyTrace {
+			agg.debugTag = fmt.Sprintf("seed=%d/r%d", cfg.Seed, idx)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r := &haSoakReplica{agg: agg, cancel: cancel, done: make(chan error, 1)}
+		go func() { r.done <- agg.Run(ctx) }()
+		return r, nil
+	}
+
+	var repMu sync.Mutex
+	replicas := make([]*haSoakReplica, cfg.Replicas)
+	for i := range replicas {
+		r, err := buildReplica(i, 0)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				replicas[j].cancel()
+				<-replicas[j].done
+			}
+			for _, sh := range shards {
+				sh.stop()
+			}
+			return nil, err
+		}
+		replicas[i] = r
+	}
+	liveReplicas := func() []*haSoakReplica {
+		repMu.Lock()
+		defer repMu.Unlock()
+		out := make([]*haSoakReplica, len(replicas))
+		copy(out, replicas)
+		return out
+	}
+	// leaderAgg resolves the current authority: among replicas claiming
+	// leadership, the one with the highest fence (a partitioned stale
+	// claimant still inside its old lease may also claim).
+	leaderAgg := func() *Aggregator {
+		var best *Aggregator
+		var bf uint64
+		for _, r := range liveReplicas() {
+			if r == nil {
+				continue
+			}
+			if st := r.agg.Status(); st.Leader && st.Fence >= bf {
+				best, bf = r.agg, st.Fence
+			}
+		}
+		return best
+	}
+
+	// Feeder: down shards ignore their tick, so one loop feeds the pool.
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		tick := time.NewTicker(cfg.FeedPeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopFeed:
+				return
+			case <-tick.C:
+				now := clock.Now()
+				for i, sh := range shards {
+					sh.feed(now, auditor.cap(i))
+				}
+			}
+		}
+	}()
+
+	var chaosWG sync.WaitGroup
+
+	// Chaos tier 1: the membership driver. Ops fire at their scheduled
+	// instant; the registry write retries against whichever replica leads
+	// until the op lands or the deadline passes, because an op accepted
+	// by a leader that is killed before replicating it is simply gone —
+	// the operator's retry is part of the protocol, and the settle phase
+	// below re-asserts anything that stayed lost.
+	sleepUntil := func(t time.Duration) {
+		if d := t - clock.Now(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	opDeadline := func(at time.Duration) time.Duration {
+		d := at + 8*cfg.LeaseTTL
+		if d > cfg.Budget {
+			d = cfg.Budget
+		}
+		return d
+	}
+	withLeader := func(deadline time.Duration, op func(m *Membership) error) bool {
+		for {
+			if agg := leaderAgg(); agg != nil {
+				if err := op(agg.Members()); err == nil {
+					// In the leader's registry is not yet done: the op is
+					// durable only once the epoch carrying it is acked by a
+					// quorum of guards. A leader killed before that takes
+					// the only copy with it — a successor elected from a
+					// quorum adopts a record without the op. Wait for
+					// durability, re-issuing against any new leader (the
+					// ops are idempotent state checks).
+					for agg == leaderAgg() {
+						if agg.MembershipDurable() {
+							return true
+						}
+						if clock.Now() >= deadline {
+							return false
+						}
+						time.Sleep(cfg.Period / 2)
+					}
+					continue // authority moved: re-issue against its successor
+				}
+			}
+			if clock.Now() >= deadline {
+				return false
+			}
+			time.Sleep(cfg.Period / 2)
+		}
+	}
+	// The ops are written idempotently against the registry's *current*
+	// state, so a retry that crosses a leader change never double-applies
+	// and a target whose earlier op was lost resolves to the op's intent.
+	joinOp := func(id int) func(m *Membership) error {
+		return func(m *Membership) error {
+			if mb, ok := m.Get(id); ok && mb.State.InFleet() {
+				return nil
+			}
+			return m.Join(endpoints[id])
+		}
+	}
+	drainOp := func(id int) func(m *Membership) error {
+		return func(m *Membership) error {
+			mb, ok := m.Get(id)
+			if !ok || !mb.State.InFleet() {
+				return nil // already out — the drain's end state
+			}
+			if mb.State == MemberDraining || mb.State == MemberDrained {
+				return nil
+			}
+			return m.Drain(id)
+		}
+	}
+	decomOp := func(id int) func(m *Membership) error {
+		return func(m *Membership) error {
+			if mb, ok := m.Get(id); !ok || !mb.State.InFleet() {
+				return nil
+			}
+			return m.Decommission(id)
+		}
+	}
+	// stopAndDecommission is every departure's final step, in the order
+	// the conservation audit requires: server down (no further apply can
+	// land), enforcement registers power-cycled (a rejoining incarnation
+	// must not resurrect a cap ledger whose watts the fleet already
+	// reclaimed), audited slot retired (the watts leave the audited
+	// sum), and only then the registry op that hands the watts back to
+	// the pool.
+	stopAndDecommission := func(id int, deadline time.Duration) {
+		shards[id].stop()
+		if shards[id].fence != nil {
+			shards[id].fence.PowerCycle()
+		}
+		auditor.retire(id)
+		if !withLeader(deadline, decomOp(id)) {
+			atomic.AddUint64(&rep.OpFailures, 1)
+		}
+	}
+	runMemberEvent := func(ev faults.MembershipEvent) {
+		switch ev.Op {
+		case faults.OpJoin:
+			if err := shards[ev.Shard].start(); err != nil {
+				atomic.AddUint64(&rep.OpFailures, 1)
+				return
+			}
+			if !withLeader(opDeadline(ev.At), joinOp(ev.Shard)) {
+				atomic.AddUint64(&rep.OpFailures, 1)
+			}
+		case faults.OpJoinCrash:
+			if err := shards[ev.Shard].start(); err == nil {
+				withLeader(opDeadline(ev.At), joinOp(ev.Shard))
+			}
+			sleepUntil(ev.At + ev.Dwell)
+			stopAndDecommission(ev.Shard, opDeadline(ev.At+ev.Dwell))
+		case faults.OpDecommission:
+			stopAndDecommission(ev.Shard, opDeadline(ev.At))
+		case faults.OpDrain:
+			if !withLeader(opDeadline(ev.At), drainOp(ev.Shard)) {
+				atomic.AddUint64(&rep.OpFailures, 1)
+			}
+			// Wait out the dwell for the leader to step the member to its
+			// floor and mark it Drained; an operator whose patience runs out
+			// forces the member off anyway — the registry op, not the drain
+			// ceremony, is what returns the watts.
+			patience := ev.At + ev.Dwell + 4*cfg.LeaseTTL
+			if patience > cfg.Budget {
+				patience = cfg.Budget
+			}
+			drained := false
+			for clock.Now() < patience {
+				if agg := leaderAgg(); agg != nil {
+					if mb, ok := agg.Members().Get(ev.Shard); !ok || !mb.State.InFleet() || mb.State == MemberDrained {
+						drained = true
+						break
+					}
+				}
+				time.Sleep(cfg.Period / 2)
+			}
+			if drained {
+				atomic.AddUint64(&rep.CleanDrains, 1)
+			} else {
+				atomic.AddUint64(&rep.ForcedDrains, 1)
+			}
+			stopAndDecommission(ev.Shard, opDeadline(patience))
+		case faults.OpRejoin:
+			stopAndDecommission(ev.Shard, opDeadline(ev.At))
+			sleepUntil(ev.At + ev.Dwell)
+			if clock.Now() >= cfg.Budget {
+				return
+			}
+			if err := shards[ev.Shard].start(); err != nil {
+				atomic.AddUint64(&rep.OpFailures, 1)
+				return
+			}
+			if !withLeader(opDeadline(ev.At+ev.Dwell), joinOp(ev.Shard)) {
+				atomic.AddUint64(&rep.OpFailures, 1)
+			}
+		}
+	}
+	var memWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		defer memWG.Wait()
+		for _, ev := range msched.Events {
+			sleepUntil(ev.At)
+			if clock.Now() >= cfg.Budget {
+				return
+			}
+			ev := ev
+			memWG.Add(1)
+			go func() {
+				defer memWG.Done()
+				runMemberEvent(ev)
+			}()
+		}
+	}()
+
+	// Chaos tier 2a: the split-brain flusher releases held writes when
+	// their window closes.
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		tick := time.NewTicker(cfg.Period)
+		defer tick.Stop()
+		for clock.Now() < cfg.Budget {
+			<-tick.C
+			inj.Flush(clock.Now())
+		}
+	}()
+
+	// Chaos tier 2b: leader kills, resolved to whichever replica actually
+	// leads — the drain-races-leader-kill interleaving the churn tier
+	// exists to exercise.
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		for _, ev := range wan.Kills() {
+			sleepUntil(ev.Start)
+			if clock.Now() >= cfg.Budget {
+				return
+			}
+			victim, victimFence := -1, uint64(0)
+			mid := ev.Start + (ev.End-ev.Start)/2
+			for victim < 0 && clock.Now() < mid {
+				for i, r := range liveReplicas() {
+					if r == nil {
+						continue
+					}
+					if st := r.agg.Status(); st.Leader && st.Fence >= victimFence {
+						victim, victimFence = i, st.Fence
+					}
+				}
+				if victim < 0 {
+					time.Sleep(cfg.Period / 2)
+				}
+			}
+			if victim < 0 {
+				victim = ev.Agg % cfg.Replicas
+			}
+			var fmax uint64
+			for _, g := range shards {
+				if st := g.fence.State(); st.Fence > fmax {
+					fmax = st.Fence
+				}
+			}
+			repMu.Lock()
+			r := replicas[victim]
+			replicas[victim] = nil
+			repMu.Unlock()
+			if r == nil {
+				continue
+			}
+			if st := r.agg.Status(); st.Leader && st.Fence >= fmax {
+				auditor.markKill(clock.Now(), fmax)
+			}
+			r.cancel()
+			<-r.done
+			atomic.AddUint64(&rep.LeaderKills, 1)
+			sleepUntil(ev.End)
+			// A failed rebuild must not abandon the replica slot — on a
+			// two-replica plane that silently halves the control plane for
+			// the rest of the run. Retry across a few poll periods before
+			// giving up on this one kill window.
+			for attempt := 0; attempt < 5; attempt++ {
+				nr, err := buildReplica(victim, 1+int(atomic.LoadUint64(&rep.LeaderKills)))
+				if err == nil {
+					repMu.Lock()
+					replicas[victim] = nr
+					repMu.Unlock()
+					break
+				}
+				time.Sleep(cfg.Period)
+			}
+		}
+	}()
+
+	// Let the run play out, then settle.
+	sleepUntil(cfg.Budget)
+	chaosWG.Wait()
+	inj.Flush(cfg.Budget * 2) // late split-brain deliveries must bounce
+
+	// Settle phase: the operator reconciling the fleet to its plan.
+	// ensureFinal re-asserts ops a mid-run leader accepted and then lost
+	// with its life; the census then demands the surviving leader's
+	// registry and health converge to the replayed final fleet.
+	fleetSettled := func(st AggregatorStatus, m *Membership) bool {
+		mems := m.Members()
+		if len(mems) != len(final) {
+			return false
+		}
+		for i, mb := range mems {
+			if mb.ID != final[i] || mb.State != MemberActive {
+				return false
+			}
+		}
+		return st.Healthy == len(final)
+	}
+	ensureFinal := func() {
+		// Power the final fleet's servers back on first, leader or not: a
+		// run whose ops failed during a no-leader window may have stopped
+		// enough shards to destroy election quorum, and only restarted
+		// servers can grant the campaign that restores a leader.
+		for _, id := range final {
+			if !shards[id].up() {
+				if err := shards[id].start(); err != nil {
+					continue
+				}
+				atomic.AddUint64(&rep.OpRepairs, 1)
+			}
+		}
+		agg := leaderAgg()
+		if agg == nil {
+			// No leader to repair through. A campaign needs grants from a
+			// majority of the CANDIDATE'S book — which may still be the
+			// base fleet, or any mid-churn registry, not the schedule's
+			// final fleet — so restarting final servers alone can leave
+			// every candidate short of quorum forever. Power on whatever
+			// each surviving replica's own registry says the fleet is; the
+			// leader this restores will then decommission the extras below.
+			for _, r := range liveReplicas() {
+				if r == nil {
+					continue
+				}
+				for _, mb := range r.agg.Members().Members() {
+					if mb.State.InFleet() && !shards[mb.ID].up() {
+						if err := shards[mb.ID].start(); err == nil {
+							atomic.AddUint64(&rep.OpRepairs, 1)
+						}
+					}
+				}
+			}
+			return
+		}
+		m := agg.Members()
+		present := make(map[int]bool)
+		for _, mb := range m.Members() {
+			present[mb.ID] = true
+			if !wantFinal[mb.ID] {
+				shards[mb.ID].stop()
+				if shards[mb.ID].fence != nil {
+					shards[mb.ID].fence.PowerCycle()
+				}
+				auditor.retire(mb.ID)
+				if m.Decommission(mb.ID) == nil {
+					atomic.AddUint64(&rep.OpRepairs, 1)
+				}
+			}
+		}
+		for _, id := range final {
+			if !present[id] {
+				if m.Join(endpoints[id]) == nil {
+					atomic.AddUint64(&rep.OpRepairs, 1)
+				}
+			}
+		}
+		// The no-leader branch may have powered on extras a stale
+		// minority registry still listed; once a leader is steering the
+		// fleet again the operator powers off anything outside the plan
+		// that the leader's own book (handled above) never knew about.
+		for id, sh := range shards {
+			if !wantFinal[id] && sh.up() {
+				sh.stop()
+				if sh.fence != nil {
+					sh.fence.PowerCycle()
+				}
+				auditor.retire(id)
+				atomic.AddUint64(&rep.OpRepairs, 1)
+			}
+		}
+	}
+	leaders, healthy, membersAtEnd := 0, 0, 0
+	fleetOK := false
+	var capsSum units.Watts
+	census := func() {
+		leaders, healthy, membersAtEnd = 0, 0, 0
+		capsSum, fleetOK = 0, false
+		for _, r := range liveReplicas() {
+			if r == nil {
+				continue
+			}
+			st := r.agg.Status()
+			if st.Leader {
+				leaders++
+				healthy = st.Healthy
+				capsSum = st.CapsSum
+				membersAtEnd = st.Shards
+				fleetOK = fleetSettled(st, r.agg.Members())
+			}
+		}
+	}
+	census()
+	for deadline := time.Now().Add(10 * cfg.LeaseTTL); (leaders != 1 || !fleetOK) && time.Now().Before(deadline); {
+		time.Sleep(cfg.Period / 2)
+		ensureFinal()
+		census()
+	}
+
+	// Clean-departure audit, before teardown stops the survivors: every
+	// identity outside the final fleet must be down and its socket dead.
+	for id, sh := range shards {
+		if wantFinal[id] {
+			continue
+		}
+		if sh.up() {
+			rep.OrphanSockets++
+			continue
+		}
+		if c, err := net.DialTimeout("unix", sh.socket, 10*time.Millisecond); err == nil {
+			c.Close()
+			rep.OrphanSockets++
+		}
+	}
+
+	for _, r := range liveReplicas() {
+		if r == nil {
+			continue
+		}
+		r.cancel()
+		<-r.done
+	}
+	close(stopFeed)
+	feedWG.Wait()
+	for _, sh := range shards {
+		sh.stop()
+	}
+
+	rep.Elections = reg.Counter("cluster_leader_elections_total").Value()
+	rep.Demotions = reg.Counter("cluster_leader_demotions_total").Value()
+	rep.FenceGrants = reg.Counter("cluster_fence_grants_total").Value()
+	rep.FenceRejects = reg.Counter("cluster_fence_rejects_total").Value()
+	rep.CapRetries = reg.Counter("cluster_cap_retries_total").Value()
+	rep.Joins = reg.Counter("cluster_member_joins_total").Value()
+	rep.Drains = reg.Counter("cluster_member_drains_total").Value()
+	rep.Decommissions = reg.Counter("cluster_member_decommissions_total").Value()
+	ws := inj.Stats()
+	rep.WANDropped, rep.WANDelayed, rep.WANHeld, rep.WANFlushed =
+		ws.Dropped, ws.Delayed, ws.Captured, ws.Flushed
+
+	auditor.mu.Lock()
+	rep.CapApplies = auditor.applies
+	rep.FencedWriteViolations = auditor.fenceRegress
+	rep.DoubleLeaderApplies = auditor.doubleLeader
+	rep.ConservationViolations = auditor.conservation
+	rep.HandoffMarks = len(auditor.kills)
+	auditor.mu.Unlock()
+	rep.Handoffs = auditor.handoffs()
+	// The latency bound judges in-run hand-offs only: a takeover that had
+	// to wait for the settle phase's repairs (election quorum destroyed
+	// by failed-op fallout) measures the outage, not the protocol.
+	rep.HandoffMedian = medianDuration(auditor.handoffsBefore(cfg.Budget))
+	rep.LeadersAtEnd = leaders
+	rep.MembersAtEnd = membersAtEnd
+	rep.HealthyAtEnd = healthy
+	rep.FinalFleetOK = fleetOK
+	rep.Converged = leaders == 1 && fleetOK
+	rep.FinalCapsSumW = float64(capsSum)
+
+	if !cfg.SkipResourceAudit {
+		deadline := time.Now().Add(2 * time.Second)
+		growth := runtime.NumGoroutine() - goroutinesBefore
+		for growth > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			growth = runtime.NumGoroutine() - goroutinesBefore
+		}
+		rep.GoroutineGrowth = growth
+		var msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msAfter)
+		rep.HeapGrowthBytes = int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+	}
+
+	rep.audit(cfg)
+	return rep, nil
+}
+
+// audit fills Violations: the invariants every churn seed must hold.
+func (r *ChurnSoakReport) audit(cfg ChurnSoakConfig) {
+	if r.FencedWriteViolations > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d fenced-write violations: a demoted leader's cap landed", r.FencedWriteViolations))
+	}
+	if r.DoubleLeaderApplies > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d double-leadership applications: two fences actuated the fleet at once", r.DoubleLeaderApplies))
+	}
+	if r.ConservationViolations > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d conservation violations: Σ applied caps exceeded the %.0f W budget under churn", r.ConservationViolations, float64(cfg.Global)))
+	}
+	if r.Elections == 0 {
+		r.Violations = append(r.Violations, "no replica was ever elected leader")
+	}
+	if r.CapApplies == 0 {
+		r.Violations = append(r.Violations, "no fenced cap was ever applied")
+	}
+	if r.Joins == 0 {
+		r.Violations = append(r.Violations, "no member ever joined: the churn tier never fired")
+	}
+	if r.Decommissions == 0 {
+		r.Violations = append(r.Violations, "no member was ever decommissioned")
+	}
+	if r.OrphanSockets > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d departed members still had live servers or sockets", r.OrphanSockets))
+	}
+	if r.HandoffMarks > 0 && len(r.Handoffs) == 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%d authority kills but no successor ever applied a cap under a higher fence", r.HandoffMarks))
+	}
+	// 6× rather than the HA soak's 4×: a churn soak runs join/drain
+	// drivers and up to Peak real servers on top of the control plane,
+	// and the corpus runs several such fleets concurrently — on a small
+	// host the scheduler tail stretches every hand-off.
+	if r.HandoffMedian > 6*r.LeaseTTL {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("hand-off median %v exceeds 6× lease TTL (%v)", r.HandoffMedian, r.LeaseTTL))
+	}
+	if !r.FinalFleetOK {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("membership did not converge to the schedule's final fleet (%d members at end)", r.MembersAtEnd))
+	}
+	if !r.Converged {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("control plane did not converge: %d leaders at end, %d healthy of %d members", r.LeadersAtEnd, r.HealthyAtEnd, r.MembersAtEnd))
+	}
+	if r.GoroutineGrowth > 0 {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("goroutine leak: %+d after teardown", r.GoroutineGrowth))
+	}
+	if r.HeapGrowthBytes > soakHeapBound {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("heap grew %d bytes (bound %d)", r.HeapGrowthBytes, soakHeapBound))
+	}
+}

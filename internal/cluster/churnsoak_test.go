@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience/leak"
+)
+
+// TestChurnSoakSingleSeed runs one full-length churn soak with the
+// strict resource audit: the fleet grows from its base through join
+// storms, churns through crashes, drains and re-joins while the WAN
+// tier kills leaders, and must converge to the schedule's final fleet
+// with zero conservation violations and no orphaned servers.
+func TestChurnSoakSingleSeed(t *testing.T) {
+	leak.Check(t)
+	rep, err := RunChurnSoak(ChurnSoakConfig{Seed: 7, Budget: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("churn soak: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Joins == 0 {
+		t.Error("no member ever joined")
+	}
+	if rep.Decommissions == 0 {
+		t.Error("no member was ever decommissioned")
+	}
+	t.Log(rep.Summary())
+}
+
+// TestChurnSoakGrowShrink is the headline elasticity shape from the
+// robustness plan: N=4 → 64 → 4 under the full fault stack. Not -short
+// work — it runs sixty-plus real servers on real sockets.
+func TestChurnSoakGrowShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 4→64→4 soak is not -short work; the corpus covers the protocol")
+	}
+	leak.Check(t)
+	rep, err := RunChurnSoak(ChurnSoakConfig{
+		Seed:   11,
+		Base:   4,
+		Peak:   64,
+		Budget: 4 * time.Second,
+		// Sixty-four real servers plus feeder and drivers want a slacker
+		// cadence than the 10-shard default on modest hosts; the lease
+		// TTL (8×period) and every latency bound scale with it.
+		Period: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("churn soak: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Peak != 64 {
+		t.Fatalf("peak %d, want 64", rep.Peak)
+	}
+	if rep.Joins < uint64(rep.Peak-rep.Base) {
+		t.Errorf("%d joins cannot have grown the fleet from %d to %d", rep.Joins, rep.Base, rep.Peak)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestChurnSoakCorpus is the churn gate: a seeded corpus of membership
+// schedules layered on WAN fault schedules. Every seed must hold the
+// conservation, fenced-write and single-leadership invariants through
+// the churn, leave no departed member's server or socket behind, and
+// converge — leader, registry and health — to the schedule's replayed
+// final fleet. Collectively the corpus must exercise every churn op
+// outcome: clean drains, forced departures, and operator retries across
+// leader kills.
+func TestChurnSoakCorpus(t *testing.T) {
+	leak.Check(t)
+	runs := 256
+	budget := 500 * time.Millisecond
+	if testing.Short() {
+		runs = 24
+	}
+	workers := 4
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = n
+	}
+	if workers > 16 {
+		workers = 16
+	}
+	if raceEnabled {
+		workers = 2
+		runs = runs / 2
+	}
+	var (
+		mu                          sync.Mutex
+		elections, demotions, kills uint64
+		applies, joins, decomms     uint64
+		cleanDrains, forcedDrains   uint64
+		opFailures, opRepairs       uint64
+		dropped, held, flushed      uint64
+		converged                   uint64
+		seedCh                      = make(chan int)
+		wg                          sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				rep, err := RunChurnSoak(ChurnSoakConfig{
+					Seed:              uint64(seed),
+					Budget:            budget,
+					SkipResourceAudit: true,
+				})
+				if err != nil {
+					mu.Lock()
+					t.Errorf("seed %d: %v", seed, err)
+					mu.Unlock()
+					continue
+				}
+				if !rep.Passed() {
+					mu.Lock()
+					for _, v := range rep.Violations {
+						t.Errorf("seed %d: %s", seed, v)
+					}
+					t.Logf("seed %d: %s", seed, rep.Summary())
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				elections += rep.Elections
+				demotions += rep.Demotions
+				kills += rep.LeaderKills
+				applies += rep.CapApplies
+				joins += rep.Joins
+				decomms += rep.Decommissions
+				cleanDrains += rep.CleanDrains
+				forcedDrains += rep.ForcedDrains
+				opFailures += rep.OpFailures
+				opRepairs += rep.OpRepairs
+				dropped += rep.WANDropped
+				held += rep.WANHeld
+				flushed += rep.WANFlushed
+				if rep.Converged {
+					converged++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for seed := 0; seed < runs; seed++ {
+		seedCh <- seed
+	}
+	close(seedCh)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if kills == 0 {
+		t.Error("no run ever killed a leader under churn")
+	}
+	if cleanDrains == 0 {
+		t.Error("no drain ever completed cleanly: the Draining→Drained step-down path was never exercised")
+	}
+	if dropped == 0 {
+		t.Error("no write was ever dropped by a partition")
+	}
+	if held == 0 {
+		t.Error("no write was ever held by a split-brain window")
+	}
+	if joins == 0 || decomms == 0 {
+		t.Error("the membership tier never churned the fleet")
+	}
+	t.Logf("%d runs: %d elections, %d demotions, %d leader-kills, %d applies, %d joins, %d decommissions, %d clean-drains, %d forced-drains, %d op-failures, %d repairs, wan %d dropped/%d held/%d flushed, %d/%d converged",
+		runs, elections, demotions, kills, applies, joins, decomms,
+		cleanDrains, forcedDrains, opFailures, opRepairs,
+		dropped, held, flushed, converged, runs)
+}

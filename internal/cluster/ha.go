@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/rcr"
@@ -39,6 +40,14 @@ import (
 //     fence before computing any new partition, so the conservation
 //     invariant Σ(applied) ≤ budget holds across the hand-off: the new
 //     leader's baseline is what the shards actually hold, not a guess.
+//   - With the WriteMem seam, the leader also replicates the fleet's
+//     committed membership record under its fence (rcr.MemWrite), and
+//     a promoted standby adopts the most authoritative record its
+//     campaign acks return — ordered by (fence, epoch), because fences
+//     are totally ordered across leaders while epochs are only ordered
+//     within one registry's history. A deposed leader's stale
+//     membership view therefore can never reintroduce a departed shard
+//     and double-spend its watts: its commits carry a dead fence.
 //
 // Shards enforce the fence (rcr.FenceGuard): a write from a demoted
 // leader — lower fence, or equal fence after a takeover — is rejected
@@ -63,8 +72,17 @@ type HAConfig struct {
 	JitterSeed uint64
 	// WriteCap performs one fenced cap write against a shard:
 	// rcr.WriteCap over the shard's socket in production, the fault
-	// injector's gated seam in the soak. Required.
+	// injector's gated seam in the soak. Required unless WriteMem is
+	// set, in which case every fenced write rides the membership op.
 	WriteCap func(shard int, w rcr.CapWrite) (rcr.CapAck, error)
+	// WriteMem, when set, routes every fenced write through the
+	// membership piggyback op (rcr.WriteMem over "MEM\n"): campaign
+	// probes fetch each shard's committed membership record in the ack,
+	// and the leader attaches the registry's current record to writes
+	// against shards whose acked record is behind. Optional; a nil
+	// WriteMem runs the control plane membership-blind, exactly as
+	// before.
+	WriteMem func(shard int, mw rcr.MemWrite) (rcr.MemAck, error)
 }
 
 func (a *Aggregator) leaseTTL() time.Duration {
@@ -105,8 +123,7 @@ func splitmix64ha(x uint64) uint64 {
 // Reports whether any cap changed.
 func (a *Aggregator) haStep(now time.Duration) bool {
 	// Fold the lease state the shards mirror through their streams.
-	for i := range a.shards {
-		st := &a.shards[i]
+	for _, st := range a.shards {
 		if st.obsFence > a.knownFence {
 			a.knownFence = st.obsFence
 		}
@@ -118,6 +135,9 @@ func (a *Aggregator) haStep(now time.Duration) bool {
 				a.candidateAt = 0
 			}
 		}
+	}
+	if len(a.shards) == 0 {
+		return false
 	}
 	if !a.leader {
 		a.standbyStep(now)
@@ -145,9 +165,29 @@ func (a *Aggregator) standbyStep(now time.Duration) {
 	a.elect(now)
 }
 
+// writeFenced performs one fenced write against a shard, routing
+// through the membership op when the seam is configured. The frame, if
+// any, is attached by the caller via mw.
+func (a *Aggregator) writeFenced(st *shardState, mw rcr.MemWrite) (rcr.MemAck, error) {
+	ha := a.cfg.HA
+	if ha.WriteMem != nil {
+		mack, err := ha.WriteMem(st.id, mw)
+		if err == nil {
+			if mack.MemFence > st.memAckFence || (mack.MemFence == st.memAckFence && mack.MemEpoch > st.memAckEpoch) {
+				st.memAckFence, st.memAckEpoch = mack.MemFence, mack.MemEpoch
+			}
+		}
+		return mack, err
+	}
+	ack, err := ha.WriteCap(st.id, mw.Write)
+	return rcr.MemAck{Ack: ack}, err
+}
+
 // elect campaigns for the fleet lease with a fresh fence. On a majority
-// of grants the replica promotes itself and schedules a replay of the
-// fleet's committed assignment; on a minority it releases what it won.
+// of grants the replica promotes itself, adopts the most authoritative
+// committed membership record its grants returned, and schedules a
+// replay of the fleet's committed assignment; on a minority it releases
+// what it won.
 func (a *Aggregator) elect(now time.Duration) {
 	ha := a.cfg.HA
 	ttl := a.leaseTTL()
@@ -160,30 +200,42 @@ func (a *Aggregator) elect(now time.Duration) {
 	// shard, its guard rejects them as stale, so the pending pessimism
 	// can be dropped.
 	a.seq = 0
-	for i := range a.pendingCap {
-		a.pendingCap[i], a.pendingSeq[i] = 0, 0
-		a.granted[i] = false
+	for _, st := range a.shards {
+		st.pendingCap, st.pendingSeq = 0, 0
+		st.granted = false
 	}
 	// Baseline adoption starts from the mirrored fencedcap meters; the
 	// campaign acks below override with each reachable shard's
 	// authoritative value.
-	for i := range a.shards {
-		if a.shards[i].obsHasCap {
-			a.applied[i] = units.Watts(a.shards[i].obsCap)
+	for i, st := range a.shards {
+		if st.obsHasCap {
+			a.applied[i] = units.Watts(st.obsCap)
 		}
 	}
+	fleet := len(a.shards)
 	var granted []int
-	for i := range a.shards {
-		ack, err := ha.WriteCap(a.cfg.Shards[i].ID, rcr.CapWrite{Fence: fence, Leader: ha.ID, Lease: ttl, Seq: a.nextSeq()})
+	var bestFence, bestEpoch uint64
+	var bestFrame []byte
+	for i, st := range a.shards {
+		w := rcr.CapWrite{Fence: fence, Leader: ha.ID, Lease: ttl, Seq: a.nextSeq()}
+		mack, err := a.writeFenced(st, rcr.MemWrite{Write: w})
 		if err != nil {
 			continue
+		}
+		ack := mack.Ack
+		// Every reachable shard's ack carries its guard's committed
+		// membership record — grant or refusal alike: the record's
+		// authority is its (fence, epoch), not this campaign's outcome.
+		if mack.MemEpoch > 0 && (mack.MemFence > bestFence ||
+			(mack.MemFence == bestFence && mack.MemEpoch > bestEpoch)) {
+			bestFence, bestEpoch, bestFrame = mack.MemFence, mack.MemEpoch, mack.Frame
 		}
 		if ack.HasApplied {
 			a.applied[i] = units.Watts(ack.Applied)
 		}
 		if ack.Status == rcr.CapApplied {
 			granted = append(granted, i)
-			a.granted[i] = true
+			st.granted = true
 			continue
 		}
 		// Lost this shard: learn who actually holds it.
@@ -195,13 +247,54 @@ func (a *Aggregator) elect(now time.Duration) {
 		}
 	}
 	a.candidateAt = 0
-	if len(granted) < len(a.shards)/2+1 {
-		// Minority: release the grants so the eventual winner need not
-		// wait out our TTL on those shards.
-		for _, i := range granted {
-			_, _ = ha.WriteCap(a.cfg.Shards[i].ID, rcr.CapWrite{Fence: fence, Leader: ha.ID, Release: true, Seq: a.nextSeq()})
+	// Adopt the most authoritative committed membership record the acks
+	// returned — (fence, epoch) order — and reconcile the book against
+	// it. This runs on *failed* campaigns too: a standby whose static
+	// view is the seed fleet may be campaigning over members that have
+	// long departed, and can never win a majority of that dead view; the
+	// acks it did get teach it the committed fleet, so its next campaign
+	// runs over the members that actually exist. A deposed leader's
+	// record lost the (fence, epoch) comparison the moment its successor
+	// committed anything.
+	adoptBest := func() {
+		if bestEpoch == 0 {
+			return
 		}
+		var rec MembershipRecord
+		if err := DecodeMembership(bestFrame, &rec); err == nil {
+			a.members.Adopt(rec)
+			if err := a.reconcileLocked(now); err != nil {
+				a.journal(telemetry.KindCapRetry, fmt.Sprintf("membership reconcile: %v", err))
+			}
+		}
+	}
+	if len(granted) < fleet/2+1 {
+		// Minority: release the grants so the eventual winner need not
+		// wait out our TTL on those shards, then adopt what the campaign
+		// learned before the book is rebuilt under it.
+		for _, i := range granted {
+			st := a.shards[i]
+			_, _ = a.writeFenced(st, rcr.MemWrite{Write: rcr.CapWrite{Fence: fence, Leader: ha.ID, Release: true, Seq: a.nextSeq()}})
+		}
+		adoptBest()
 		return
+	}
+	// The quorum's grants carry the committed record; adopting before
+	// promotion means the first partition this leader computes is over
+	// the committed fleet, not this replica's possibly-stale local view.
+	adoptBest()
+	// A Joining member's inherited cap is its admission floor, whatever
+	// its guard reports: a member re-joining under its prior identity
+	// carries the committed cap of its previous life on its durable
+	// ledger, but those watts were redistributed to the survivors when
+	// it departed — the predecessor's conserving assignment covers the
+	// joiner only at the floor its partition reserves. Re-committing the
+	// residue would double-spend it on top of that redistribution.
+	for i, st := range a.shards {
+		if st.mstate == MemberJoining && a.applied[i] > a.cfg.Floor {
+			st.residual = a.applied[i]
+			a.applied[i] = a.cfg.Floor
+		}
 	}
 	// Belt-and-braces: shards that granted above handed over their
 	// authoritative caps (frozen from the grant on — a predecessor's
@@ -229,7 +322,7 @@ func (a *Aggregator) elect(now time.Duration) {
 	}
 	a.journal(telemetry.KindLeaderElected,
 		fmt.Sprintf("replica %d fence %d: %d/%d grants, adopted %.1f W committed",
-			ha.ID, fence, len(granted), len(a.shards), float64(Sum(a.applied))))
+			ha.ID, fence, len(granted), fleet, float64(Sum(a.applied))))
 }
 
 // demote surrenders leadership. The fence stays where it was — a
@@ -274,6 +367,21 @@ func (a *Aggregator) leaderStep(now time.Duration) bool {
 	return a.pushFenced(next, now)
 }
 
+// membershipFrameLocked returns the registry's current record encoded
+// as a CLSM frame, re-encoding only when the epoch has moved.
+func (a *Aggregator) membershipFrameLocked() ([]byte, uint64) {
+	epoch := a.members.Epoch()
+	if epoch != a.memFrameEpoch || a.memFrame == nil {
+		rec := a.members.Record()
+		frame, err := AppendMembership(a.memFrame[:0], &rec)
+		if err != nil {
+			return nil, 0
+		}
+		a.memFrame, a.memFrameEpoch = frame, rec.Epoch
+	}
+	return a.memFrame, a.memFrameEpoch
+}
+
 // pushFenced is push over the fenced write path: conservation-safe
 // apply order, one bounded retry per transport failure, a lease-only
 // renewal for every shard whose cap is unchanged, quorum-counted lease
@@ -282,21 +390,49 @@ func (a *Aggregator) leaderStep(now time.Duration) bool {
 // in flight, not lost — and suppress every increase until an ack proves
 // the shard's seq barrier has passed them.
 //
-// Until every shard has granted this replica's fence, all writes stay
-// lease-only (claiming phase). A deposed predecessor may still hold
-// live leases on a minority and keep writing those shards by its own
-// book, which is individually conserving but jointly unbounded against
-// ours; deferring actuation until the fleet is exclusively fenced means
-// at most one regime's caps are ever in flight, and each grant ack
-// hands over that shard's authoritative committed cap, frozen from
-// then on because the predecessor's writes bounce.
+// Until every *Active* member's shard has granted this replica's
+// fence, all writes stay lease-only (claiming phase). A deposed
+// predecessor may still hold live leases on a minority and keep
+// writing those shards by its own book, which is individually
+// conserving but jointly unbounded against ours; deferring actuation
+// until the fleet is exclusively fenced means at most one regime's
+// caps are ever in flight, and each grant ack hands over that shard's
+// authoritative committed cap, frozen from then on because the
+// predecessor's writes bounce.
+//
+// Only Active and Draining members gate the claim, because only their
+// actual caps are unknown-unbounded: Draining means the step-down is
+// *in progress* — the member's guard may still hold its full pre-drain
+// assignment if the decrease never landed. A Joining member is
+// provably at or below its floor *in the book*: no regime raises a
+// member before Activate (unhealthy shards water-fill nothing, a
+// healthy joiner is activated promptly but never while a replay is
+// pending), and its adopted baseline is clamped to the floor because a
+// member re-joining under its prior identity carries the committed cap
+// of its previous life on its durable ledger — watts the fleet already
+// redistributed when it departed. A Drained member was stepped down
+// with the ack observed — and can never rise again, because any leader
+// stale enough to still think it deserves watts carries a fence older
+// than the one that stepped it down, which the guard's durable fence
+// ledger rejects. Those two states' guards hold at most Floor, and the
+// partitioner's phase 1 reserves at least Floor for every shard in the
+// book, so Σ(actual caps) ≤ Σ(next) ≤ global even while such a member
+// is unreachable. Without this carve-out a crashed joiner (a member
+// whose server is down until an operator decommissions it) would gate
+// actuation of the whole fleet indefinitely. Individually, a shard
+// that has not granted is never sent a cap, whatever its state.
+//
+// With the WriteMem seam, each write also carries the registry's
+// current membership record to any shard whose acked record is behind,
+// so the committed membership is durable on a majority within one
+// renewal round of the epoch moving.
 func (a *Aggregator) pushFenced(next []units.Watts, now time.Duration) bool {
 	ha := a.cfg.HA
 	ttl := a.leaseTTL()
 	changed := false
 	blocked := false // a decrease failed; increases must wait
-	for i := range a.pendingCap {
-		if a.pendingCap[i] > 0 {
+	for _, st := range a.shards {
+		if st.pendingCap > 0 {
 			// One of our caps may still be in flight from an earlier
 			// poll; until a fresher ack proves the guard's seq barrier
 			// has passed it, every increase stays suppressed so that
@@ -306,38 +442,107 @@ func (a *Aggregator) pushFenced(next []units.Watts, now time.Duration) bool {
 		}
 	}
 	claiming := false
-	for i := range a.granted {
-		if !a.granted[i] {
+	for _, st := range a.shards {
+		if (st.mstate == MemberActive || st.mstate == MemberDraining) && !st.granted {
 			claiming = true
 			break
 		}
 	}
+	var memFrame []byte
+	var memEpoch uint64
+	memCommitted := ^uint64(0)
+	if ha.WriteMem != nil {
+		memFrame, memEpoch = a.membershipFrameLocked()
+		if a.members != nil {
+			memCommitted = a.memQuorumEpochLocked()
+		}
+	}
 	renewed := 0
-	order := ApplyOrder(a.applied, next)
+	// Order and pessimism run over the guards' PHYSICAL caps, not the
+	// book: a re-joining member's guard still enforces its previous
+	// life's cap until a this-life write lands, and its clamped book
+	// entry (the floor) would let ApplyOrder raise the survivors before
+	// that residue has been stepped down — a real, wattmeter-visible
+	// overshoot even though the book never exceeds the budget.
+	eff := make([]units.Watts, len(a.applied))
+	for i, st := range a.shards {
+		eff[i] = a.applied[i]
+		if st.residual > eff[i] {
+			eff[i] = st.residual
+		}
+	}
+	order := ApplyOrder(eff, next)
+	if soakApplyTrace && a.debugTag != "" {
+		line := fmt.Sprintf("[%s] PUSH @%v fence=%d replay=%v claiming=%v blocked=%v:", a.debugTag, now, a.fence, a.replay, claiming, blocked)
+		for _, i := range order {
+			st := a.shards[i]
+			line += fmt.Sprintf(" {id=%d inc=%d ms=%d granted=%v landed=%v app=%.1f res=%.1f next=%.1f}",
+				st.id, st.inc, st.mstate, st.granted, st.capLanded, float64(a.applied[i]), float64(st.residual), float64(next[i]))
+		}
+		fmt.Println(line)
+	}
 	for _, i := range order {
+		st := a.shards[i]
 		if a.cfg.Clock() >= a.leaseUntil {
 			// The lease ran out mid-push: every further write would be a
 			// stale-fence hazard. Stop; the expiry check next poll demotes.
 			break
 		}
 		w := rcr.CapWrite{Fence: a.fence, Leader: ha.ID, Lease: ttl}
-		decrease := next[i] < a.applied[i]
+		decrease := next[i] < eff[i]
 		wantCap := a.replay || next[i] != a.applied[i]
-		if blocked && next[i] > a.applied[i] {
+		if st.mstate == MemberJoining && !st.capLanded {
+			// A joiner is promoted only after a cap write lands on its
+			// current incarnation (Poll), so force one even when next
+			// equals the adopted baseline: a lease-only ack can set the
+			// book to the floor without any write having reached this
+			// life's guard, and until one does the guard's durable ledger
+			// may still hold a previous life's cap — watts the fleet
+			// already redistributed, which a successor must not re-adopt.
+			wantCap = true
+		}
+		if blocked && next[i] > eff[i] {
 			wantCap = false // the unacknowledged decrease still holds its watts
 		}
-		if claiming && !(a.granted[i] && next[i] == a.applied[i]) {
+		if !st.granted {
+			// Never actuate a shard that has not granted this fence. With
+			// membership churn the book legitimately holds members whose
+			// servers are down — a crashed joiner, a stopped drainer
+			// awaiting decommission — and a cap write to one of those can
+			// only fail transport and poison the pending-increase
+			// pessimism for the whole fleet. Lease-only probes until the
+			// shard grants; its first grant hands over the authoritative
+			// cap and the next poll actuates it.
+			wantCap = false
+		} else if claiming && next[i] != a.applied[i] {
 			// No cap *changes* until the fleet is exclusively ours. A
 			// re-commit of a granted shard's adopted value is exempt: the
 			// shard is already fenced to us, the value is its authoritative
 			// committed cap, and writing it back moves nothing — it only
 			// commits the inherited assignment under the new fence.
 			wantCap = false
+		} else if wantCap && st.stateEpoch > memCommitted {
+			// The registry change that put this member in its current
+			// state is not yet durable on a quorum of guards. Writing it a
+			// cap now would orphan those watts if this leader died: a
+			// successor elected from a quorum that missed the change
+			// adopts a record without it (or with its old state) and
+			// partitions the full budget over what it can see, while this
+			// shard's guard keeps holding what we wrote. Hold the write —
+			// the frame rides the next renewals, the quorum acks within a
+			// round or two, and the cap follows. A withheld *decrease*
+			// must still suppress this poll's increases, exactly as a
+			// transport-failed decrease does: the leaver's watts have not
+			// actually come back to the pool yet.
+			wantCap = false
+			if decrease {
+				blocked = true
+			}
 		}
 		if wantCap && next[i] > 0 {
 			w.HasCap, w.Cap = true, float64(next[i])
 		}
-		ack, usedSeq, err := a.writeCapRetry(i, w)
+		ack, usedSeq, err := a.writeCapRetry(st, w, memEpoch, memFrame)
 		if err != nil {
 			if a.met != nil {
 				a.met.capErrors.Inc()
@@ -346,20 +551,20 @@ func (a *Aggregator) pushFenced(next []units.Watts, now time.Duration) bool {
 				// The write may be held in flight, not lost: remember the
 				// largest cap that might still land and the last seq it
 				// could ride in on.
-				if w.Cap > a.pendingCap[i] {
-					a.pendingCap[i] = w.Cap
+				if w.Cap > st.pendingCap {
+					st.pendingCap = w.Cap
 				}
-				a.pendingSeq[i] = usedSeq
+				st.pendingSeq = usedSeq
 			}
 			if decrease {
 				blocked = true
 			}
 			continue
 		}
-		if a.pendingSeq[i] != 0 && a.pendingSeq[i] < usedSeq {
+		if st.pendingSeq != 0 && st.pendingSeq < usedSeq {
 			// This ack proves the guard's seq barrier has moved past every
 			// pending write for this shard: none of them can apply now.
-			a.pendingCap[i], a.pendingSeq[i] = 0, 0
+			st.pendingCap, st.pendingSeq = 0, 0
 		}
 		if ack.Status == rcr.CapFenceRejected {
 			if ack.Fence > a.knownFence {
@@ -381,20 +586,32 @@ func (a *Aggregator) pushFenced(next []units.Watts, now time.Duration) bool {
 			// Surrender now and re-campaign with a fresh fence rather than
 			// leave the shard orphaned until the lease runs out.
 			a.demote(fmt.Sprintf("shard %d acked fence %d holder %d (ours %d)",
-				a.cfg.Shards[i].ID, ack.Fence, ack.Holder, a.fence))
+				st.id, ack.Fence, ack.Holder, a.fence))
 			return changed
 		}
-		a.granted[i] = true // the guard accepted our fence for this shard
-		renewed++           // CapApplied and CapApplyFailed both renew the lease
+		st.granted = true // the guard accepted our fence for this shard
+		renewed++         // CapApplied and CapApplyFailed both renew the lease
 		if ack.Status == rcr.CapApplied && w.HasCap {
 			if a.applied[i] != next[i] {
 				changed = true
 			}
 			a.applied[i] = next[i]
+			st.capLanded = true
+			st.residual = 0 // this life's guard now holds the book value
 		} else if ack.HasApplied {
 			// Lease-only ack (or refused actuation): adopt the shard's
-			// authoritative committed cap.
-			a.applied[i] = units.Watts(ack.Applied)
+			// authoritative committed cap. For a Joining member the
+			// adoption is clamped to the floor: a re-joining guard
+			// reports its previous life's committed cap, and those watts
+			// were already redistributed when it departed — adopting them
+			// here would make the next replay re-commit a double-spend
+			// (see elect).
+			v := units.Watts(ack.Applied)
+			if st.mstate == MemberJoining && v > a.cfg.Floor {
+				st.residual = v
+				v = a.cfg.Floor
+			}
+			a.applied[i] = v
 		}
 		if ack.Status == rcr.CapApplyFailed && decrease {
 			blocked = true
@@ -419,6 +636,43 @@ func (a *Aggregator) pushFenced(next []units.Watts, now time.Duration) bool {
 	return changed
 }
 
+// memQuorumEpochLocked returns the highest registry epoch that a
+// quorum of the current book's guards have durably acked — the
+// quorum-th largest of the per-shard acked epochs. Epochs from
+// different registry lineages compare soundly because Adopt renumbers
+// monotonically above anything it absorbs. Caller holds a.mu.
+func (a *Aggregator) memQuorumEpochLocked() uint64 {
+	n := len(a.shards)
+	if n == 0 {
+		return 0
+	}
+	if cap(a.memEpochScratch) < n {
+		a.memEpochScratch = make([]uint64, n)
+	}
+	es := a.memEpochScratch[:n]
+	for i, st := range a.shards {
+		es[i] = st.memAckEpoch
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	return es[n-(n/2+1)]
+}
+
+// MembershipDurable reports whether the registry's current epoch is
+// acked by a quorum of the fleet's guards — i.e. whether every
+// membership change made so far would survive this replica's failure
+// and be adopted by any successor elected from a quorum. Admin flows
+// (join/drain/decommission) should wait for this before treating an
+// operation as complete. Always true without the WriteMem seam, where
+// membership is not replicated at all.
+func (a *Aggregator) MembershipDurable() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.HA == nil || a.cfg.HA.WriteMem == nil || a.members == nil {
+		return true
+	}
+	return a.memQuorumEpochLocked() >= a.members.Epoch()
+}
+
 // nextSeq advances the per-fence write-sequence counter. Every write
 // gets its own seq — retries included — so the shard guards can order
 // delayed deliveries against fresher writes.
@@ -431,19 +685,27 @@ func (a *Aggregator) nextSeq() uint64 {
 // immediate retry on transport failure (the fenced-path counterpart of
 // push's cap_retry). It assigns each attempt a fresh seq and reports
 // the last one used, so the caller can track what may still be in
-// flight.
-func (a *Aggregator) writeCapRetry(i int, w rcr.CapWrite) (rcr.CapAck, uint64, error) {
-	w.Seq = a.nextSeq()
-	ack, err := a.cfg.HA.WriteCap(a.cfg.Shards[i].ID, w)
+// flight. The membership frame rides along to any shard whose acked
+// record is behind the registry's current (fence, epoch).
+func (a *Aggregator) writeCapRetry(st *shardState, w rcr.CapWrite, memEpoch uint64, memFrame []byte) (rcr.CapAck, uint64, error) {
+	attempt := func() (rcr.CapAck, uint64, error) {
+		w.Seq = a.nextSeq()
+		mw := rcr.MemWrite{Write: w}
+		if memEpoch > 0 && (st.memAckFence < a.fence ||
+			(st.memAckFence == a.fence && st.memAckEpoch < memEpoch)) {
+			mw.Epoch, mw.Frame = memEpoch, memFrame
+		}
+		mack, err := a.writeFenced(st, mw)
+		return mack.Ack, w.Seq, err
+	}
+	ack, seq, err := attempt()
 	if err == nil {
-		return ack, w.Seq, nil
+		return ack, seq, nil
 	}
 	if a.met != nil {
 		a.met.capRetries.Inc()
 	}
 	a.journal(telemetry.KindCapRetry,
-		fmt.Sprintf("shard %d fence %d: %v", a.cfg.Shards[i].ID, w.Fence, err))
-	w.Seq = a.nextSeq()
-	ack, err = a.cfg.HA.WriteCap(a.cfg.Shards[i].ID, w)
-	return ack, w.Seq, err
+		fmt.Sprintf("shard %d fence %d: %v", st.id, w.Fence, err))
+	return attempt()
 }

@@ -144,10 +144,13 @@ type haKillMark struct {
 // every shard's FenceGuard, so it sees the fleet's applications in a
 // single serialized order — which is what makes the cross-shard
 // invariants (conservation, double leadership) checkable at all.
+var soakApplyTrace = os.Getenv("CHURN_TRACE") != ""
+
 type haCapAuditor struct {
-	global float64
-	period time.Duration
-	clock  *hostClock
+	global   float64
+	debugTag string
+	period   time.Duration
+	clock    *hostClock
 
 	mu           sync.Mutex
 	caps         []float64
@@ -198,6 +201,13 @@ func (a *haCapAuditor) applyFn(shard int) func(cap float64, fence uint64) error 
 		if sum > a.global+sumEps {
 			a.conservation++
 		}
+		if soakApplyTrace {
+			mark := ""
+			if sum > a.global+sumEps {
+				mark = " VIOLATION"
+			}
+			fmt.Printf("[%s] APPLY @%v shard=%d cap=%.2f fence=%d sum=%.1f%s\n", a.debugTag, now, shard, capW, fence, sum, mark)
+		}
 		return nil
 	}
 }
@@ -221,6 +231,24 @@ func (a *haCapAuditor) handoffs() []time.Duration {
 	var hs []time.Duration
 	for _, k := range a.kills {
 		if k.handoff > 0 {
+			hs = append(hs, k.handoff)
+		}
+	}
+	return hs
+}
+
+// handoffsBefore returns only the kill→takeover gaps that RESOLVED by
+// the given instant. A churn run can legitimately destroy election
+// quorum (enough member servers stopped by failed-op fallout that no
+// candidate's book can grant a majority); the takeover then waits for
+// the settle phase's operator repairs, and its gap measures the outage,
+// not the protocol. The latency bound judges only in-run hand-offs.
+func (a *haCapAuditor) handoffsBefore(limit time.Duration) []time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var hs []time.Duration
+	for _, k := range a.kills {
+		if k.handoff > 0 && k.at+k.handoff <= limit {
 			hs = append(hs, k.handoff)
 		}
 	}

@@ -41,6 +41,10 @@ const (
 	// in Watts — the passively replicated "committed assignment" a
 	// promoted standby replays before issuing its own.
 	MeterFencedCap = "fencedcap"
+	// MeterMemberEpoch is the registry epoch of the committed membership
+	// record this shard's guard stores — every standby replica learns how
+	// current each shard's membership view is through the delta stream.
+	MeterMemberEpoch = "memepoch"
 )
 
 // Cap-write ack statuses.
@@ -255,6 +259,16 @@ type FenceGuard struct {
 	expiry     time.Duration
 	applied    float64
 	hasApplied bool
+
+	// Committed membership (opaque to the guard: the cluster tier owns
+	// the frame format). Authority is ordered by (memFence, memEpoch):
+	// fences are totally ordered across leaders, so a successor's first
+	// commit supersedes everything a deposed leader stored, while one
+	// leader's own commits order by registry epoch. Like the fence
+	// high-water mark it survives server incarnations.
+	memFence uint64
+	memEpoch uint64
+	memFrame []byte
 }
 
 // NewFenceGuard builds a guard. clock supplies host time (the lease
@@ -297,6 +311,27 @@ func (g *FenceGuard) mirrorLocked() {
 	if g.hasApplied {
 		g.bb.SetSystem(MeterFencedCap, g.applied, now)
 	}
+	if g.memEpoch > 0 {
+		g.bb.SetSystem(MeterMemberEpoch, float64(g.memEpoch), now)
+	}
+}
+
+// PowerCycle clears the guard's applied-cap ledger while keeping the
+// fence high-water mark, sequence barrier, and committed membership
+// frame. The split mirrors what a production daemon persists across a
+// power-off: the fence ratchet and membership live on disk and must
+// survive (a rejoining node must never grant a fence its predecessor
+// refused), but the cap lives in the package's enforcement registers,
+// which reset when the node loses power. A decommissioned node that
+// later rejoins therefore reports no committed cap — the fleet already
+// reclaimed those watts, and resurrecting the stale ledger would make
+// the new incarnation's admission look like a step-down from power it
+// no longer draws.
+func (g *FenceGuard) PowerCycle() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.applied, g.hasApplied = 0, false
+	g.mirrorLocked()
 }
 
 // State returns the guard's current fence state as an ack-shaped view.
@@ -328,6 +363,13 @@ func (g *FenceGuard) Offer(w CapWrite) CapAck {
 	now := g.clock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.offerLocked(w, now)
+}
+
+// offerLocked is Offer's body; OfferMem shares it so the fence decision
+// and the membership store land in one critical section. Called with
+// g.mu held.
+func (g *FenceGuard) offerLocked(w CapWrite, now time.Duration) CapAck {
 	reject := func(why string) CapAck {
 		if g.rejects != nil {
 			g.rejects.Inc()

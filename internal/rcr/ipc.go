@@ -492,6 +492,33 @@ func (s *Server) handle(conn net.Conn, readTO, writeTO time.Duration, scr *encod
 		}
 		scr.buf = AppendCapAck(scr.buf[:0], s.Fence.Offer(w))
 		payload = scr.buf
+	case "MEM\n":
+		if s.Fence == nil {
+			s.rejected.Inc()
+			return false
+		}
+		var lenHdr [4]byte
+		if _, err := io.ReadFull(conn, lenHdr[:]); err != nil {
+			s.errors.Inc()
+			return false
+		}
+		n := binary.LittleEndian.Uint32(lenHdr[:])
+		if n < uint32(capWriteLen+12) || n > uint32(capWriteLen+12+MaxMemFrame) {
+			s.rejected.Inc()
+			return false
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			s.errors.Inc()
+			return false
+		}
+		w, err := DecodeMemWrite(body)
+		if err != nil {
+			s.rejected.Inc()
+			return false
+		}
+		scr.buf = AppendMemAck(scr.buf[:0], s.Fence.OfferMem(w))
+		payload = scr.buf
 	case "SUB\n":
 		if s.Pub == nil {
 			s.rejected.Inc()

@@ -1,0 +1,219 @@
+package rcr
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Fenced membership replication (docs/cluster.md §Membership). The HA
+// leader replicates the fleet's epoch-versioned membership record to
+// every shard guard the same way it replicates cap assignments: under
+// its fence. A MemWrite is an ordinary CapWrite plus an opaque
+// membership frame; the guard applies the CapWrite's fence rules first
+// and stores the frame only if the write was accepted, so a deposed
+// leader's stale membership view bounces exactly like its stale caps —
+// which is what prevents it double-spending a departed shard's watts.
+// Every ack returns the guard's stored record, so a campaigning
+// standby's election probes double as the fetch: a majority of grants
+// necessarily includes every majority-committed record, and the
+// promoted leader adopts the most authoritative one (highest fence,
+// then epoch) exactly as it adopts the cap assignment.
+//
+// Wire formats (little-endian, strict decode):
+//
+//	MEMW: CAPW bytes, epoch u64, flen u32, frame [flen]byte
+//	MEMA: CAPA bytes, memfence u64, memepoch u64, flen u32, frame
+//
+// An epoch-0 MemWrite is a pure probe/renewal: it carries no frame and
+// stores nothing, but the ack still returns the stored record. The
+// frame bytes are opaque here — the cluster tier owns the CLSM format
+// and validates it strictly on both ends.
+
+// MaxMemFrame bounds a membership frame on the wire; far beyond any
+// fleet this tier simulates, small enough that a crafted length cannot
+// drive a giant allocation.
+const MaxMemFrame = 64 << 10
+
+// MemWrite is one fenced membership commit (or, with Epoch 0, a pure
+// lease write whose ack fetches the stored record).
+type MemWrite struct {
+	// Write is the fenced carrier: its fence/seq/lease rules decide
+	// acceptance, and it may carry a cap exactly like a plain CapWrite.
+	Write CapWrite
+	// Epoch is the registry epoch of Frame; 0 carries no frame.
+	Epoch uint64
+	// Frame is the encoded membership record (cluster CLSM), opaque at
+	// this layer. Must be empty exactly when Epoch is 0.
+	Frame []byte
+}
+
+// MemAck is the guard's decision plus its stored membership record.
+type MemAck struct {
+	Ack CapAck
+	// MemFence and MemEpoch version the stored record: the fence it was
+	// committed under, then its registry epoch. Zero when nothing has
+	// ever been stored.
+	MemFence uint64
+	MemEpoch uint64
+	// Frame is the stored record's bytes (empty when MemEpoch is 0).
+	Frame []byte
+}
+
+// AppendMemWrite appends w's strict MEMW encoding to dst.
+func AppendMemWrite(dst []byte, w MemWrite) []byte {
+	dst = AppendCapWrite(dst, w.Write)
+	dst = binary.LittleEndian.AppendUint64(dst, w.Epoch)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(w.Frame)))
+	return append(dst, w.Frame...)
+}
+
+// DecodeMemWrite strictly decodes a MEMW payload: a valid CAPW prefix,
+// a bounded frame whose presence matches the epoch, no trailing bytes.
+func DecodeMemWrite(p []byte) (MemWrite, error) {
+	var w MemWrite
+	if len(p) < capWriteLen+12 {
+		return w, fmt.Errorf("rcr: mem write length %d, want at least %d", len(p), capWriteLen+12)
+	}
+	var err error
+	if w.Write, err = DecodeCapWrite(p[:capWriteLen]); err != nil {
+		return w, err
+	}
+	w.Epoch = binary.LittleEndian.Uint64(p[capWriteLen:])
+	flen := binary.LittleEndian.Uint32(p[capWriteLen+8:])
+	if flen > MaxMemFrame {
+		return w, fmt.Errorf("rcr: mem write frame length %d exceeds bound", flen)
+	}
+	body := p[capWriteLen+12:]
+	if uint32(len(body)) != flen {
+		return w, fmt.Errorf("rcr: mem write frame is %d bytes, header claims %d", len(body), flen)
+	}
+	if w.Epoch == 0 && flen != 0 {
+		return w, fmt.Errorf("rcr: mem write carries a frame without an epoch")
+	}
+	if w.Epoch != 0 && flen == 0 {
+		return w, fmt.Errorf("rcr: mem write epoch %d carries no frame", w.Epoch)
+	}
+	if flen > 0 {
+		w.Frame = append([]byte(nil), body...)
+	}
+	return w, nil
+}
+
+// AppendMemAck appends a's strict MEMA encoding to dst.
+func AppendMemAck(dst []byte, a MemAck) []byte {
+	dst = AppendCapAck(dst, a.Ack)
+	dst = binary.LittleEndian.AppendUint64(dst, a.MemFence)
+	dst = binary.LittleEndian.AppendUint64(dst, a.MemEpoch)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(a.Frame)))
+	return append(dst, a.Frame...)
+}
+
+// DecodeMemAck strictly decodes a MEMA payload.
+func DecodeMemAck(p []byte) (MemAck, error) {
+	var a MemAck
+	if len(p) < capAckLen+20 {
+		return a, fmt.Errorf("rcr: mem ack length %d, want at least %d", len(p), capAckLen+20)
+	}
+	var err error
+	if a.Ack, err = DecodeCapAck(p[:capAckLen]); err != nil {
+		return a, err
+	}
+	a.MemFence = binary.LittleEndian.Uint64(p[capAckLen:])
+	a.MemEpoch = binary.LittleEndian.Uint64(p[capAckLen+8:])
+	flen := binary.LittleEndian.Uint32(p[capAckLen+16:])
+	if flen > MaxMemFrame {
+		return a, fmt.Errorf("rcr: mem ack frame length %d exceeds bound", flen)
+	}
+	body := p[capAckLen+20:]
+	if uint32(len(body)) != flen {
+		return a, fmt.Errorf("rcr: mem ack frame is %d bytes, header claims %d", len(body), flen)
+	}
+	if a.MemEpoch == 0 && (flen != 0 || a.MemFence != 0) {
+		return a, fmt.Errorf("rcr: mem ack carries membership without an epoch")
+	}
+	if a.MemEpoch != 0 && flen == 0 {
+		return a, fmt.Errorf("rcr: mem ack epoch %d carries no frame", a.MemEpoch)
+	}
+	if flen > 0 {
+		a.Frame = append([]byte(nil), body...)
+	}
+	return a, nil
+}
+
+// OfferMem decides one membership commit: the carrier CapWrite goes
+// through the ordinary fence rules, and only an accepted write may
+// store its frame — and then only if (fence, epoch) supersedes what is
+// already stored, so replays and a deposed leader's stale records are
+// refused even if they somehow ride an accepted write. The ack always
+// returns the stored record (a copy), making every renewal a fetch.
+func (g *FenceGuard) OfferMem(w MemWrite) MemAck {
+	now := g.clock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ack := g.offerLocked(w.Write, now)
+	if ack.Status != CapFenceRejected && w.Epoch > 0 && len(w.Frame) <= MaxMemFrame {
+		if w.Write.Fence > g.memFence || (w.Write.Fence == g.memFence && w.Epoch > g.memEpoch) {
+			g.memFence, g.memEpoch = w.Write.Fence, w.Epoch
+			g.memFrame = append(g.memFrame[:0], w.Frame...)
+			g.mirrorLocked()
+		}
+	}
+	return MemAck{Ack: ack, MemFence: g.memFence, MemEpoch: g.memEpoch,
+		Frame: append([]byte(nil), g.memFrame...)}
+}
+
+// Membership returns the guard's stored membership record: the fence
+// it was committed under, its epoch, and a copy of the frame bytes.
+// Zero values when nothing has been committed.
+func (g *FenceGuard) Membership() (fence, epoch uint64, frame []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.memFence, g.memEpoch, append([]byte(nil), g.memFrame...)
+}
+
+// WriteMem performs one fenced membership write ("MEM\n" op) against
+// addr. Like WriteCap, a transport failure is an error while a fence
+// rejection comes back in the ack.
+func WriteMem(ctx context.Context, network, addr string, w MemWrite) (MemAck, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return MemAck{}, fmt.Errorf("rcr: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return MemAck{}, fmt.Errorf("rcr: deadline: %w", err)
+		}
+	}
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	body := AppendMemWrite(make([]byte, 0, capWriteLen+12+len(w.Frame)), w)
+	req := make([]byte, 0, 4+4+len(body))
+	req = append(req, "MEM\n"...)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(body)))
+	req = append(req, body...)
+	if _, err := conn.Write(req); err != nil {
+		return MemAck{}, fmt.Errorf("rcr: mem write: %w", err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return MemAck{}, fmt.Errorf("rcr: mem ack header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == busyHeader {
+		return MemAck{}, ErrBusy
+	}
+	if n < uint32(capAckLen+20) || n > uint32(capAckLen+20+MaxMemFrame) {
+		return MemAck{}, fmt.Errorf("rcr: implausible mem ack size %d", n)
+	}
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return MemAck{}, fmt.Errorf("rcr: mem ack body: %w", err)
+	}
+	return DecodeMemAck(resp)
+}

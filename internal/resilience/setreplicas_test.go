@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rcr"
+)
+
+// TestSetReplicasValidation: the live list can never be emptied, the
+// caller's slice is copied, and Replicas hands back a copy.
+func TestSetReplicasValidation(t *testing.T) {
+	clk := &fakeClock{}
+	tr := &scriptedTransport{down: map[string]bool{}, now: clk.now}
+	c, _, _ := newTestClient(t, clk, tr, nil)
+	if err := c.SetReplicas(nil); err == nil {
+		t.Fatal("empty replica list accepted")
+	}
+	mine := []string{"a", "b"}
+	if err := c.SetReplicas(mine); err != nil {
+		t.Fatal(err)
+	}
+	mine[0] = "mutated-after-set"
+	got := c.Replicas()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("replica list %v, want the list as passed", got)
+	}
+	got[1] = "mutated-returned-copy"
+	if again := c.Replicas(); again[1] != "b" {
+		t.Fatalf("Replicas returned a live reference: %v", again)
+	}
+}
+
+// TestSetReplicasFailoverOntoJustAdded is the membership regression:
+// the primary dies, an operator adds a standby the client was not
+// constructed with, and the very next Query sweep must fail over onto
+// it — a client frozen on its construction-time list would only ever
+// redial the corpse.
+func TestSetReplicasFailoverOntoJustAdded(t *testing.T) {
+	clk := &fakeClock{}
+	tr := &scriptedTransport{down: map[string]bool{"primary": true}, now: clk.now}
+	c, reg, _ := newTestClient(t, clk, tr, func(cfg *ClientConfig) {
+		cfg.Addrs = []string{"primary"}
+		cfg.StalenessHorizon = -1 // no cache: failures must surface
+	})
+
+	// Construction-time list only knows the dead primary.
+	if _, err := c.Query(context.Background()); err == nil {
+		t.Fatal("query against only a dead primary succeeded")
+	}
+
+	if err := c.SetReplicas([]string{"primary", "standby"}); err != nil {
+		t.Fatal(err)
+	}
+	tr.calls = nil
+	snap, err := c.Query(context.Background())
+	if err != nil {
+		t.Fatalf("query after adding a live standby: %v", err)
+	}
+	if snap.Now != clk.now() {
+		t.Errorf("snapshot Now = %v", snap.Now)
+	}
+	if len(tr.calls) != 2 || tr.calls[0] != "primary" || tr.calls[1] != "standby" {
+		t.Errorf("dial sequence %v, want primary then the just-added standby", tr.calls)
+	}
+	if n := reg.Counter("resilience_client_failovers_total").Value(); n != 1 {
+		t.Errorf("failovers = %d, want 1", n)
+	}
+}
+
+// TestSetReplicasDropDeparted: a decommissioned replica swapped out of
+// the list is never dialed again.
+func TestSetReplicasDropDeparted(t *testing.T) {
+	clk := &fakeClock{}
+	tr := &scriptedTransport{down: map[string]bool{"primary": true}, now: clk.now}
+	c, _, _ := newTestClient(t, clk, tr, nil) // {primary, replica}
+	if err := c.SetReplicas([]string{"replica"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range tr.calls {
+		if addr == "primary" {
+			t.Fatalf("departed primary still dialed: %v", tr.calls)
+		}
+	}
+}
+
+// TestSetReplicasSubscribeReconnect: Subscribe re-reads the replica
+// list on every (re)connect attempt, so a stream torn down after a
+// membership change reconnects to the fleet that exists now.
+func TestSetReplicasSubscribeReconnect(t *testing.T) {
+	clk := &fakeClock{}
+	first := &scriptedStream{frames: make(chan rcr.Snapshot, 1)}
+	second := &scriptedStream{frames: make(chan rcr.Snapshot, 1)}
+	tr := &scriptedSubTransport{streams: []*scriptedStream{first, second}}
+	trq := &scriptedTransport{down: map[string]bool{}, now: clk.now}
+	c, _, _ := newTestClient(t, clk, trq, func(cfg *ClientConfig) {
+		cfg.Addrs = []string{"old-primary"}
+		cfg.Subscribe = tr.subscribe
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Subscribe(ctx) }()
+
+	first.push(rcr.Snapshot{Now: 10 * time.Millisecond})
+	waitLatest(t, c, 10*time.Millisecond)
+
+	// The fleet moves; then the old stream dies.
+	if err := c.SetReplicas([]string{"new-primary"}); err != nil {
+		t.Fatal(err)
+	}
+	close(first.frames)
+	second.push(rcr.Snapshot{Now: 20 * time.Millisecond})
+	waitLatest(t, c, 20*time.Millisecond)
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("subscribe returned %v", err)
+	}
+	dials := tr.dials()
+	if len(dials) != 2 || dials[0] != "old-primary" || dials[1] != "new-primary" {
+		t.Fatalf("dial sequence %v, want old-primary then new-primary", dials)
+	}
+}

@@ -104,34 +104,68 @@ func DecodeState(b []byte) (DaemonState, error) {
 	return st, nil
 }
 
+// stateFS is the filesystem seam SaveState writes through. Production
+// is the os package verbatim; the disk-fault tests swap individual
+// steps to inject ENOSPC at temp-file creation, short/torn writes,
+// fsync failures and rename failures, and to prove that none of them
+// can damage the previous snapshot.
+type stateFS struct {
+	createTemp func(dir, pattern string) (*os.File, error)
+	writeFile  func(f *os.File, b []byte) (int, error)
+	syncFile   func(f *os.File) error
+	closeFile  func(f *os.File) error
+	rename     func(oldpath, newpath string) error
+}
+
+func osStateFS() stateFS {
+	return stateFS{
+		createTemp: os.CreateTemp,
+		writeFile:  func(f *os.File, b []byte) (int, error) { return f.Write(b) },
+		syncFile:   func(f *os.File) error { return f.Sync() },
+		closeFile:  func(f *os.File) error { return f.Close() },
+		rename:     os.Rename,
+	}
+}
+
+// saveFS is the seam SaveState currently writes through; tests swap it
+// (and restore it via t.Cleanup) to inject disk faults.
+var saveFS = osStateFS()
+
 // SaveState writes st to path crash-safely: the bytes land in a
 // same-directory temp file, are fsynced, and replace path by atomic
 // rename, so a crash at any instant leaves either the old complete file
-// or the new complete file — never a torn one.
+// or the new complete file — never a torn one. A failure at any step
+// (no space for the temp file, a short or failed write, a refused
+// fsync) aborts before the rename, so the previous snapshot is never
+// touched; only a fully written, fully synced replacement ever takes
+// the path over.
 func SaveState(path string, st DaemonState) error {
 	b, err := EncodeState(st)
 	if err != nil {
 		return err
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := saveFS.createTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("resilience: saving state: %w", err)
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
+	if n, err := saveFS.writeFile(tmp, b); err != nil || n < len(b) {
+		saveFS.closeFile(tmp)
+		if err == nil {
+			err = fmt.Errorf("short write: %d of %d bytes", n, len(b))
+		}
 		return fmt.Errorf("resilience: saving state: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+	if err := saveFS.syncFile(tmp); err != nil {
+		saveFS.closeFile(tmp)
 		return fmt.Errorf("resilience: saving state: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
+	if err := saveFS.closeFile(tmp); err != nil {
 		return fmt.Errorf("resilience: saving state: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := saveFS.rename(tmpName, path); err != nil {
 		return fmt.Errorf("resilience: saving state: %w", err)
 	}
 	// Persist the rename itself; best-effort — some filesystems refuse

@@ -180,7 +180,7 @@ func TestKeeperPeriodicAndFinal(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	k, err := StartKeeper(m, path, 50*time.Millisecond, func() DaemonState {
 		return DaemonState{VirtualNow: m.Now()}
-	}, reg)
+	}, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

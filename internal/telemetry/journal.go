@@ -82,6 +82,27 @@ const (
 	KindCapRetry      = "cap_retry"
 )
 
+// Record kinds written by the fleet membership registry
+// (internal/cluster/membership.go, docs/cluster.md §Membership): a
+// shard admitted into the fleet, a drain requested and later completed
+// (stepped down to its floor, safe to power off), a member removed
+// from the fleet entirely, and a committed membership record adopted
+// from the fleet by a freshly promoted leader.
+const (
+	KindMemberJoined         = "member_joined"
+	KindMemberActivated      = "member_activated"
+	KindMemberDrained        = "member_drained"
+	KindMemberDecommissioned = "member_decommissioned"
+	KindMembershipAdopted    = "membership_adopted"
+)
+
+// KindStateSaveFailed is written by the state Keeper when a checkpoint
+// write fails (disk full, fsync error): the previous snapshot survives
+// untouched by the atomic-rename contract and the keeper backs off, so
+// the failure is journaled rather than fatal. One record per failure
+// episode, not per retry.
+const KindStateSaveFailed = "state_save_failed"
+
 // Record kinds written by the phase-aware Adaptive maestro policy
 // (internal/maestro/adaptive.go, docs/observability.md §Adaptive): the
 // change-point detector segmenting the telemetry stream into a new
